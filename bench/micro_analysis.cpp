@@ -1,0 +1,100 @@
+// Microbenchmarks of the analyzers (google-benchmark): cost scaling with
+// job count and stage count, per method, plus the discrete-event simulator
+// for reference.
+#include <benchmark/benchmark.h>
+
+#include "analysis/bounds.hpp"
+#include "analysis/holistic.hpp"
+#include "analysis/iterative.hpp"
+#include "analysis/spp_exact.hpp"
+#include "model/priority.hpp"
+#include "sim/simulator.hpp"
+#include "workload/jobshop.hpp"
+
+namespace rta {
+namespace {
+
+System make_system(std::size_t stages, std::size_t jobs, SchedulerKind kind,
+                   ArrivalPattern pattern = ArrivalPattern::kPeriodic) {
+  JobShopConfig cfg;
+  cfg.stages = stages;
+  cfg.processors_per_stage = 2;
+  cfg.jobs = jobs;
+  cfg.pattern = pattern;
+  cfg.utilization = 0.5;
+  cfg.window_periods = 6.0;
+  cfg.min_rate = 0.15;
+  cfg.scheduler = kind;
+  Rng rng(12345);
+  System sys = generate_jobshop(cfg, rng);
+  assign_proportional_deadline_monotonic(sys);
+  return sys;
+}
+
+void BM_ExactSppByJobs(benchmark::State& state) {
+  const System sys = make_system(3, state.range(0), SchedulerKind::kSpp);
+  const ExactSppAnalyzer analyzer;
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(sys));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExactSppByJobs)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+void BM_ExactSppByStages(benchmark::State& state) {
+  const System sys = make_system(state.range(0), 6, SchedulerKind::kSpp);
+  const ExactSppAnalyzer analyzer;
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(sys));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExactSppByStages)->DenseRange(1, 6, 1)->Complexity();
+
+void BM_SpnpBoundsByJobs(benchmark::State& state) {
+  const System sys = make_system(3, state.range(0), SchedulerKind::kSpnp);
+  const BoundsAnalyzer analyzer;
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(sys));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpnpBoundsByJobs)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+void BM_FcfsBoundsByJobs(benchmark::State& state) {
+  const System sys = make_system(3, state.range(0), SchedulerKind::kFcfs);
+  const BoundsAnalyzer analyzer;
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(sys));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FcfsBoundsByJobs)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+void BM_HolisticByJobs(benchmark::State& state) {
+  const System sys = make_system(3, state.range(0), SchedulerKind::kSpp);
+  const HolisticAnalyzer analyzer;
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(sys));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HolisticByJobs)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+void BM_IterativeOnAcyclic(benchmark::State& state) {
+  const System sys = make_system(3, state.range(0), SchedulerKind::kSpnp);
+  const IterativeBoundsAnalyzer analyzer;
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(sys));
+}
+BENCHMARK(BM_IterativeOnAcyclic)->RangeMultiplier(2)->Range(2, 8);
+
+void BM_SimulatorByJobs(benchmark::State& state) {
+  const System sys = make_system(3, state.range(0), SchedulerKind::kSpp);
+  const Time horizon = default_horizon(sys, AnalysisConfig{});
+  for (auto _ : state) benchmark::DoNotOptimize(simulate(sys, horizon));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SimulatorByJobs)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+void BM_BurstyWorkloadAnalysis(benchmark::State& state) {
+  const System sys = make_system(3, 6, SchedulerKind::kSpp,
+                                 ArrivalPattern::kAperiodic);
+  const ExactSppAnalyzer analyzer;
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(sys));
+}
+BENCHMARK(BM_BurstyWorkloadAnalysis);
+
+}  // namespace
+}  // namespace rta
+
+BENCHMARK_MAIN();

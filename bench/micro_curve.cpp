@@ -1,0 +1,104 @@
+// Microbenchmarks of the curve-algebra substrate (google-benchmark):
+// the operators that dominate analysis cost.
+#include <benchmark/benchmark.h>
+
+#include "curve/algebra.hpp"
+#include "curve/arrival.hpp"
+#include "curve/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace rta {
+namespace {
+
+PwlCurve make_step(int jumps, Time horizon, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Time> times;
+  times.reserve(jumps);
+  for (int i = 0; i < jumps; ++i) times.push_back(rng.uniform(0.0, horizon));
+  std::sort(times.begin(), times.end());
+  return PwlCurve::step(horizon, times);
+}
+
+void BM_StepConstruction(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<Time> times;
+  for (int i = 0; i < jumps; ++i) times.push_back(rng.uniform(0.0, 100.0));
+  std::sort(times.begin(), times.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PwlCurve::step(100.0, times));
+  }
+  state.SetComplexityN(jumps);
+}
+BENCHMARK(BM_StepConstruction)->Range(16, 1024)->Complexity();
+
+void BM_CurveAdd(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  const PwlCurve a = make_step(jumps, 100.0, 1);
+  const PwlCurve b = make_step(jumps, 100.0, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(curve_add(a, b));
+  state.SetComplexityN(jumps);
+}
+BENCHMARK(BM_CurveAdd)->Range(16, 1024)->Complexity();
+
+void BM_CurveMinWithCrossings(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  const PwlCurve a = make_step(jumps, 100.0, 3);
+  const PwlCurve b = PwlCurve::line(100.0, a.end_value() / 100.0);
+  for (auto _ : state) benchmark::DoNotOptimize(curve_min(a, b));
+  state.SetComplexityN(jumps);
+}
+BENCHMARK(BM_CurveMinWithCrossings)->Range(16, 1024)->Complexity();
+
+void BM_RunningMax(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  const PwlCurve f =
+      curve_sub(PwlCurve::identity(100.0), make_step(jumps, 100.0, 4));
+  for (auto _ : state) benchmark::DoNotOptimize(curve_running_max(f));
+  state.SetComplexityN(jumps);
+}
+BENCHMARK(BM_RunningMax)->Range(16, 1024)->Complexity();
+
+void BM_ServiceTransform(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  const PwlCurve c = curve_scale(make_step(jumps, 100.0, 5), 0.05);
+  const PwlCurve avail = PwlCurve::identity(100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service_transform(avail, c));
+  }
+  state.SetComplexityN(jumps);
+}
+BENCHMARK(BM_ServiceTransform)->Range(16, 1024)->Complexity();
+
+void BM_FloorDiv(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  const PwlCurve c = curve_scale(make_step(jumps, 100.0, 6), 0.05);
+  const PwlCurve s = service_transform(PwlCurve::identity(100.0), c);
+  for (auto _ : state) benchmark::DoNotOptimize(curve_floor_div(s, 0.05));
+  state.SetComplexityN(jumps);
+}
+BENCHMARK(BM_FloorDiv)->Range(16, 1024)->Complexity();
+
+void BM_PseudoInverse(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  const PwlCurve a = make_step(jumps, 100.0, 7);
+  double level = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.pseudo_inverse(level));
+    level = (level >= a.end_value()) ? 1.0 : level + 1.0;
+  }
+}
+BENCHMARK(BM_PseudoInverse)->Range(16, 1024);
+
+void BM_ArrivalGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ArrivalSequence::bursty_eq27(0.3, static_cast<double>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ArrivalGeneration)->Range(64, 4096);
+
+}  // namespace
+}  // namespace rta
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Bursty multimedia pipeline -- the workload class that motivates the
+// paper's aperiodic analysis. A surveillance node processes two video
+// streams and a control channel across three heterogeneous processors:
+//
+//   P0 capture DSP   (SPNP -- ISRs run to completion)
+//   P1 encoder core  (SPP  -- preemptive firmware scheduler)
+//   P2 network link  (FCFS -- transmit queue)
+//
+//   cam_a: I-frame bursts -- 3 frames back-to-back, then steady (bursty).
+//   cam_b: steady 25 fps-equivalent stream (periodic).
+//   ctrl:  sporadic commands with the paper's Eq. 27 burst pattern.
+//
+// The example analyzes the mixed system with the bounds analyzer (no exact
+// method exists for such a mix), simulates it, and prints per-hop local
+// delay bounds (Eq. 12) so the bottleneck stage is visible.
+//
+// Build & run:  ./build/examples/bursty_multimedia
+#include <cmath>
+#include <cstdio>
+
+#include "rta/rta.hpp"
+
+int main() {
+  using namespace rta;
+
+  System system(3);
+  system.set_scheduler(0, SchedulerKind::kSpnp);
+  system.set_scheduler(1, SchedulerKind::kSpp);
+  system.set_scheduler(2, SchedulerKind::kFcfs);
+
+  const Time window = 200.0;
+
+  Job cam_a;
+  cam_a.name = "cam_a";
+  cam_a.deadline = 22.0;
+  cam_a.chain = {{0, 1.2, 0}, {1, 3.0, 0}, {2, 1.6, 0}};
+  // I-frame burst: 3 frames 2 time-units apart, then one frame per 8 units.
+  cam_a.arrivals = ArrivalSequence::burst_then_periodic(
+      /*burst=*/3, /*min_gap=*/2.0, /*period=*/8.0, window);
+  system.add_job(std::move(cam_a));
+
+  Job cam_b;
+  cam_b.name = "cam_b";
+  cam_b.deadline = 18.0;
+  cam_b.chain = {{0, 0.8, 0}, {1, 2.2, 0}, {2, 1.2, 0}};
+  cam_b.arrivals = ArrivalSequence::periodic(6.0, window);
+  system.add_job(std::move(cam_b));
+
+  Job ctrl;
+  ctrl.name = "ctrl";
+  ctrl.deadline = 9.0;
+  ctrl.chain = {{0, 0.3, 0}, {2, 0.4, 0}};  // skips the encoder
+  ctrl.arrivals = ArrivalSequence::bursty_eq27(/*x=*/0.09, window);
+  system.add_job(std::move(ctrl));
+
+  assign_proportional_deadline_monotonic(system);
+
+  AnalysisConfig cfg;
+  const AnalysisResult analysis = BoundsAnalyzer(cfg).analyze(system);
+  if (!analysis.ok) {
+    std::fprintf(stderr, "analysis failed: %s\n", analysis.error.c_str());
+    return 1;
+  }
+  const SimResult sim = simulate(system, analysis.horizon);
+
+  std::printf("stream     deadline   bound    simulated   verdict\n");
+  for (int k = 0; k < system.job_count(); ++k) {
+    std::printf("%-8s %9.2f %8.2f %11.2f   %s\n",
+                system.job(k).name.c_str(), system.job(k).deadline,
+                analysis.jobs[k].wcrt, sim.worst_response[k],
+                analysis.jobs[k].schedulable ? "guaranteed" : "not proven");
+  }
+
+  std::printf("\nper-hop local response bounds d_{k,j} (Eq. 12):\n");
+  const char* stage_names[] = {"capture(SPNP)", "encode(SPP)", "tx(FCFS)"};
+  for (int k = 0; k < system.job_count(); ++k) {
+    std::printf("  %-8s:", system.job(k).name.c_str());
+    for (const SubjobReport& hop : analysis.jobs[k].hops) {
+      const int p = system.subjob(hop.ref).processor;
+      std::printf("  %s %.2f", stage_names[p], hop.local_bound);
+    }
+    std::printf("\n");
+  }
+
+  // Where does the burst hurt? Compare cam_a's worst instance against its
+  // steady-state tail in the simulation.
+  const auto& traces = sim.traces[0];
+  double head = 0.0, tail = 0.0;
+  for (std::size_t m = 0; m < traces.size(); ++m) {
+    if (!traces[m].completed()) continue;
+    (m < 3 ? head : tail) = std::fmax(m < 3 ? head : tail,
+                                      traces[m].response());
+  }
+  std::printf("\ncam_a worst response inside the burst: %.2f, after it: "
+              "%.2f -- bursts are where the paper's analysis earns its "
+              "keep.\n", head, tail);
+  return 0;
+}

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Plot the bench CSVs as the paper's figures.
+
+Usage:
+    python3 scripts/plot_figures.py [--dir results] [--out figures]
+
+Reads fig3_periodic.csv / fig4_aperiodic.csv (written by the bench binaries)
+and renders one PNG per figure with the paper's panel layout: admission
+probability vs utilization, one line per analysis method, panels (a)-(f).
+Also plots tightness_vs_stages.csv and breakdown.csv when present.
+
+Requires matplotlib (not needed to build or test the library itself).
+"""
+
+import argparse
+import collections
+import csv
+import os
+import sys
+
+
+def read_panels(path):
+    """-> {panel: {method: [(util, prob), ...]}}, sorted by utilization."""
+    panels = collections.defaultdict(lambda: collections.defaultdict(list))
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            panels[row["panel"]][row["method"]].append(
+                (float(row["utilization"]),
+                 float(row["admission_probability"])))
+    for methods in panels.values():
+        for series in methods.values():
+            series.sort()
+    return panels
+
+
+def plot_admission(path, out_png, title, plt):
+    panels = read_panels(path)
+    names = sorted(panels)
+    cols = 2
+    rows = (len(names) + cols - 1) // cols
+    fig, axes = plt.subplots(rows, cols, figsize=(9, 3 * rows),
+                             sharex=True, sharey=True, squeeze=False)
+    for i, name in enumerate(names):
+        ax = axes[i // cols][i % cols]
+        for method, series in sorted(panels[name].items()):
+            xs, ys = zip(*series)
+            ax.plot(xs, ys, marker="o", markersize=3, label=method)
+        ax.set_title(name, fontsize=9)
+        ax.set_ylim(-0.05, 1.05)
+        ax.grid(True, alpha=0.3)
+    for ax in axes[-1]:
+        ax.set_xlabel("utilization knob")
+    for row in axes:
+        row[0].set_ylabel("admission probability")
+    axes[0][0].legend(fontsize=7)
+    fig.suptitle(title)
+    fig.tight_layout()
+    fig.savefig(out_png, dpi=150)
+    print(f"wrote {out_png}")
+
+
+def plot_by_stages(path, out_png, value_col, ylabel, title, plt):
+    data = collections.defaultdict(list)
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            data[row["method"]].append(
+                (int(row["stages"]), float(row[value_col])))
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for method, series in sorted(data.items()):
+        series.sort()
+        xs, ys = zip(*series)
+        ax.plot(xs, ys, marker="o", label=method)
+    ax.set_xlabel("stages")
+    ax.set_ylabel(ylabel)
+    ax.set_title(title)
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(out_png, dpi=150)
+    print(f"wrote {out_png}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dir", default="results",
+                        help="directory containing the bench CSVs")
+    parser.add_argument("--out", default="figures",
+                        help="output directory for PNGs")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.out, exist_ok=True)
+
+    jobs = [
+        ("fig3_periodic.csv",
+         lambda p, o: plot_admission(
+             p, o, "Figure 3: periodic arrivals (Eq. 25/26)", plt)),
+        ("fig4_aperiodic.csv",
+         lambda p, o: plot_admission(
+             p, o, "Figure 4: bursty arrivals (Eq. 27/28)", plt)),
+        ("ablation_spp.csv",
+         lambda p, o: plot_admission(p, o, "Ablation: SPP analyses", plt)),
+        ("tightness_vs_stages.csv",
+         lambda p, o: plot_by_stages(
+             p, o, "mean_tightness", "bound / observed",
+             "Bound tightness vs stage count", plt)),
+        ("breakdown.csv",
+         lambda p, o: plot_by_stages(
+             p, o, "mean_breakdown", "breakdown utilization (knob)",
+             "Breakdown utilization per method", plt)),
+    ]
+    plotted = 0
+    for fname, fn in jobs:
+        path = os.path.join(args.dir, fname)
+        if not os.path.exists(path):
+            print(f"skip {fname} (not found in {args.dir})")
+            continue
+        out = os.path.join(args.out, fname.replace(".csv", ".png"))
+        fn(path, out)
+        plotted += 1
+    if not plotted:
+        sys.exit(f"no bench CSVs found under {args.dir}; "
+                 "run the bench binaries first")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,400 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "analysis/order.hpp"
+#include "curve/algebra.hpp"
+#include "curve/transforms.hpp"
+
+namespace rta {
+namespace detail {
+
+namespace {
+
+/// Next-hop arrival upper bound (Lemma 2): instances arrive at hop j+1 when
+/// S̄ first crosses multiples of tau; additionally an instance cannot reach
+/// hop j+1 earlier than tau after its own earliest hop-j arrival.
+PwlCurve next_arrival_upper(const PwlCurve& svc_upper,
+                            const PwlCurve& arr_upper, double tau) {
+  return curve_min(curve_crossing_counts(svc_upper, tau),
+                   curve_shift_right(arr_upper, tau));
+}
+
+/// Bounds for the subjobs of a static-priority processor (SPP with b = 0,
+/// SPNP with b of Eq. 15), in descending priority order.
+void priority_processor_bounds(const System& system, int p, Time horizon,
+                               BoundStateMap& states, BoundsVariant variant) {
+  std::vector<SubjobRef> refs = system.subjobs_on(p);
+  std::sort(refs.begin(), refs.end(),
+            [&](const SubjobRef& a, const SubjobRef& b) {
+              return system.subjob(a).priority < system.subjob(b).priority;
+            });
+  for (const SubjobRef& ref : refs) {
+    compute_single_priority_subjob(system, ref, horizon, states, variant);
+  }
+}
+
+/// Bounds for the subjobs of a FCFS processor (Theorems 7-9).
+void fcfs_processor_bounds(const System& system, int p, Time horizon,
+                           BoundStateMap& states) {
+  const std::vector<SubjobRef> refs = system.subjobs_on(p);
+
+  // Total workload bounds G (Eq. 21) over all subjobs on the processor.
+  std::vector<PwlCurve> c_uppers, c_lowers;
+  for (const SubjobRef& ref : refs) {
+    const double tau = system.subjob(ref).exec_time;
+    const BoundState& st = states.at({ref.job, ref.hop});
+    c_uppers.push_back(curve_scale(st.arr_upper, tau));
+    c_lowers.push_back(curve_scale(st.arr_lower, tau));
+  }
+  const PwlCurve g_upper = curve_sum(c_uppers, horizon);
+  const PwlCurve g_lower = curve_sum(c_lowers, horizon);
+
+  // Utilization lower bound (Theorem 7 applied to the workload lower bound;
+  // U is monotone in G, so this lower-bounds the true busy time).
+  const PwlCurve util_lower =
+      service_transform(PwlCurve::identity(horizon), g_lower);
+
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const SubjobRef& ref = refs[i];
+    const Subjob& sj = system.subjob(ref);
+    const double tau = sj.exec_time;
+    BoundState& st = states.at({ref.job, ref.hop});
+
+    // Theorem 8: instance m of the subjob is certainly complete once the
+    // processor has performed as much work as had arrived up to the
+    // instance's latest possible arrival (FCFS serves in arrival order, any
+    // tie-break): departure m at min{ t : U̲(t) >= Ḡ(ā_m) } with
+    // ā_m = f̲_arr^{-1}(m) the latest possible m-th arrival.
+    const long long count_lower =
+        tolerant_floor(st.arr_lower.end_value() + 0.5);
+    std::vector<Time> dep_times;
+    dep_times.reserve(count_lower);
+    for (long long m = 1; m <= count_lower; ++m) {
+      const Time a_late = st.arr_lower.pseudo_inverse(static_cast<double>(m));
+      if (std::isinf(a_late)) break;
+      const Time t = util_lower.pseudo_inverse(g_upper.eval(a_late));
+      if (std::isinf(t)) break;
+      dep_times.push_back(t);
+    }
+    st.dep_lower = PwlCurve::step(horizon, dep_times);
+    st.svc_lower = curve_scale(st.dep_lower, tau);
+
+    // Theorem 9: S̄ = S̲ + tau, capped by arrived work and elapsed time.
+    const PwlCurve c_upper = c_uppers[i];
+    st.svc_upper =
+        curve_min(curve_min(curve_add_constant(st.svc_lower, tau), c_upper),
+                  PwlCurve::identity(horizon));
+    st.next_arr_upper = next_arrival_upper(st.svc_upper, st.arr_upper, tau);
+    st.local_bound = local_delay_bound(st.dep_lower, st.arr_upper);
+    st.computed = true;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Theorems 5/6 EXACTLY as printed (Eqs. 16-19), for measuring the
+/// unsoundness documented in DESIGN.md. Interference terms use the
+/// higher-priority service LOWER bounds in both availabilities; the lower
+/// bound lags its min-window by the blocking b; no demand caps.
+void literal_priority_subjob(const System& system, SubjobRef ref,
+                             Time horizon, BoundStateMap& states) {
+  const Subjob& sj = system.subjob(ref);
+  const bool preemptive =
+      system.scheduler(sj.processor) == SchedulerKind::kSpp;
+  BoundState& st = states.at({ref.job, ref.hop});
+  const double tau = sj.exec_time;
+  const double b = preemptive ? 0.0 : system.blocking_time(ref);
+  const PwlCurve ident = PwlCurve::identity(horizon);
+
+  std::vector<PwlCurve> hp_lower;
+  for (const SubjobRef& hp :
+       system.higher_priority_on(sj.processor, sj.priority)) {
+    const BoundState& hp_state = states.at({hp.job, hp.hop});
+    assert(hp_state.computed);
+    hp_lower.push_back(hp_state.svc_lower);
+  }
+  const PwlCurve hp_l = curve_sum(hp_lower, horizon);
+
+  const PwlCurve c_upper = curve_scale(st.arr_upper, tau);
+  const PwlCurve c_lower = curve_scale(st.arr_lower, tau);
+
+  // Eq. 17: B(t) = t - b - sum S̲_hp(t) for t > b, else 0. The sum of
+  // lower-bound curves can make this non-monotone; our transform needs a
+  // nondecreasing availability, so monotonize from below (this only
+  // *increases* the literal bound, i.e. never hides its optimism).
+  PwlCurve avail_lower = curve_sub(ident, hp_l);
+  if (b > 0.0) avail_lower = curve_add_constant(avail_lower, -b);
+  avail_lower =
+      curve_running_max(curve_clamp_min(avail_lower, 0.0));
+  // Eq. 16: S̲(t) = min_{0<=s<=t-b}{ B(t) - B(s) + c(s) }.
+  PwlCurve svc_lower = service_transform(avail_lower, c_lower, b);
+
+  // Eq. 19: B̄(t) = t - sum S̲_hp(t); Eq. 18 with the same min form.
+  PwlCurve avail_upper =
+      curve_clamp_min(curve_right_running_min(curve_sub(ident, hp_l)), 0.0);
+  PwlCurve svc_upper = service_transform(avail_upper, c_upper);
+
+  st.svc_lower = tighten_lower_bound(svc_lower);
+  st.svc_upper = svc_upper;
+  // Lemma 1 / Lemma 2 as printed: counting curves straight from the bounds.
+  st.dep_lower = curve_crossing_counts(st.svc_lower, tau);
+  st.next_arr_upper = curve_crossing_counts(svc_upper, tau);
+  st.local_bound = local_delay_bound(st.dep_lower, st.arr_upper);
+  st.computed = true;
+}
+
+}  // namespace
+
+void compute_single_priority_subjob(const System& system, SubjobRef ref,
+                                    Time horizon, BoundStateMap& states,
+                                    BoundsVariant variant) {
+  if (variant == BoundsVariant::kPaperLiteral) {
+    literal_priority_subjob(system, ref, horizon, states);
+    return;
+  }
+  const Subjob& sj = system.subjob(ref);
+  const bool preemptive =
+      system.scheduler(sj.processor) == SchedulerKind::kSpp;
+  BoundState& st = states.at({ref.job, ref.hop});
+  const double tau = sj.exec_time;
+  const double b = preemptive ? 0.0 : system.blocking_time(ref);
+  const PwlCurve ident = PwlCurve::identity(horizon);
+
+  std::vector<PwlCurve> hp_upper;  // S̄ of higher-priority subjobs
+  std::vector<PwlCurve> hp_lower;  // S̲ of higher-priority subjobs
+  for (const SubjobRef& hp :
+       system.higher_priority_on(sj.processor, sj.priority)) {
+    const BoundState& hp_state = states.at({hp.job, hp.hop});
+    assert(hp_state.computed);
+    hp_upper.push_back(hp_state.svc_upper);
+    hp_lower.push_back(hp_state.svc_lower);
+  }
+  const PwlCurve hp_u = curve_sum(hp_upper, horizon);  // upper on hp service
+  const PwlCurve hp_l = curve_sum(hp_lower, horizon);  // lower on hp service
+
+  const PwlCurve c_upper = curve_scale(st.arr_upper, tau);
+  const PwlCurve c_lower = curve_scale(st.arr_lower, tau);
+
+  // Theorems 5/6 realized per *queue-empty candidate* (see bounds.hpp): the
+  // literal per-window forms re-credit the blocking b after every queue
+  // drain and mix bound directions in the interference increment, both of
+  // which the simulator refutes. The sound per-candidate forms are:
+  //
+  //   S̲(t) = min_i max( base_i, base_i + (t - s_i) - b
+  //                                    - (S̄hp(t) - S̲hp(s_i)) ),
+  //     s_i = latest possible i-th arrival, base_i = (i-1) tau
+  //     (the last queue-empty instant can be pushed to just before the next
+  //      arrival; blocking is incurred at most once per backlogged period);
+  //
+  //   S̄(t) = min_i [ base_i + min( t - s_i,
+  //                                (t - s_i) - (S̲hp(t) - S̄hp(s_i)) ) ],
+  //     s_i = earliest possible i-th arrival -- every term is independently
+  //     a valid upper bound (service in (s_i, t] is limited by elapsed time
+  //     minus guaranteed higher-priority consumption).
+
+  // Q̲(t) = t - b - S̄hp(t); Q̄(t) = t - S̲hp(t).
+  const PwlCurve q_lower =
+      curve_add_constant(curve_sub(ident, hp_u), -b);
+  const PwlCurve q_upper = curve_sub(ident, hp_l);
+
+  const long long count_lower = tolerant_floor(st.arr_lower.end_value() + 0.5);
+  const long long count_upper = tolerant_floor(st.arr_upper.end_value() + 0.5);
+
+  // ---- Lower service bound.
+  PwlCurve svc_lower = PwlCurve::zero(horizon);
+  bool have_lower = false;
+  for (long long i = 1; i <= count_lower; ++i) {
+    const Time s_i = st.arr_lower.pseudo_inverse(static_cast<double>(i));
+    if (std::isinf(s_i)) break;
+    const double base = static_cast<double>(i - 1) * tau;
+    // term_i(t) = max(base, base + Q̲(t) - (s_i - S̲hp(s_i))).
+    const double offset = s_i - hp_l.eval_left(s_i);
+    PwlCurve term = curve_clamp_min(
+        curve_add_constant(q_lower, base - offset), base);
+    svc_lower = have_lower ? curve_min(svc_lower, term) : std::move(term);
+    have_lower = true;
+  }
+  if (!have_lower) svc_lower = PwlCurve::zero(horizon);
+  // Demand cap (service never exceeds arrived work; with lower arrival
+  // counts this only loosens, which is sound for a lower bound) and
+  // monotone tightening.
+  svc_lower = curve_clamp_min(curve_min(svc_lower, c_lower), 0.0);
+  svc_lower = tighten_lower_bound(svc_lower);
+
+  // ---- Upper service bound.
+  const double big = horizon + c_upper.end_value() + 1.0;
+  PwlCurve svc_upper = ident;  // S(t) <= t always
+  for (long long i = 0; i <= count_upper; ++i) {
+    Time s_i = 0.0;
+    double base = 0.0;
+    if (i > 0) {
+      s_i = st.arr_upper.pseudo_inverse(static_cast<double>(i));
+      if (std::isinf(s_i)) break;
+      base = static_cast<double>(i - 1) * tau;
+    }
+    // term_i(t) = base + min(t - s_i, Q̄(t) - (s_i - S̄hp(s_i))),
+    // valid only for t >= s_i (forced BIG before s_i).
+    const PwlCurve elapsed = curve_add_constant(ident, -s_i);
+    const PwlCurve drained =
+        curve_add_constant(q_upper, -(s_i - hp_u.eval_left(s_i)));
+    PwlCurve term =
+        curve_add_constant(curve_min(elapsed, drained), base);
+    if (s_i > 0.0 && time_lt(s_i, horizon)) {
+      const PwlCurve gate({{0.0, big, big}, {s_i, big, 0.0},
+                           {horizon, 0.0, 0.0}});
+      term = curve_max(term, gate);
+    }
+    svc_upper = curve_min(svc_upper, term);
+  }
+  // Demand cap: S(t) <= c(t^-) <= c̄(t).
+  svc_upper = curve_min(svc_upper, c_upper);
+
+  st.svc_lower = svc_lower;
+  st.svc_upper = svc_upper;
+  st.dep_lower = curve_floor_div(svc_lower, tau);  // Lemma 1
+  st.next_arr_upper = next_arrival_upper(svc_upper, st.arr_upper, tau);
+  st.local_bound = local_delay_bound(st.dep_lower, st.arr_upper);
+  st.computed = true;
+}
+
+Time local_delay_bound(const PwlCurve& dep_lower, const PwlCurve& arr_upper) {
+  const long long count = tolerant_floor(arr_upper.end_value() + 0.5);
+  Time worst = 0.0;
+  for (long long m = 1; m <= count; ++m) {
+    const double level = static_cast<double>(m);
+    const Time arr = arr_upper.pseudo_inverse(level);
+    const Time dep = dep_lower.pseudo_inverse(level);
+    if (std::isinf(dep)) return kTimeInfinity;
+    worst = std::max(worst, dep - arr);
+  }
+  return worst;
+}
+
+void compute_processor_bounds(const System& system, int p, Time horizon,
+                              BoundStateMap& states, BoundsVariant variant) {
+  if (system.scheduler(p) == SchedulerKind::kFcfs) {
+    fcfs_processor_bounds(system, p, horizon, states);
+  } else {
+    priority_processor_bounds(system, p, horizon, states, variant);
+  }
+}
+
+}  // namespace detail
+
+AnalysisResult BoundsAnalyzer::analyze(const System& system) const {
+  const auto problems = system.validate();
+  if (!problems.empty()) {
+    AnalysisResult r;
+    r.error = "invalid system: " + problems.front();
+    return r;
+  }
+  if (!topological_order(system)) {
+    AnalysisResult r;
+    r.error =
+        "subjob dependency graph has a cycle; use IterativeBoundsAnalyzer";
+    return r;
+  }
+
+  Time horizon = default_horizon(system, config_);
+  AnalysisResult result = analyze_at(system, horizon);
+  for (int round = 0; round < config_.max_horizon_doublings; ++round) {
+    if (!result.ok) break;
+    bool any_unbounded = false;
+    for (const JobReport& j : result.jobs) {
+      if (std::isinf(j.wcrt)) any_unbounded = true;
+    }
+    if (!any_unbounded) break;
+    horizon *= 2.0;
+    result = analyze_at(system, horizon);
+  }
+  return result;
+}
+
+AnalysisResult BoundsAnalyzer::analyze_at(const System& system,
+                                          Time horizon) const {
+  const auto order = *topological_order(system);  // checked by analyze()
+
+  detail::BoundStateMap states;
+  // Pre-create all states so processor-level passes can write into them.
+  for (int k = 0; k < system.job_count(); ++k) {
+    for (int h = 0; h < static_cast<int>(system.job(k).chain.size()); ++h) {
+      states[{k, h}] = detail::BoundState{};
+    }
+  }
+
+  for (const SubjobRef& ref : order) {
+    detail::BoundState& st = states.at({ref.job, ref.hop});
+    if (st.computed) continue;  // FCFS processors compute in bulk
+
+    // Resolve this subjob's arrival bounds.
+    auto fill_arrivals = [&](SubjobRef r) {
+      detail::BoundState& s = states.at({r.job, r.hop});
+      if (r.hop == 0) {
+        const PwlCurve exact = system.job(r.job).arrivals.to_curve(horizon);
+        s.arr_upper = exact;
+        s.arr_lower = exact;
+      } else {
+        const detail::BoundState& pred = states.at({r.job, r.hop - 1});
+        assert(pred.computed);
+        s.arr_upper = pred.next_arr_upper;
+        s.arr_lower = pred.dep_lower;  // Lemma 1 feeding the DS identity
+      }
+    };
+
+    const int p = system.subjob(ref).processor;
+    if (system.scheduler(p) == SchedulerKind::kFcfs) {
+      // All arrival inputs for the processor are ready (dependency edges
+      // guarantee it); fill them and compute the whole processor at once.
+      for (const SubjobRef& r : system.subjobs_on(p)) fill_arrivals(r);
+      detail::compute_processor_bounds(system, p, horizon, states,
+                                       config_.bounds_variant);
+    } else {
+      // Priority processors can also be computed wholesale the first time
+      // one of their subjobs is encountered: higher-priority subjobs precede
+      // this one in the order, and their arrival inputs are ready. But a
+      // LOWER-priority subjob's predecessor may not be done yet, so compute
+      // only the prefix that is ready: here we compute just this subjob,
+      // reusing previously computed higher-priority service bounds.
+      fill_arrivals(ref);
+      detail::compute_single_priority_subjob(system, ref, horizon, states,
+                                             config_.bounds_variant);
+    }
+  }
+
+  AnalysisResult result;
+  result.ok = true;
+  result.horizon = horizon;
+  result.jobs.resize(system.job_count());
+
+  for (int k = 0; k < system.job_count(); ++k) {
+    const Job& job = system.job(k);
+    JobReport& report = result.jobs[k];
+    report.hops.resize(job.chain.size());
+    Time total = 0.0;
+    for (int h = 0; h < static_cast<int>(job.chain.size()); ++h) {
+      const detail::BoundState& st = states.at({k, h});
+      report.hops[h].ref = {k, h};
+      report.hops[h].local_bound = st.local_bound;
+      total += st.local_bound;  // Eq. 11
+      if (config_.record_curves) {
+        SubjobCurves curves;
+        curves.arrival_upper = st.arr_upper;
+        curves.arrival_lower = st.arr_lower;
+        curves.service_upper = st.svc_upper;
+        curves.service_lower = st.svc_lower;
+        curves.departure_lower = st.dep_lower;
+        report.hops[h].curves.push_back(std::move(curves));
+      }
+    }
+    report.wcrt = total;
+    report.schedulable = time_le(total, job.deadline);
+  }
+  return result;
+}
+
+}  // namespace rta

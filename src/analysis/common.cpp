@@ -1,0 +1,20 @@
+#include "analysis/result.hpp"
+
+#include <algorithm>
+
+namespace rta {
+
+Time default_horizon(const System& system, const AnalysisConfig& config) {
+  if (config.horizon > 0.0) return config.horizon;
+  Time max_deadline = 0.0;
+  for (const Job& j : system.jobs()) {
+    max_deadline = std::max(max_deadline, j.deadline);
+  }
+  const Time window = system.last_release();
+  const Time padding =
+      std::max(config.horizon_padding_deadlines * max_deadline,
+               config.horizon_padding_fraction * window);
+  return std::max<Time>(window + padding, 1.0);
+}
+
+}  // namespace rta

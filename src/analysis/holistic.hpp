@@ -1,0 +1,56 @@
+// SPP/S&L baseline: holistic end-to-end analysis for the Direct
+// Synchronization protocol (Sun & Liu [1,2], building on Tindell & Clark's
+// holistic analysis with release jitter).
+//
+// Applicable to PERIODIC jobs on SPP processors only (the method the paper
+// compares against in Figure 3; it "works for periodic job arrivals only",
+// §5.2). Each subjob T_{k,j} is modeled as a periodic task with period T_k
+// and release jitter J_{k,j}; the local worst-case response r_{k,j} is
+// computed with busy-period analysis (arbitrary-deadline style, multiple
+// instances per busy period), and jitter propagates down the chain:
+//
+//   J_{k,1} = 0,
+//   R_{k,j} = R_{k,j-1} + r_{k,j},
+//   J_{k,j} = R_{k,j-1} - sum_{i<j} tau_{k,i}   (latest minus earliest
+//                                                possible release of hop j).
+//
+// The jitters of interfering subjobs feed each other's busy periods, so an
+// outer loop iterates from J = 0 to a fixpoint; response bounds only grow,
+// and divergence (bound exceeding the divergence cap) means unschedulable.
+// The end-to-end bound is R_{k,n_k}.
+#pragma once
+
+#include "analysis/result.hpp"
+#include "model/system.hpp"
+
+namespace rta {
+
+class HolisticAnalyzer {
+ public:
+  explicit HolisticAnalyzer(AnalysisConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] AnalysisResult analyze(const System& system) const;
+
+  [[nodiscard]] static const char* name() { return "SPP/S&L"; }
+
+ private:
+  AnalysisConfig config_;
+};
+
+/// Local worst-case response time of a task under SPP with release jitter
+/// (busy-period analysis, arbitrary deadlines). Used by HolisticAnalyzer and
+/// directly testable. Interfering tasks are given as (period, jitter, exec).
+struct JitteredTask {
+  double period;
+  double jitter;
+  double exec;
+};
+
+/// Returns the worst response time measured from the *release* of the task
+/// (jitter of the task itself included), or kTimeInfinity when the busy
+/// period does not close below `divergence_cap`.
+[[nodiscard]] Time jittered_response_time(const JitteredTask& task,
+                                          const std::vector<JitteredTask>& hp,
+                                          double divergence_cap);
+
+}  // namespace rta

@@ -1,0 +1,126 @@
+#include "analysis/iterative.hpp"
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "curve/algebra.hpp"
+
+namespace rta {
+
+AnalysisResult IterativeBoundsAnalyzer::analyze(const System& system) const {
+  const auto problems = system.validate();
+  if (!problems.empty()) {
+    AnalysisResult r;
+    r.error = "invalid system: " + problems.front();
+    return r;
+  }
+
+  Time horizon = default_horizon(system, config_);
+  AnalysisResult result = analyze_at(system, horizon);
+  for (int round = 0; round < config_.max_horizon_doublings; ++round) {
+    if (!result.ok) break;
+    bool any_unbounded = false;
+    for (const JobReport& j : result.jobs) {
+      if (std::isinf(j.wcrt)) any_unbounded = true;
+    }
+    if (!any_unbounded) break;
+    horizon *= 2.0;
+    result = analyze_at(system, horizon);
+  }
+  return result;
+}
+
+AnalysisResult IterativeBoundsAnalyzer::analyze_at(const System& system,
+                                                   Time horizon) const {
+  detail::BoundStateMap states;
+
+  // Sound initial bounds.
+  for (int k = 0; k < system.job_count(); ++k) {
+    const Job& job = system.job(k);
+    const PwlCurve first = job.arrivals.to_curve(horizon);
+    Time offset = 0.0;
+    for (int h = 0; h < static_cast<int>(job.chain.size()); ++h) {
+      detail::BoundState st;
+      if (h == 0) {
+        st.arr_upper = first;
+        st.arr_lower = first;
+      } else {
+        // Earliest possible arrivals: every earlier hop takes at least its
+        // execution time.
+        st.arr_upper = curve_shift_right(first, offset);
+        // No departure is guaranteed yet.
+        st.arr_lower = PwlCurve::zero(horizon);
+      }
+      offset += job.chain[h].exec_time;
+      states[{k, h}] = std::move(st);
+    }
+  }
+
+  // Monotone refinement to a fixpoint.
+  int iterations = 0;
+  for (; iterations < config_.max_iterations; ++iterations) {
+    for (int p = 0; p < system.processor_count(); ++p) {
+      detail::compute_processor_bounds(system, p, horizon, states,
+                                       config_.bounds_variant);
+    }
+    bool changed = false;
+    for (int k = 0; k < system.job_count(); ++k) {
+      const Job& job = system.job(k);
+      for (int h = 1; h < static_cast<int>(job.chain.size()); ++h) {
+        const detail::BoundState& pred = states.at({k, h - 1});
+        detail::BoundState& st = states.at({k, h});
+        const PwlCurve new_upper =
+            curve_min(st.arr_upper, pred.next_arr_upper);
+        const PwlCurve new_lower = curve_max(st.arr_lower, pred.dep_lower);
+        if (!new_upper.approx_equal(st.arr_upper) ||
+            !new_lower.approx_equal(st.arr_lower)) {
+          changed = true;
+        }
+        st.arr_upper = new_upper;
+        st.arr_lower = new_lower;
+      }
+    }
+    if (!changed) {
+      ++iterations;
+      break;
+    }
+  }
+  // One final processor pass so service/departure bounds and the local
+  // delays reflect the final arrival bounds.
+  for (int p = 0; p < system.processor_count(); ++p) {
+    detail::compute_processor_bounds(system, p, horizon, states,
+                                       config_.bounds_variant);
+  }
+  last_iterations_ = iterations;
+
+  AnalysisResult result;
+  result.ok = true;
+  result.horizon = horizon;
+  result.jobs.resize(system.job_count());
+  for (int k = 0; k < system.job_count(); ++k) {
+    const Job& job = system.job(k);
+    JobReport& report = result.jobs[k];
+    report.hops.resize(job.chain.size());
+    Time total = 0.0;
+    for (int h = 0; h < static_cast<int>(job.chain.size()); ++h) {
+      const detail::BoundState& st = states.at({k, h});
+      report.hops[h].ref = {k, h};
+      report.hops[h].local_bound = st.local_bound;
+      total += st.local_bound;
+      if (config_.record_curves) {
+        SubjobCurves curves;
+        curves.arrival_upper = st.arr_upper;
+        curves.arrival_lower = st.arr_lower;
+        curves.service_upper = st.svc_upper;
+        curves.service_lower = st.svc_lower;
+        curves.departure_lower = st.dep_lower;
+        report.hops[h].curves.push_back(std::move(curves));
+      }
+    }
+    report.wcrt = total;
+    report.schedulable = time_le(total, job.deadline);
+  }
+  return result;
+}
+
+}  // namespace rta

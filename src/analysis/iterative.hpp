@@ -1,0 +1,49 @@
+// Fixed-point bounds analysis for cyclic topologies (paper §6, future work).
+//
+// When jobs visit a processor more than once ("physical loops") or disturb
+// each other across processors ("logical loops"), the arrival functions form
+// a closed dependency chain and no topological order exists. The paper
+// sketches an iteration X^{n+1} = F(X^n) over unknown response times; we
+// realize the idea at the level of arrival-curve bounds, which is sound at
+// every iteration:
+//
+//   * initialize each hop's arrival upper bound with the earliest possible
+//     arrivals (first-hop releases shifted by the sum of predecessor
+//     execution times -- no instance can arrive sooner), and each arrival
+//     lower bound with zero (no departure is guaranteed);
+//   * repeatedly recompute every processor's service bounds from the current
+//     arrival bounds and derive new next-hop arrival bounds;
+//   * intersect with the previous bounds (monotone refinement), so the
+//     iteration converges; stop at a fixpoint or after max_iterations.
+//
+// Works for any mix of SPP/SPNP/FCFS processors. On acyclic systems it
+// converges to the same result as BoundsAnalyzer (verified in tests).
+#pragma once
+
+#include "analysis/result.hpp"
+#include "model/system.hpp"
+
+namespace rta {
+
+class IterativeBoundsAnalyzer {
+ public:
+  explicit IterativeBoundsAnalyzer(AnalysisConfig config = {})
+      : config_(config) {}
+
+  [[nodiscard]] AnalysisResult analyze(const System& system) const;
+
+  [[nodiscard]] static const char* name() { return "Bounds/Iterative"; }
+
+  /// Number of refinement iterations used in the last analyze() call on this
+  /// thread (diagnostic; not synchronized across threads).
+  [[nodiscard]] int last_iterations() const { return last_iterations_; }
+
+ private:
+  [[nodiscard]] AnalysisResult analyze_at(const System& system,
+                                          Time horizon) const;
+
+  AnalysisConfig config_;
+  mutable int last_iterations_ = 0;
+};
+
+}  // namespace rta

@@ -1,0 +1,37 @@
+// Dependency ordering of subjob computations.
+//
+// A subjob's service (or service bounds) can be computed once (a) its
+// arrival curve is known -- i.e. its predecessor hop is done -- and (b) the
+// curves it is coupled to on its processor are done: higher-priority subjobs
+// under SPP/SPNP, or the predecessors of *all* co-located subjobs under FCFS
+// (they feed the shared utilization function of Theorem 7).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/system.hpp"
+
+namespace rta {
+
+/// Edges of the computation-dependency graph, as adjacency lists over
+/// job-major subjob indices.
+struct DependencyGraph {
+  std::vector<int> node_base;            ///< prefix sums: node_base[k] + hop
+  std::vector<std::vector<int>> succ;    ///< successor lists
+  [[nodiscard]] int node(SubjobRef r) const { return node_base[r.job] + r.hop; }
+  [[nodiscard]] int node_count() const {
+    return node_base.empty() ? 0 : node_base.back();
+  }
+};
+
+/// Build the dependency graph described above for `system`.
+[[nodiscard]] DependencyGraph build_dependency_graph(const System& system);
+
+/// Topological order of all subjobs, or nullopt if the graph has a cycle
+/// (physical or logical loop, paper §6); cyclic systems are handled by
+/// IterativeBoundsAnalyzer.
+[[nodiscard]] std::optional<std::vector<SubjobRef>> topological_order(
+    const System& system);
+
+}  // namespace rta

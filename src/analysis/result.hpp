@@ -1,0 +1,110 @@
+// Shared result/configuration types for all analyzers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "curve/pwl_curve.hpp"
+#include "model/system.hpp"
+#include "util/time.hpp"
+
+namespace rta {
+
+/// Which SPNP/SPP service-bound formulas the bounds analyzers use.
+enum class BoundsVariant {
+  /// The sound per-candidate forms (default; see analysis/bounds.hpp).
+  kSound,
+  /// Theorems 5/6 exactly as printed in the paper (Eqs. 16-19). UNSOUND in
+  /// three documented ways (DESIGN.md); provided so the violation rate can
+  /// be measured (bench/literal_soundness).
+  kPaperLiteral,
+};
+
+/// Analysis tuning knobs. The defaults suit the paper's workloads.
+struct AnalysisConfig {
+  /// Analysis horizon; 0 selects automatically: last release + padding,
+  /// where padding = max(horizon_padding_deadlines * max deadline,
+  /// horizon_padding_fraction * last release).
+  Time horizon = 0.0;
+
+  double horizon_padding_deadlines = 2.0;
+  double horizon_padding_fraction = 0.5;
+
+  /// If a response time cannot be bounded within the horizon, the horizon is
+  /// doubled and the analysis re-run, up to this many times, before the
+  /// result is reported as unbounded (conservatively unschedulable).
+  int max_horizon_doublings = 3;
+
+  /// Keep per-subjob curves in the report (costs memory; for inspection).
+  bool record_curves = false;
+
+  /// Iteration cap for the fixed-point analyzers (iterative topology loop
+  /// and the holistic baseline's outer jitter loop).
+  int max_iterations = 64;
+
+  /// SPNP/SPP bound formulas (see BoundsVariant).
+  BoundsVariant bounds_variant = BoundsVariant::kSound;
+};
+
+/// Curves retained for one subjob when record_curves is set.
+struct SubjobCurves {
+  PwlCurve arrival_upper;  ///< f̄_arr (exact f_arr for the exact analyzer)
+  PwlCurve arrival_lower;  ///< f̲_arr (exact analyzer: same as upper)
+  PwlCurve service_upper;  ///< S̄ (exact analyzer: S)
+  PwlCurve service_lower;  ///< S̲ (exact analyzer: S)
+  PwlCurve departure_lower;  ///< f̲_dep (exact analyzer: f_dep)
+};
+
+/// Per-hop findings.
+struct SubjobReport {
+  SubjobRef ref;
+  /// Local response bound d_{k,j} of Eq. 12 (approximate analyzers only;
+  /// kTimeInfinity when unbounded, 0 for the exact analyzer which does not
+  /// decompose per hop).
+  Time local_bound = 0.0;
+  /// Retained curves (empty unless AnalysisConfig::record_curves).
+  std::vector<SubjobCurves> curves;
+};
+
+/// Per-job findings.
+struct JobReport {
+  /// Worst-case end-to-end response-time bound (exact value for the exact
+  /// analyzer; kTimeInfinity if unbounded within the horizon).
+  Time wcrt = 0.0;
+  bool schedulable = false;
+  /// Exact analyzer only: response time of every instance (1-based instance
+  /// m at index m-1). Empty for approximate analyzers.
+  std::vector<Time> per_instance;
+  std::vector<SubjobReport> hops;
+};
+
+/// Result of one analysis run.
+struct AnalysisResult {
+  bool ok = false;      ///< false: analyzer not applicable / model invalid
+  std::string error;    ///< human-readable reason when !ok
+  Time horizon = 0.0;   ///< horizon actually used (after any doubling)
+  std::vector<JobReport> jobs;
+
+  [[nodiscard]] bool all_schedulable() const {
+    if (!ok) return false;
+    for (const JobReport& j : jobs) {
+      if (!j.schedulable) return false;
+    }
+    return true;
+  }
+
+  /// Largest finite WCRT bound across jobs (0 if none).
+  [[nodiscard]] Time max_wcrt() const {
+    Time worst = 0.0;
+    for (const JobReport& j : jobs) {
+      if (j.wcrt > worst) worst = j.wcrt;
+    }
+    return worst;
+  }
+};
+
+/// Default automatic horizon for a system under a config.
+[[nodiscard]] Time default_horizon(const System& system,
+                                   const AnalysisConfig& config);
+
+}  // namespace rta

@@ -1,0 +1,239 @@
+#include "curve/algebra.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rta {
+
+namespace {
+
+/// Sorted union of the knot abscissae of two curves (tolerance-deduplicated).
+std::vector<Time> merged_grid(const PwlCurve& a, const PwlCurve& b) {
+  std::vector<Time> grid;
+  grid.reserve(a.knot_count() + b.knot_count());
+  for (const Knot& k : a.knots()) grid.push_back(k.t);
+  for (const Knot& k : b.knots()) grid.push_back(k.t);
+  std::sort(grid.begin(), grid.end());
+  std::vector<Time> out;
+  out.reserve(grid.size());
+  for (Time t : grid) {
+    if (out.empty() || !time_eq(out.back(), t)) out.push_back(t);
+  }
+  return out;
+}
+
+/// Insert the crossing instants of (a - b) into the grid so that pointwise
+/// min/max stay piecewise linear between consecutive grid points.
+void insert_crossings(const PwlCurve& a, const PwlCurve& b,
+                      std::vector<Time>& grid) {
+  std::vector<Time> crossings;
+  for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+    const Time u = grid[i];
+    const Time v = grid[i + 1];
+    const double du = a.eval(u) - b.eval(u);            // right values at u
+    const double dv = a.eval_left(v) - b.eval_left(v);  // left values at v
+    if ((du > kValueEps && dv < -kValueEps) ||
+        (du < -kValueEps && dv > kValueEps)) {
+      const Time tc = u + (v - u) * (du / (du - dv));
+      if (time_lt(u, tc) && time_lt(tc, v)) crossings.push_back(tc);
+    }
+  }
+  if (crossings.empty()) return;
+  grid.insert(grid.end(), crossings.begin(), crossings.end());
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end(),
+                         [](Time x, Time y) { return time_eq(x, y); }),
+             grid.end());
+}
+
+template <typename Op>
+PwlCurve combine(const PwlCurve& a, const PwlCurve& b, Op op,
+                 bool needs_crossings) {
+  assert(time_eq(a.horizon(), b.horizon()));
+  std::vector<Time> grid = merged_grid(a, b);
+  if (needs_crossings) insert_crossings(a, b, grid);
+  std::vector<Knot> knots;
+  knots.reserve(grid.size());
+  for (Time t : grid) {
+    knots.push_back({t, op(a.eval_left(t), b.eval_left(t)),
+                     op(a.eval(t), b.eval(t))});
+  }
+  return PwlCurve(std::move(knots));
+}
+
+}  // namespace
+
+PwlCurve curve_add(const PwlCurve& a, const PwlCurve& b) {
+  return combine(a, b, [](double x, double y) { return x + y; }, false);
+}
+
+PwlCurve curve_sub(const PwlCurve& a, const PwlCurve& b) {
+  return combine(a, b, [](double x, double y) { return x - y; }, false);
+}
+
+PwlCurve curve_min(const PwlCurve& a, const PwlCurve& b) {
+  return combine(a, b, [](double x, double y) { return std::min(x, y); },
+                 true);
+}
+
+PwlCurve curve_max(const PwlCurve& a, const PwlCurve& b) {
+  return combine(a, b, [](double x, double y) { return std::max(x, y); },
+                 true);
+}
+
+PwlCurve curve_scale(const PwlCurve& a, double factor) {
+  std::vector<Knot> knots = a.knots();
+  for (Knot& k : knots) {
+    k.left *= factor;
+    k.right *= factor;
+  }
+  return PwlCurve(std::move(knots));
+}
+
+PwlCurve curve_add_constant(const PwlCurve& a, double value) {
+  std::vector<Knot> knots = a.knots();
+  for (Knot& k : knots) {
+    k.left += value;
+    k.right += value;
+  }
+  return PwlCurve(std::move(knots));
+}
+
+PwlCurve curve_clamp_min(const PwlCurve& a, double floor_value) {
+  return curve_max(a, PwlCurve::constant(a.horizon(), floor_value));
+}
+
+PwlCurve curve_shift_right(const PwlCurve& a, Time dt) {
+  assert(dt >= 0.0);
+  if (time_eq(dt, 0.0)) return a;
+  const Time horizon = a.horizon();
+  const double v0 = a.eval(0.0);
+  std::vector<Knot> knots;
+  knots.reserve(a.knot_count() + 2);
+  knots.push_back({0.0, v0, v0});
+  if (time_lt(dt, horizon)) {
+    // a's value at 0 holds on [0, dt); at dt the shifted curve starts.
+    knots.push_back({dt, v0, v0});
+    for (const Knot& k : a.knots()) {
+      const Time t = k.t + dt;
+      if (time_ge(t, horizon)) {
+        knots.push_back({horizon, a.eval_left(horizon - dt),
+                         a.eval(horizon - dt)});
+        break;
+      }
+      knots.push_back({t, k.left, k.right});
+    }
+    if (!time_ge(a.knots().back().t + dt, horizon)) {
+      knots.push_back({horizon, a.end_value(), a.end_value()});
+    }
+  } else {
+    knots.push_back({horizon, v0, v0});
+  }
+  return PwlCurve(std::move(knots));
+}
+
+PwlCurve curve_running_max(const PwlCurve& a) {
+  const auto& ks = a.knots();
+  std::vector<Knot> out;
+  out.reserve(ks.size() * 2);
+  double cur = ks.front().right;
+  out.push_back({0.0, cur, cur});
+  for (std::size_t i = 0; i + 1 < ks.size(); ++i) {
+    const Time t0 = ks[i].t;
+    const Time t1 = ks[i + 1].t;
+    const double v0 = ks[i].right;
+    const double v1 = ks[i + 1].left;
+    // Segment from (t0, v0) to (t1, v1).
+    if (v1 > cur + kValueEps) {
+      if (v0 < cur - kValueEps) {
+        // Flat until the segment rises through the current max.
+        const Time tc = t0 + (t1 - t0) * ((cur - v0) / (v1 - v0));
+        out.push_back({tc, cur, cur});
+      }
+      cur = v1;
+    }
+    // Value of M just before the jump at t1 equals cur (already >= v1).
+    const double before = cur;
+    cur = std::max(cur, ks[i + 1].right);
+    out.push_back({t1, before, cur});
+  }
+  return PwlCurve(std::move(out));
+}
+
+PwlCurve curve_right_running_min(const PwlCurve& a) {
+  assert(a.is_continuous());
+  const Time h = a.horizon();
+  // Reflect: g(u) = -a(h - u). A knot (t, l, r) of `a` becomes a knot
+  // (h - t, -r, -l) of g (the approach direction flips, so left and right
+  // swap and negate). Segments map onto segments.
+  const auto& ks = a.knots();
+  std::vector<Knot> gk;
+  gk.reserve(ks.size());
+  for (std::size_t i = ks.size(); i-- > 0;) {
+    gk.push_back({h - ks[i].t, -ks[i].right, -ks[i].left});
+  }
+  // The reflected first knot sits at u = 0; pin its left to its right.
+  const PwlCurve m = curve_running_max(PwlCurve(std::move(gk)));
+  // Reflect back: R(t) = -M(h - t).
+  const auto& mk = m.knots();
+  std::vector<Knot> rk;
+  rk.reserve(mk.size());
+  for (std::size_t i = mk.size(); i-- > 0;) {
+    rk.push_back({h - mk[i].t, -mk[i].right, -mk[i].left});
+  }
+  return PwlCurve(std::move(rk));
+}
+
+PwlCurve curve_sum(const std::vector<PwlCurve>& curves, Time horizon) {
+  PwlCurve acc = PwlCurve::zero(horizon);
+  for (const PwlCurve& c : curves) acc = curve_add(acc, c);
+  return acc;
+}
+
+Time curve_first_crossing(const PwlCurve& a, double y) {
+  const auto& ks = a.knots();
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    // At the knot itself (right-continuous value).
+    if (ks[i].right >= y - kValueEps) return ks[i].t;
+    if (i + 1 == ks.size()) break;
+    // Within the open segment towards the next knot's left limit.
+    const double v0 = ks[i].right;
+    const double v1 = ks[i + 1].left;
+    if (v1 >= y - kValueEps && v1 > v0 + kValueEps) {
+      const double frac = (y - v0) / (v1 - v0);
+      return ks[i].t + std::clamp(frac, 0.0, 1.0) * (ks[i + 1].t - ks[i].t);
+    }
+  }
+  return kTimeInfinity;
+}
+
+PwlCurve curve_crossing_counts(const PwlCurve& a, double tau) {
+  assert(tau > 0.0);
+  std::vector<Time> jumps;
+  for (long long k = 1;; ++k) {
+    const Time t = curve_first_crossing(a, static_cast<double>(k) * tau);
+    if (std::isinf(t)) break;
+    jumps.push_back(t);
+  }
+  // First crossings of increasing levels are nondecreasing in time for any
+  // curve, so `jumps` is sorted as PwlCurve::step requires.
+  return PwlCurve::step(a.horizon(), jumps);
+}
+
+PwlCurve curve_floor_div(const PwlCurve& s, double tau) {
+  assert(tau > 0.0);
+  assert(s.is_nondecreasing());
+  const long long total = std::max<long long>(
+      0, tolerant_floor(s.end_value() / tau));
+  std::vector<Time> jumps;
+  jumps.reserve(static_cast<std::size_t>(total));
+  for (long long k = 1; k <= total; ++k) {
+    const Time t = s.pseudo_inverse(static_cast<double>(k) * tau);
+    assert(!std::isinf(t));
+    jumps.push_back(t);
+  }
+  return PwlCurve::step(s.horizon(), jumps);
+}
+
+}  // namespace rta

@@ -1,0 +1,71 @@
+// Pointwise algebra on piecewise-linear curves.
+//
+// All binary operations require both operands to share the same horizon
+// (asserted); analyzers construct every curve of a system on one common
+// analysis horizon. Results are exact: min/max insert segment-crossing
+// knots, so no operation loses information.
+#pragma once
+
+#include <vector>
+
+#include "curve/pwl_curve.hpp"
+
+namespace rta {
+
+/// a + b.
+[[nodiscard]] PwlCurve curve_add(const PwlCurve& a, const PwlCurve& b);
+
+/// a - b (may be non-monotone).
+[[nodiscard]] PwlCurve curve_sub(const PwlCurve& a, const PwlCurve& b);
+
+/// Pointwise min(a, b).
+[[nodiscard]] PwlCurve curve_min(const PwlCurve& a, const PwlCurve& b);
+
+/// Pointwise max(a, b).
+[[nodiscard]] PwlCurve curve_max(const PwlCurve& a, const PwlCurve& b);
+
+/// factor * a.
+[[nodiscard]] PwlCurve curve_scale(const PwlCurve& a, double factor);
+
+/// a + value.
+[[nodiscard]] PwlCurve curve_add_constant(const PwlCurve& a, double value);
+
+/// max(a, floor_value) -- e.g. clamping intermediates to be nonnegative.
+[[nodiscard]] PwlCurve curve_clamp_min(const PwlCurve& a, double floor_value);
+
+/// g(t) = a(t - dt) for t >= dt, and a(0) for t < dt (dt >= 0). The horizon
+/// is preserved; the tail of `a` beyond horizon - dt is discarded.
+[[nodiscard]] PwlCurve curve_shift_right(const PwlCurve& a, Time dt);
+
+/// Running maximum M(t) = max_{0 <= s <= t} a(s) (includes left limits, so a
+/// downward jump does not lower M).
+[[nodiscard]] PwlCurve curve_running_max(const PwlCurve& a);
+
+/// Right running minimum R(t) = inf_{t <= s <= horizon} a(s): the sound
+/// monotone tightening of an *upper* bound on a nondecreasing function.
+/// Implemented by reflecting the curve and reusing curve_running_max.
+/// Exact for continuous curves; at a jump of `a` the reflection additionally
+/// admits the left limit, so restrict use to continuous curves (asserted).
+[[nodiscard]] PwlCurve curve_right_running_min(const PwlCurve& a);
+
+/// Sum of a set of curves (zero curve of `horizon` if the set is empty).
+[[nodiscard]] PwlCurve curve_sum(const std::vector<PwlCurve>& curves,
+                                 Time horizon);
+
+/// Theorem 2 / Lemmas 1-2: counting curve f(t) = floor(S(t) / tau) as a unit
+/// step curve. S must be nondecreasing; tau > 0. Uses a tolerant floor so a
+/// service level epsilon below k*tau still counts k completions.
+[[nodiscard]] PwlCurve curve_floor_div(const PwlCurve& s, double tau);
+
+/// First instant t with a(t) >= y (value tolerance applied), or kTimeInfinity
+/// if the level is never reached within the horizon. Works on non-monotone
+/// curves (unlike pseudo_inverse); for nondecreasing curves it coincides with
+/// pseudo_inverse.
+[[nodiscard]] Time curve_first_crossing(const PwlCurve& a, double y);
+
+/// Counting curve with a unit jump at the first instant a(t) >= k*tau, for
+/// k = 1, 2, ...; the non-monotone-safe analogue of curve_floor_div, used to
+/// turn *upper* service bounds into next-hop arrival-count upper bounds.
+[[nodiscard]] PwlCurve curve_crossing_counts(const PwlCurve& a, double tau);
+
+}  // namespace rta

@@ -1,0 +1,94 @@
+#include "curve/arrival.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rta {
+
+ArrivalSequence::ArrivalSequence(std::vector<Time> releases)
+    : releases_(std::move(releases)) {
+  assert(std::is_sorted(releases_.begin(), releases_.end()));
+  assert(releases_.empty() || releases_.front() >= 0.0);
+}
+
+ArrivalSequence ArrivalSequence::periodic(Time period, Time window,
+                                          Time offset) {
+  assert(period > 0.0);
+  std::vector<Time> rel;
+  for (Time t = offset; time_le(t, window); t += period) rel.push_back(t);
+  return ArrivalSequence(std::move(rel));
+}
+
+ArrivalSequence ArrivalSequence::bursty_eq27(double x, Time window) {
+  assert(x > 0.0 && x < 1.0);
+  std::vector<Time> rel;
+  for (std::size_t m = 1;; ++m) {
+    const double dm = static_cast<double>(m - 1);
+    const Time t = std::sqrt(x * x + dm * dm) / x - 1.0;
+    if (time_gt(t, window)) break;
+    rel.push_back(clamp_nonnegative(t));
+  }
+  return ArrivalSequence(std::move(rel));
+}
+
+ArrivalSequence ArrivalSequence::jittered_periodic(Time period, Time jitter,
+                                                   Time window, Rng& rng) {
+  assert(period > 0.0);
+  assert(jitter >= 0.0);
+  std::vector<Time> rel;
+  for (Time base = 0.0; time_le(base, window); base += period) {
+    rel.push_back(base + (jitter > 0.0 ? rng.uniform(0.0, jitter) : 0.0));
+  }
+  std::sort(rel.begin(), rel.end());
+  while (!rel.empty() && time_gt(rel.back(), window + jitter)) rel.pop_back();
+  return ArrivalSequence(std::move(rel));
+}
+
+ArrivalSequence ArrivalSequence::burst_then_periodic(std::size_t burst,
+                                                     Time min_gap, Time period,
+                                                     Time window) {
+  assert(min_gap > 0.0);
+  assert(period >= min_gap);
+  std::vector<Time> rel;
+  Time t = 0.0;
+  for (std::size_t i = 0; i < burst && time_le(t, window); ++i) {
+    rel.push_back(t);
+    t += min_gap;
+  }
+  // Steady phase: one period after the last burst release, so the head
+  // burst is exactly `burst` arrivals (conforming to a leaky bucket with
+  // that burst size and rate 1/period).
+  if (!rel.empty()) {
+    for (Time next = rel.back() + period; time_le(next, window);
+         next += period) {
+      rel.push_back(next);
+    }
+  }
+  return ArrivalSequence(std::move(rel));
+}
+
+ArrivalSequence ArrivalSequence::poisson(double rate, Time window, Rng& rng) {
+  assert(rate > 0.0);
+  std::vector<Time> rel;
+  for (Time t = rng.exponential(1.0 / rate); time_le(t, window);
+       t += rng.exponential(1.0 / rate)) {
+    rel.push_back(t);
+  }
+  return ArrivalSequence(std::move(rel));
+}
+
+Time ArrivalSequence::min_inter_arrival() const {
+  if (releases_.size() < 2) return kTimeInfinity;
+  Time best = kTimeInfinity;
+  for (std::size_t i = 1; i < releases_.size(); ++i) {
+    best = std::min(best, releases_[i] - releases_[i - 1]);
+  }
+  return best;
+}
+
+PwlCurve ArrivalSequence::to_curve(Time horizon) const {
+  return PwlCurve::step(horizon, releases_);
+}
+
+}  // namespace rta

@@ -1,0 +1,76 @@
+// Arrival sequences: concrete release-time traces and their step curves.
+//
+// A job's first subjob has a known arrival sequence (Def. 1); the paper's
+// evaluation generates these with Eq. 25 (periodic) and Eq. 27 (bursty
+// aperiodic). Additional models (jittered-periodic, leaky-bucket bursts) are
+// provided for the examples and property tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "curve/pwl_curve.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rta {
+
+/// A finite, sorted sequence of release instants within a generation window.
+class ArrivalSequence {
+ public:
+  ArrivalSequence() = default;
+
+  /// Construct from explicit release times (sorted ascending; asserted).
+  explicit ArrivalSequence(std::vector<Time> releases);
+
+  /// Periodic releases t_m = offset + (m-1) * period for all t_m <= window
+  /// (Eq. 25 has offset 0 and period 1/x_k).
+  static ArrivalSequence periodic(Time period, Time window, Time offset = 0.0);
+
+  /// The paper's bursty aperiodic pattern, Eq. 27:
+  ///   t_m = (1/x) * sqrt(x^2 + (m-1)^2) - 1,   m = 1, 2, ...
+  /// with x in (0,1). Early inter-arrival gaps are shorter than the
+  /// asymptotic period 1/x (a burst at time 0 that relaxes to periodicity).
+  static ArrivalSequence bursty_eq27(double x, Time window);
+
+  /// Periodic with bounded release jitter: t_m = (m-1)*period + U(0, jitter).
+  /// Instants are re-sorted, so the sequence stays nondecreasing even when
+  /// jitter exceeds the period.
+  static ArrivalSequence jittered_periodic(Time period, Time jitter,
+                                           Time window, Rng& rng);
+
+  /// Leaky-bucket-constrained worst burst: `burst` back-to-back releases
+  /// spaced `min_gap` apart at the head, then steady releases every
+  /// `period` >= min_gap (the first steady release one period after the
+  /// last burst release).
+  static ArrivalSequence burst_then_periodic(std::size_t burst, Time min_gap,
+                                             Time period, Time window);
+
+  /// Poisson process with the given mean rate on [0, window]: memoryless
+  /// irregular arrivals, useful for stressing the FCFS analysis and as an
+  /// "unknown environment" stand-in in examples.
+  static ArrivalSequence poisson(double rate, Time window, Rng& rng);
+
+  [[nodiscard]] std::size_t count() const { return releases_.size(); }
+  [[nodiscard]] bool empty() const { return releases_.empty(); }
+  [[nodiscard]] const std::vector<Time>& releases() const { return releases_; }
+
+  /// Release time of the m-th instance (1-based, matching the paper's
+  /// f^{-1}(m) = t_m convention).
+  [[nodiscard]] Time release(std::size_t m) const { return releases_.at(m - 1); }
+
+  [[nodiscard]] Time last_release() const {
+    return releases_.empty() ? 0.0 : releases_.back();
+  }
+
+  /// Smallest gap between consecutive releases (infinity if < 2 releases).
+  [[nodiscard]] Time min_inter_arrival() const;
+
+  /// Arrival step curve f_arr on [0, horizon] (Def. 1).
+  [[nodiscard]] PwlCurve to_curve(Time horizon) const;
+
+ private:
+  std::vector<Time> releases_;
+};
+
+}  // namespace rta

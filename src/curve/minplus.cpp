@@ -1,0 +1,95 @@
+#include "curve/minplus.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace rta {
+
+namespace {
+
+/// Evaluate inf_{0<=s<=t}{ f(s) + g(t-s) } exactly for one t: the expression
+/// is piecewise linear in s with breakpoints at f's knots and at t - (g's
+/// knots), so probing those candidates (both one-sided limits) suffices.
+double convolve_at(const PwlCurve& f, const PwlCurve& g, Time t) {
+  double best = f.eval(0.0) + g.eval(t);  // s = 0
+  auto probe = [&](Time s) {
+    if (s < 0.0 || time_gt(s, t)) return;
+    const Time r = t - s;
+    // Both one-sided limits at the candidate (jumps on either side).
+    best = std::min(best, f.eval(s) + g.eval(r));
+    best = std::min(best, f.eval_left(s) + g.eval(r));
+    best = std::min(best, f.eval(s) + g.eval_left(r));
+  };
+  for (const Knot& k : f.knots()) probe(k.t);
+  for (const Knot& k : g.knots()) probe(t - k.t);
+  probe(t);
+  return best;
+}
+
+/// Evaluate sup_{0<=u<=H-t}{ f(t+u) - g(u) } exactly for one t.
+double deconvolve_at(const PwlCurve& f, const PwlCurve& g, Time t) {
+  const Time h = f.horizon();
+  double best = f.eval(t) - g.eval(0.0);  // u = 0
+  auto probe = [&](Time u) {
+    if (u < 0.0 || time_gt(t + u, h)) return;
+    best = std::max(best, f.eval(t + u) - g.eval(u));
+    best = std::max(best, f.eval_left(t + u) - g.eval_left(u));
+  };
+  for (const Knot& k : g.knots()) probe(k.t);
+  for (const Knot& k : f.knots()) probe(k.t - t);
+  probe(h - t);
+  return best;
+}
+
+/// Result grid: all pairwise candidate abscissae where the optimum can
+/// switch -- sums (convolution) or differences (deconvolution) of knots.
+std::vector<Time> result_grid(const PwlCurve& f, const PwlCurve& g,
+                              bool sums) {
+  std::vector<Time> grid;
+  const Time h = f.horizon();
+  grid.push_back(0.0);
+  grid.push_back(h);
+  for (const Knot& kf : f.knots()) {
+    grid.push_back(kf.t);
+    for (const Knot& kg : g.knots()) {
+      const Time t = sums ? kf.t + kg.t : kf.t - kg.t;
+      if (t > 0.0 && time_lt(t, h)) grid.push_back(t);
+    }
+  }
+  for (const Knot& kg : g.knots()) grid.push_back(kg.t);
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end(),
+                         [](Time a, Time b) { return time_eq(a, b); }),
+             grid.end());
+  while (!grid.empty() && grid.front() < 0.0) grid.erase(grid.begin());
+  return grid;
+}
+
+}  // namespace
+
+PwlCurve min_plus_convolution(const PwlCurve& f, const PwlCurve& g) {
+  assert(time_eq(f.horizon(), g.horizon()));
+  std::vector<Knot> knots;
+  for (Time t : result_grid(f, g, /*sums=*/true)) {
+    const double v = convolve_at(f, g, t);
+    knots.push_back({t, v, v});
+  }
+  // The value at a grid point is exact; between grid points the optimum
+  // follows one linear regime, so linear interpolation is exact too. Jumps
+  // in operands can create jumps in the result; re-probe the left limits.
+  PwlCurve result(std::move(knots));
+  return result;
+}
+
+PwlCurve min_plus_deconvolution(const PwlCurve& f, const PwlCurve& g) {
+  assert(time_eq(f.horizon(), g.horizon()));
+  std::vector<Knot> knots;
+  for (Time t : result_grid(f, g, /*sums=*/false)) {
+    const double v = deconvolve_at(f, g, t);
+    knots.push_back({t, v, v});
+  }
+  return PwlCurve(std::move(knots));
+}
+
+}  // namespace rta

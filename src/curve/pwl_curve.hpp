@@ -1,0 +1,122 @@
+// Piecewise-linear curves on a finite horizon [0, H].
+//
+// This is the mathematical substrate for the paper's analysis: arrival,
+// departure, workload, service and utilization functions (Defs. 1-4 and 7)
+// are all curves of this kind. A curve is represented by knots
+//
+//   (t_i, left_i, right_i),  0 = t_0 < t_1 < ... < t_{n-1} = H,
+//
+// with value right_i at t_i, limit left_i as s -> t_i from below, and linear
+// interpolation from (t_i, right_i) to (t_{i+1}, left_{i+1}) in between.
+// Curves are right-continuous; upward jumps (left_i < right_i) model
+// instantaneous arrivals, and are the reason the class distinguishes eval()
+// from eval_left() -- the paper's min_{0<=s<=t} formulas require left limits
+// (see DESIGN.md, "Semantics note").
+//
+// Curves are immutable after construction; all algebra lives in
+// curve/algebra.hpp and curve/transforms.hpp.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rta {
+
+/// One breakpoint of a piecewise-linear curve.
+struct Knot {
+  Time t = 0.0;
+  double left = 0.0;   ///< limit of the curve as s -> t from below
+  double right = 0.0;  ///< value at t (curves are right-continuous)
+};
+
+/// Immutable piecewise-linear function on [0, horizon].
+///
+/// The class itself permits non-monotone curves (intermediate expressions
+/// like A(s) - c(s) decrease); monotonicity is an invariant of *particular*
+/// curves (arrival counts, service functions) and can be checked with
+/// is_nondecreasing().
+class PwlCurve {
+ public:
+  PwlCurve() : knots_{{0.0, 0.0, 0.0}} {}
+
+  /// Construct from knots. Requirements: non-empty, t strictly increasing,
+  /// first knot at t = 0. Violations are fixed up where harmless (knots with
+  /// time_eq-equal abscissae are merged) and asserted otherwise.
+  explicit PwlCurve(std::vector<Knot> knots);
+
+  /// The constant-zero curve on [0, horizon].
+  static PwlCurve zero(Time horizon);
+
+  /// The constant curve f(t) = value on [0, horizon].
+  static PwlCurve constant(Time horizon, double value);
+
+  /// The identity f(t) = t on [0, horizon] (the trivial service upper bound
+  /// of Eq. 5).
+  static PwlCurve identity(Time horizon);
+
+  /// Right-continuous counting step function: f(t) = #{i : jump_times[i] <= t}
+  /// on [0, horizon], each jump of height `step`. jump_times must be sorted;
+  /// times beyond the horizon are ignored.
+  static PwlCurve step(Time horizon, const std::vector<Time>& jump_times,
+                       double step_height = 1.0);
+
+  /// Line through the origin with the given slope, on [0, horizon].
+  static PwlCurve line(Time horizon, double slope);
+
+  [[nodiscard]] Time horizon() const { return knots_.back().t; }
+  [[nodiscard]] const std::vector<Knot>& knots() const { return knots_; }
+  [[nodiscard]] std::size_t knot_count() const { return knots_.size(); }
+
+  /// f(t), right-continuous. t is clamped to [0, horizon]; instants within
+  /// time tolerance of a knot snap to the knot.
+  [[nodiscard]] double eval(Time t) const;
+
+  /// lim_{s -> t-} f(s). For t <= 0 returns f(0).
+  [[nodiscard]] double eval_left(Time t) const;
+
+  /// Value at the end of the horizon.
+  [[nodiscard]] double end_value() const { return knots_.back().right; }
+
+  /// Pseudo-inverse f^{-1}(y) = min{ s : f(s) >= y } (Def. 5 in the paper).
+  /// Requires a nondecreasing curve. Returns 0 if y <= f(0) and
+  /// kTimeInfinity if y > f(horizon) (the crossing, if any, lies beyond the
+  /// analyzed horizon).
+  [[nodiscard]] Time pseudo_inverse(double y) const;
+
+  /// True iff the curve never decreases (within value tolerance).
+  [[nodiscard]] bool is_nondecreasing() const;
+
+  /// True iff the curve is continuous (no jumps within value tolerance).
+  [[nodiscard]] bool is_continuous() const;
+
+  /// True iff both curves agree within tolerance at all knots of either.
+  [[nodiscard]] bool approx_equal(const PwlCurve& other,
+                                  double tol = 1e-7) const;
+
+  /// Maximum over the merged knot grid of |this - other|.
+  [[nodiscard]] double max_abs_difference(const PwlCurve& other) const;
+
+  /// Human-readable dump (for tests and debugging).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Structural invariants (knot ordering, first knot at 0). Used in tests.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  /// Index of the last knot with t_i <= t (after tolerance snapping).
+  [[nodiscard]] std::size_t segment_index(Time t) const;
+
+  std::vector<Knot> knots_;
+};
+
+std::ostream& operator<<(std::ostream& os, const PwlCurve& c);
+
+/// Tolerance used when comparing curve *values* (as opposed to times).
+inline constexpr double kValueEps = 1e-7;
+
+}  // namespace rta

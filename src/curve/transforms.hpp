@@ -1,0 +1,43 @@
+// Service-function transforms: the operator kernel behind Theorems 3, 5-9.
+//
+// All of the paper's service-function results instantiate one operator,
+//
+//   S(t) = min_{0 <= s <= t - lag} { A(t) - A(s) + c(s^-) }        (lag >= 0)
+//        = A(t) - max_{0 <= s <= t - lag} ( A(s) - c(s^-) ),
+//
+// where A is an availability curve (processor time not consumed by
+// higher-priority work) and c is a cumulative workload curve. The min is
+// taken with *left limits* of c -- see DESIGN.md "Semantics note" for why the
+// paper's right-continuous c would be vacuous at s = t.
+//
+//   * Theorem 3 (SPP, exact):    lag = 0, A = t - sum of hp service.
+//   * Theorem 5 (SPNP, lower):   lag = b (blocking), A = B of Eq. 17.
+//   * Theorem 6 (SPNP, upper):   lag = 0, A = B of Eq. 19.
+//   * Theorem 7 (FCFS busy time): lag = 0, A = t, c = total workload G.
+#pragma once
+
+#include <vector>
+
+#include "curve/algebra.hpp"
+#include "curve/pwl_curve.hpp"
+
+namespace rta {
+
+/// The core operator: S(t) = min_{0<=s<=t-lag}{ A(t) - A(s) + c(s^-) } for
+/// t > lag, and 0 for t <= lag. A must be nondecreasing with A(0) = 0;
+/// c must be nondecreasing. The result is nondecreasing and nonnegative.
+[[nodiscard]] PwlCurve service_transform(const PwlCurve& availability,
+                                         const PwlCurve& workload,
+                                         Time lag = 0.0);
+
+/// Availability A(t) = t - sum of the given (service) curves, clamped to be
+/// nonnegative and nondecreasing is NOT enforced here -- callers pass curves
+/// whose summed slope never exceeds 1, which keeps A nondecreasing. Asserted.
+[[nodiscard]] PwlCurve availability_minus(Time horizon,
+                                          const std::vector<PwlCurve>& consumed);
+
+/// Monotone tightening of a *lower* bound on a nondecreasing function:
+/// sup_{s<=t} lb(s) is still a lower bound and is nondecreasing.
+[[nodiscard]] PwlCurve tighten_lower_bound(const PwlCurve& lb);
+
+}  // namespace rta

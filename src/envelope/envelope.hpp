@@ -1,0 +1,77 @@
+// Interval-domain arrival envelopes (arrival curves in the sense of Cruz
+// [20,21], the calculus the paper builds on).
+//
+// An envelope alpha upper-bounds the arrivals of a subjob in ANY time window
+// by its length: f_arr(t + delta) - f_arr(t) <= alpha(delta). Envelope-based
+// analysis is therefore *trace-independent*: a bound derived from alpha
+// holds for every release trace conforming to it -- the strongest reading of
+// the paper's "arbitrary job arrival patterns".
+//
+// Envelopes are represented by a piecewise-linear curve on [0, span] plus a
+// long-run tail rate for window lengths beyond the span.
+#pragma once
+
+#include <cstddef>
+
+#include "curve/arrival.hpp"
+#include "curve/pwl_curve.hpp"
+#include "util/time.hpp"
+
+namespace rta {
+
+class ArrivalEnvelope {
+ public:
+  /// Envelope from an explicit curve (nondecreasing, counts) and tail rate
+  /// (arrivals per time unit for windows beyond the curve's horizon).
+  ArrivalEnvelope(PwlCurve curve, double tail_rate);
+
+  /// Leaky bucket: alpha(delta) = burst + rate * delta (delta > 0), and
+  /// alpha(0) = burst (a batch of `burst` simultaneous releases is allowed).
+  static ArrivalEnvelope leaky_bucket(double burst, double rate, Time span);
+
+  /// Periodic with release jitter: alpha(delta) = ceil((delta + jitter) /
+  /// period), the classical staircase (jitter = 0 gives plain periodic).
+  static ArrivalEnvelope periodic(Time period, Time span, Time jitter = 0.0);
+
+  /// Tightest staircase envelope of a finite trace: alpha(delta) =
+  /// max_i #{ j : a_i <= a_j <= a_i + delta }. O(n^2) in the release count.
+  /// The tail rate is the densest long-run rate observed. Note: this bounds
+  /// the given trace only; use a model envelope for trace-independent
+  /// guarantees.
+  static ArrivalEnvelope from_trace(const ArrivalSequence& trace, Time span);
+
+  /// alpha(delta); linear tail extension beyond the span.
+  [[nodiscard]] double eval(Time delta) const;
+
+  /// Long-run arrival rate (the tail slope).
+  [[nodiscard]] double rate() const { return tail_rate_; }
+
+  /// Maximum batch size alpha(0).
+  [[nodiscard]] double burst() const { return curve_.eval(0.0); }
+
+  [[nodiscard]] Time span() const { return curve_.horizon(); }
+  [[nodiscard]] const PwlCurve& curve() const { return curve_; }
+
+  /// Workload envelope alpha(delta) * tau as a curve on [0, span].
+  [[nodiscard]] PwlCurve workload(double exec_time) const;
+
+  /// True if this envelope is everywhere <= other (tighter or equal), over
+  /// the common span and tails.
+  [[nodiscard]] bool dominated_by(const ArrivalEnvelope& other) const;
+
+  /// True if `trace` conforms to this envelope (every window within the
+  /// trace respects alpha).
+  [[nodiscard]] bool admits(const ArrivalSequence& trace) const;
+
+  /// Envelope for the next hop after a stage with worst-case local delay d
+  /// and best-case delay bc: releases shift by [bc, d], so
+  /// alpha'(delta) = alpha(delta + (d - bc)) -- classical jitter
+  /// propagation. Returns an envelope with the same span.
+  [[nodiscard]] ArrivalEnvelope with_jitter(Time extra_jitter) const;
+
+ private:
+  PwlCurve curve_;
+  double tail_rate_ = 0.0;
+};
+
+}  // namespace rta

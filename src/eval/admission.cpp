@@ -1,0 +1,109 @@
+#include "eval/admission.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "analysis/bounds.hpp"
+#include "analysis/holistic.hpp"
+#include "analysis/spp_exact.hpp"
+#include "model/priority.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rta {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kSppExact: return "SPP/Exact";
+    case Method::kSppSL: return "SPP/S&L";
+    case Method::kSpnpApp: return "SPNP/App";
+    case Method::kFcfsApp: return "FCFS/App";
+    case Method::kSppApp: return "SPP/App";
+  }
+  return "?";
+}
+
+SchedulerKind method_scheduler(Method m) {
+  switch (m) {
+    case Method::kSppExact:
+    case Method::kSppSL:
+    case Method::kSppApp:
+      return SchedulerKind::kSpp;
+    case Method::kSpnpApp:
+      return SchedulerKind::kSpnp;
+    case Method::kFcfsApp:
+      return SchedulerKind::kFcfs;
+  }
+  return SchedulerKind::kSpp;
+}
+
+AnalysisResult analyze_with(Method method, const System& system,
+                            const AnalysisConfig& config) {
+  switch (method) {
+    case Method::kSppExact:
+      return ExactSppAnalyzer(config).analyze(system);
+    case Method::kSppSL:
+      return HolisticAnalyzer(config).analyze(system);
+    case Method::kSpnpApp:
+    case Method::kFcfsApp:
+    case Method::kSppApp:
+      return BoundsAnalyzer(config).analyze(system);
+  }
+  return {};
+}
+
+std::vector<AdmissionPoint> run_admission_experiment(
+    const AdmissionConfig& config) {
+  const std::size_t u_count = config.utilizations.size();
+  const std::size_t m_count = config.methods.size();
+
+  std::vector<AdmissionPoint> points(u_count * m_count);
+  for (std::size_t ui = 0; ui < u_count; ++ui) {
+    for (std::size_t mi = 0; mi < m_count; ++mi) {
+      AdmissionPoint& p = points[ui * m_count + mi];
+      p.utilization = config.utilizations[ui];
+      p.method = config.methods[mi];
+      p.trials = config.trials;
+    }
+  }
+
+  std::vector<std::atomic<std::size_t>> admitted(u_count * m_count);
+  for (auto& a : admitted) a.store(0, std::memory_order_relaxed);
+
+  const RngFactory factory(config.seed);
+  const std::size_t workers = config.threads
+                                  ? config.threads
+                                  : std::thread::hardware_concurrency();
+  ThreadPool pool(workers ? workers : 1);
+
+  pool.parallel_for_index(config.trials, [&](std::size_t trial) {
+    for (std::size_t ui = 0; ui < u_count; ++ui) {
+      // Same trial index -> same random draws; utilization only scales
+      // execution times, so the job set is comparable across the sweep.
+      Rng rng = factory.stream(trial);
+      JobShopConfig shop = config.shop;
+      shop.utilization = config.utilizations[ui];
+      const System base = generate_jobshop(shop, rng);
+
+      for (std::size_t mi = 0; mi < m_count; ++mi) {
+        const Method method = config.methods[mi];
+        System system = base;
+        for (int p = 0; p < system.processor_count(); ++p) {
+          system.set_scheduler(p, method_scheduler(method));
+        }
+        assign_proportional_deadline_monotonic(system);
+        const AnalysisResult result =
+            analyze_with(method, system, config.analysis);
+        if (result.ok && result.all_schedulable()) {
+          admitted[ui * m_count + mi].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].admitted = admitted[i].load(std::memory_order_relaxed);
+  }
+  return points;
+}
+
+}  // namespace rta

@@ -1,0 +1,66 @@
+// Admission-probability experiments (paper §5).
+//
+// For each utilization point, `trials` random job sets are generated
+// (identical sets across methods and, draw-for-draw, across utilizations);
+// each analysis method admits a set iff every job's response-time bound
+// meets its deadline. The admission probability is the admitted fraction.
+// Trials run in parallel with per-trial deterministic RNG streams, so
+// results are independent of the worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/result.hpp"
+#include "workload/jobshop.hpp"
+
+namespace rta {
+
+/// The analysis methods of §5.1 (plus SPP/App, our ablation of the bounds
+/// machinery on preemptive processors).
+enum class Method {
+  kSppExact,  ///< §4.1 exact analysis, SPP scheduling
+  kSppSL,     ///< Sun & Liu holistic baseline, SPP scheduling
+  kSpnpApp,   ///< §4.2.2 bounds, SPNP scheduling
+  kFcfsApp,   ///< §4.2.3 bounds, FCFS scheduling
+  kSppApp,    ///< §4.2.2 bounds with b = 0, SPP scheduling (ablation)
+};
+
+[[nodiscard]] const char* method_name(Method m);
+[[nodiscard]] SchedulerKind method_scheduler(Method m);
+
+/// Analyze `system` (schedulers already set, priorities already assigned)
+/// with `method`. For kSppSL on non-periodic arrivals the result has
+/// ok == false (the baseline does not apply, §5.2).
+[[nodiscard]] AnalysisResult analyze_with(Method method, const System& system,
+                                          const AnalysisConfig& config);
+
+/// One cell of an admission-probability table.
+struct AdmissionPoint {
+  double utilization = 0.0;
+  Method method = Method::kSppExact;
+  std::size_t admitted = 0;
+  std::size_t trials = 0;
+
+  [[nodiscard]] double probability() const {
+    return trials ? static_cast<double>(admitted) / static_cast<double>(trials)
+                  : 0.0;
+  }
+};
+
+struct AdmissionConfig {
+  JobShopConfig shop;  ///< utilization and scheduler overridden per point
+  std::vector<double> utilizations;
+  std::vector<Method> methods;
+  std::size_t trials = 1000;
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  AnalysisConfig analysis;
+};
+
+/// Run the full grid; returns utilizations.size() * methods.size() points in
+/// (utilization-major, method-minor) order.
+[[nodiscard]] std::vector<AdmissionPoint> run_admission_experiment(
+    const AdmissionConfig& config);
+
+}  // namespace rta

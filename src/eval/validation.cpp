@@ -1,0 +1,57 @@
+#include "eval/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/result.hpp"
+#include "sim/simulator.hpp"
+
+namespace rta {
+
+double ValidationReport::max_slack() const {
+  double worst = -kTimeInfinity;
+  for (const JobValidation& j : jobs) {
+    if (std::isinf(j.analyzed_bound) || std::isinf(j.simulated_worst)) continue;
+    worst = std::max(worst, j.analyzed_bound - j.simulated_worst);
+  }
+  return worst;
+}
+
+double ValidationReport::min_slack() const {
+  double best = kTimeInfinity;
+  for (const JobValidation& j : jobs) {
+    if (std::isinf(j.analyzed_bound)) continue;  // infinite bound never lies
+    if (std::isinf(j.simulated_worst)) return -kTimeInfinity;
+    best = std::min(best, j.analyzed_bound - j.simulated_worst);
+  }
+  return best;
+}
+
+ValidationReport validate_method(Method method, const System& system,
+                                 const AnalysisConfig& config) {
+  ValidationReport report;
+  report.method = method;
+
+  const AnalysisResult analysis = analyze_with(method, system, config);
+  report.analysis_ok = analysis.ok;
+  report.error = analysis.error;
+  if (!analysis.ok) return report;
+
+  const Time horizon = analysis.horizon > 0.0
+                           ? analysis.horizon
+                           : default_horizon(system, config);
+  const SimResult sim = simulate(system, horizon);
+
+  report.jobs.reserve(system.job_count());
+  for (int k = 0; k < system.job_count(); ++k) {
+    JobValidation jv;
+    jv.job_name = system.job(k).name;
+    jv.deadline = system.job(k).deadline;
+    jv.simulated_worst = sim.worst_response[k];
+    jv.analyzed_bound = analysis.jobs[k].wcrt;
+    report.jobs.push_back(std::move(jv));
+  }
+  return report;
+}
+
+}  // namespace rta

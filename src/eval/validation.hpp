@@ -1,0 +1,45 @@
+// Simulation-vs-analysis validation harness.
+//
+// Runs the discrete-event simulator and the applicable analyzers on the same
+// system, and reports, per job, the observed worst response next to each
+// method's bound. Used by tests (the bounds must dominate the observation;
+// the exact SPP analysis must match it) and by bench/sim_vs_analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/result.hpp"
+#include "eval/admission.hpp"
+#include "model/system.hpp"
+
+namespace rta {
+
+struct JobValidation {
+  std::string job_name;
+  Time deadline = 0.0;
+  Time simulated_worst = 0.0;  ///< worst observed end-to-end response
+  Time analyzed_bound = 0.0;   ///< the method's WCRT bound
+};
+
+struct ValidationReport {
+  Method method = Method::kSppExact;
+  bool analysis_ok = false;
+  std::string error;
+  std::vector<JobValidation> jobs;
+
+  /// Largest (bound - observed); negative means the bound was violated.
+  [[nodiscard]] double max_slack() const;
+  /// Smallest (bound - observed); negative means the bound was violated.
+  [[nodiscard]] double min_slack() const;
+  [[nodiscard]] bool bounds_hold() const { return min_slack() >= -1e-6; }
+};
+
+/// Validate one method on one system (schedulers must match the method).
+/// The simulation horizon is taken from the analysis result (so both see the
+/// same instances).
+[[nodiscard]] ValidationReport validate_method(Method method,
+                                               const System& system,
+                                               const AnalysisConfig& config);
+
+}  // namespace rta

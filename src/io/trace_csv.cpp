@@ -1,0 +1,72 @@
+#include "io/trace_csv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+namespace rta {
+
+void write_gantt_csv(const System& system, const SimResult& result,
+                     std::ostream& os) {
+  struct Row {
+    int processor;
+    int job;
+    int hop;
+    Time begin;
+    Time end;
+  };
+  std::vector<Row> rows;
+  for (int k = 0; k < system.job_count(); ++k) {
+    for (int h = 0; h < static_cast<int>(system.job(k).chain.size()); ++h) {
+      const int p = system.job(k).chain[h].processor;
+      for (const ServiceSegment& seg : result.segments[k][h]) {
+        rows.push_back({p, k, h, seg.begin, seg.end});
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.processor != b.processor) return a.processor < b.processor;
+    return a.begin < b.begin;
+  });
+  os << "processor,job,hop,begin,end\n";
+  os.precision(12);
+  for (const Row& r : rows) {
+    os << "P" << r.processor << "," << system.job(r.job).name << "," << r.hop
+       << "," << r.begin << "," << r.end << "\n";
+  }
+}
+
+void write_instances_csv(const System& system, const SimResult& result,
+                         std::ostream& os) {
+  os << "job,instance,release,completion,response,met_deadline\n";
+  os.precision(12);
+  for (int k = 0; k < system.job_count(); ++k) {
+    const Job& job = system.job(k);
+    for (std::size_t m = 0; m < result.traces[k].size(); ++m) {
+      const InstanceTrace& t = result.traces[k][m];
+      os << job.name << "," << (m + 1) << "," << t.hop_release.front() << ",";
+      if (t.completed()) {
+        const Time response = t.response();
+        os << t.hop_complete.back() << "," << response << ","
+           << (time_le(response, job.deadline) ? "yes" : "no");
+      } else {
+        os << ",,no";
+      }
+      os << "\n";
+    }
+  }
+}
+
+bool save_trace_csv(const System& system, const SimResult& result,
+                    const std::string& prefix) {
+  std::ofstream gantt(prefix + "_gantt.csv");
+  std::ofstream inst(prefix + "_instances.csv");
+  if (!gantt || !inst) return false;
+  write_gantt_csv(system, result, gantt);
+  write_instances_csv(system, result, inst);
+  return gantt.good() && inst.good();
+}
+
+}  // namespace rta

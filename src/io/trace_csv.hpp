@@ -1,0 +1,28 @@
+// CSV export of simulation runs: execution segments (Gantt data) and
+// per-instance response tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/system.hpp"
+#include "sim/simulator.hpp"
+
+namespace rta {
+
+/// Gantt rows: "processor,job,hop,begin,end", one per execution segment,
+/// sorted by (processor, begin).
+void write_gantt_csv(const System& system, const SimResult& result,
+                     std::ostream& os);
+
+/// Instance table: "job,instance,release,completion,response,met_deadline",
+/// one row per job instance (completion/response empty when unfinished).
+void write_instances_csv(const System& system, const SimResult& result,
+                         std::ostream& os);
+
+/// Save both tables as <prefix>_gantt.csv and <prefix>_instances.csv;
+/// false on I/O failure.
+bool save_trace_csv(const System& system, const SimResult& result,
+                    const std::string& prefix);
+
+}  // namespace rta

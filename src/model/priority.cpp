@@ -1,0 +1,61 @@
+#include "model/priority.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace rta {
+
+namespace {
+
+/// Assign per-processor priorities 1..n_p by ascending key(subjob-ref).
+void assign_by_key(System& system,
+                   const std::function<double(SubjobRef)>& key) {
+  for (int p = 0; p < system.processor_count(); ++p) {
+    std::vector<SubjobRef> refs = system.subjobs_on(p);
+    std::sort(refs.begin(), refs.end(),
+              [&](const SubjobRef& a, const SubjobRef& b) {
+                const double ka = key(a);
+                const double kb = key(b);
+                if (ka != kb) return ka < kb;
+                if (a.job != b.job) return a.job < b.job;
+                return a.hop < b.hop;
+              });
+    int prio = 1;
+    for (const SubjobRef& ref : refs) system.subjob(ref).priority = prio++;
+  }
+}
+
+}  // namespace
+
+double proportional_subdeadline(const Job& job, int hop) {
+  double total = 0.0;
+  for (const Subjob& s : job.chain) total += s.exec_time;
+  assert(total > 0.0);
+  return job.chain.at(hop).exec_time / total * job.deadline;
+}
+
+void assign_proportional_deadline_monotonic(System& system) {
+  assign_by_key(system, [&](SubjobRef ref) {
+    return proportional_subdeadline(system.job(ref.job), ref.hop);
+  });
+}
+
+void assign_deadline_monotonic(System& system) {
+  assign_by_key(system, [&](SubjobRef ref) {
+    return system.job(ref.job).deadline;
+  });
+}
+
+void assign_rate_monotonic(System& system) {
+  assign_by_key(system, [&](SubjobRef ref) {
+    return system.job(ref.job).arrivals.min_inter_arrival();
+  });
+}
+
+void assign_by_job_rank(System& system, const std::vector<double>& rank) {
+  assert(static_cast<int>(rank.size()) == system.job_count());
+  assign_by_key(system, [&](SubjobRef ref) { return rank.at(ref.job); });
+}
+
+}  // namespace rta

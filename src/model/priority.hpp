@@ -1,0 +1,39 @@
+// Priority assignment policies (§5.1 and classical alternatives).
+//
+// The paper's evaluation uses *proportional sub-deadline monotonic*
+// assignment (Eq. 24): each subjob receives a sub-deadline proportional to
+// its share of the chain's total execution time, and subjobs on a processor
+// are prioritized by ascending sub-deadline. The analysis itself works for
+// arbitrary assignments, so alternatives are provided too.
+#pragma once
+
+#include <vector>
+
+#include "model/system.hpp"
+
+namespace rta {
+
+/// Sub-deadline of T_{k,j} per Eq. 24:
+///   D_{k,j} = tau_{k,j} / (sum_i tau_{k,i}) * D_k.
+[[nodiscard]] double proportional_subdeadline(const Job& job, int hop);
+
+/// Assign per-processor priorities by ascending proportional sub-deadline
+/// (Eq. 24); ties broken by (job, hop) for determinism. Priorities are
+/// 1..n_p on each processor (1 = highest).
+void assign_proportional_deadline_monotonic(System& system);
+
+/// Assign per-processor priorities by ascending *end-to-end* job deadline
+/// (global deadline-monotonic); ties broken by (job, hop).
+void assign_deadline_monotonic(System& system);
+
+/// Assign per-processor priorities by ascending period estimate (rate
+/// monotonic); the period of a job is taken to be its minimum inter-arrival
+/// time. Ties broken by (job, hop).
+void assign_rate_monotonic(System& system);
+
+/// Assign priorities from explicit per-job ranks (smaller = higher): all
+/// subjobs of a job share its rank; per-processor priorities are the ranks'
+/// order, ties broken by (job, hop).
+void assign_by_job_rank(System& system, const std::vector<double>& rank);
+
+}  // namespace rta

@@ -1,0 +1,183 @@
+#include "model/system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace rta {
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kSpp: return "SPP";
+    case SchedulerKind::kSpnp: return "SPNP";
+    case SchedulerKind::kFcfs: return "FCFS";
+  }
+  return "?";
+}
+
+int System::add_job(Job job) {
+  jobs_.push_back(std::move(job));
+  return static_cast<int>(jobs_.size()) - 1;
+}
+
+std::vector<SubjobRef> System::subjobs_on(int processor) const {
+  std::vector<SubjobRef> out;
+  for (int k = 0; k < job_count(); ++k) {
+    const auto& chain = jobs_[k].chain;
+    for (int j = 0; j < static_cast<int>(chain.size()); ++j) {
+      if (chain[j].processor == processor) out.push_back({k, j});
+    }
+  }
+  return out;
+}
+
+std::vector<SubjobRef> System::higher_priority_on(int processor,
+                                                  int priority) const {
+  std::vector<SubjobRef> out;
+  for (const SubjobRef& ref : subjobs_on(processor)) {
+    if (subjob(ref).priority < priority) out.push_back(ref);
+  }
+  return out;
+}
+
+double System::blocking_time(SubjobRef target) const {
+  const Subjob& s = subjob(target);
+  double worst = 0.0;
+  for (const SubjobRef& ref : subjobs_on(s.processor)) {
+    const Subjob& other = subjob(ref);
+    if (other.priority > s.priority) {
+      worst = std::max(worst, other.exec_time);
+    }
+  }
+  return worst;
+}
+
+Time System::last_release() const {
+  Time latest = 0.0;
+  for (const Job& j : jobs_) latest = std::max(latest, j.arrivals.last_release());
+  return latest;
+}
+
+std::vector<double> System::utilization_estimate(Time window) const {
+  std::vector<double> util(schedulers_.size(), 0.0);
+  if (window <= 0.0) return util;
+  for (const Job& j : jobs_) {
+    std::size_t released = 0;
+    for (Time t : j.arrivals.releases()) {
+      if (time_le(t, window)) ++released;
+    }
+    for (const Subjob& s : j.chain) {
+      util[s.processor] +=
+          static_cast<double>(released) * s.exec_time / window;
+    }
+  }
+  return util;
+}
+
+std::vector<std::string> System::validate() const {
+  std::vector<std::string> problems;
+  auto complain = [&](const std::string& msg) { problems.push_back(msg); };
+
+  for (int k = 0; k < job_count(); ++k) {
+    const Job& j = jobs_[k];
+    if (j.chain.empty()) {
+      complain("job " + std::to_string(k) + " has an empty chain");
+    }
+    if (j.deadline <= 0.0) {
+      complain("job " + std::to_string(k) + " has non-positive deadline");
+    }
+    if (j.arrivals.empty()) {
+      complain("job " + std::to_string(k) + " has no release times");
+    }
+    for (std::size_t h = 0; h < j.chain.size(); ++h) {
+      const Subjob& s = j.chain[h];
+      if (s.processor < 0 || s.processor >= processor_count()) {
+        complain("job " + std::to_string(k) + " hop " + std::to_string(h) +
+                 " references invalid processor " + std::to_string(s.processor));
+      }
+      if (s.exec_time <= 0.0) {
+        complain("job " + std::to_string(k) + " hop " + std::to_string(h) +
+                 " has non-positive execution time");
+      }
+    }
+  }
+
+  // Unique priorities per priority-scheduled processor: the analysis assumes
+  // a strict priority order among subjobs sharing a processor.
+  for (int p = 0; p < processor_count(); ++p) {
+    if (schedulers_[p] == SchedulerKind::kFcfs) continue;
+    std::set<int> seen;
+    for (const SubjobRef& ref : subjobs_on(p)) {
+      const int prio = subjob(ref).priority;
+      if (!seen.insert(prio).second) {
+        std::ostringstream ss;
+        ss << "processor " << p << " (" << to_string(schedulers_[p])
+           << ") has duplicate priority " << prio;
+        complain(ss.str());
+      }
+    }
+  }
+  return problems;
+}
+
+bool System::dependency_graph_is_acyclic() const {
+  // Nodes: subjobs, numbered job-major.
+  std::vector<int> base(jobs_.size() + 1, 0);
+  for (std::size_t k = 0; k < jobs_.size(); ++k) {
+    base[k + 1] = base[k] + static_cast<int>(jobs_[k].chain.size());
+  }
+  const int n = base.back();
+  auto node = [&](SubjobRef r) { return base[r.job] + r.hop; };
+
+  std::vector<std::vector<int>> succ(n);
+  auto add_edge = [&](SubjobRef from, SubjobRef to) {
+    succ[node(from)].push_back(node(to));
+  };
+
+  for (int k = 0; k < job_count(); ++k) {
+    for (int h = 1; h < static_cast<int>(jobs_[k].chain.size()); ++h) {
+      add_edge({k, h - 1}, {k, h});
+    }
+  }
+  for (int p = 0; p < processor_count(); ++p) {
+    const auto on_p = subjobs_on(p);
+    if (schedulers_[p] == SchedulerKind::kFcfs) {
+      // The shared utilization function couples all subjobs on p: each needs
+      // every co-located subjob's *arrival* (i.e. its predecessor hop).
+      for (const SubjobRef& u : on_p) {
+        if (u.hop == 0) continue;
+        for (const SubjobRef& s : on_p) add_edge({u.job, u.hop - 1}, s);
+      }
+    } else {
+      for (const SubjobRef& hi : on_p) {
+        for (const SubjobRef& lo : on_p) {
+          if (subjob(hi).priority < subjob(lo).priority) add_edge(hi, lo);
+        }
+      }
+    }
+  }
+
+  // Kahn's algorithm.
+  std::vector<int> indeg(n, 0);
+  for (const auto& edges : succ) {
+    for (int v : edges) ++indeg[v];
+  }
+  std::vector<int> queue;
+  for (int v = 0; v < n; ++v) {
+    if (indeg[v] == 0) queue.push_back(v);
+  }
+  int visited = 0;
+  while (!queue.empty()) {
+    const int v = queue.back();
+    queue.pop_back();
+    ++visited;
+    for (int w : succ[v]) {
+      if (--indeg[w] == 0) queue.push_back(w);
+    }
+  }
+  return visited == n;
+}
+
+}  // namespace rta

@@ -1,0 +1,268 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace rta {
+
+namespace {
+
+/// A subjob instance waiting for, or receiving, processor time.
+struct Pending {
+  int job = -1;
+  int hop = -1;
+  long long m = 0;       ///< 1-based instance index
+  Time release = 0.0;    ///< release time at this hop
+  double remaining = 0.0;
+  int priority = 0;
+};
+
+/// Queue ordering: SPP/SPNP pick by priority; FCFS by release time.
+/// Ties always break deterministically by (job, hop, m).
+struct ReadyOrder {
+  bool fcfs;
+  bool operator()(const Pending& a, const Pending& b) const {
+    if (fcfs) {
+      if (!time_eq(a.release, b.release)) return time_lt(a.release, b.release);
+    } else {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      // Same subjob: FIFO among its own instances.
+      if (!time_eq(a.release, b.release)) return time_lt(a.release, b.release);
+    }
+    if (a.job != b.job) return a.job < b.job;
+    if (a.hop != b.hop) return a.hop < b.hop;
+    return a.m < b.m;
+  }
+};
+
+struct ProcessorState {
+  std::vector<Pending> ready;          // kept sorted on demand
+  std::optional<Pending> running;
+  Time resume_time = 0.0;              // when `running` last started/resumed
+  long long completion_seq = 0;        // invalidates stale completion events
+};
+
+enum class EventKind { kCompletion = 0, kRelease = 1 };
+
+struct Event {
+  Time t = 0.0;
+  EventKind kind = EventKind::kRelease;
+  int processor = -1;
+  long long seq = 0;  // completions: must match ProcessorState::completion_seq
+  Pending payload;
+};
+
+struct EventOrder {
+  bool operator()(const Event& a, const Event& b) const {
+    // priority_queue is a max-heap; return true when a fires *later*.
+    if (!time_eq(a.t, b.t)) return a.t > b.t;
+    if (a.kind != b.kind) return a.kind > b.kind;  // completions first
+    if (a.payload.job != b.payload.job) return a.payload.job > b.payload.job;
+    if (a.payload.hop != b.payload.hop) return a.payload.hop > b.payload.hop;
+    return a.payload.m > b.payload.m;
+  }
+};
+
+}  // namespace
+
+PwlCurve SimResult::service_curve(SubjobRef ref) const {
+  const auto& segs = segments.at(ref.job).at(ref.hop);
+  std::vector<Knot> knots;
+  knots.reserve(segs.size() * 2 + 2);
+  knots.push_back({0.0, 0.0, 0.0});
+  double acc = 0.0;
+  for (const ServiceSegment& s : segs) {
+    if (time_ge(s.begin, horizon)) break;
+    const Time end = std::min(s.end, horizon);
+    if (!time_eq(s.begin, knots.back().t)) {
+      knots.push_back({s.begin, acc, acc});
+    }
+    acc += end - s.begin;
+    knots.push_back({end, acc, acc});
+  }
+  if (!time_eq(knots.back().t, horizon)) knots.push_back({horizon, acc, acc});
+  return PwlCurve(std::move(knots));
+}
+
+PwlCurve SimResult::departure_curve(SubjobRef ref) const {
+  std::vector<Time> times;
+  for (const auto& trace : traces.at(ref.job)) {
+    const Time t = trace.hop_complete.at(ref.hop);
+    if (std::isfinite(t) && time_le(t, horizon)) times.push_back(t);
+  }
+  std::sort(times.begin(), times.end());
+  return PwlCurve::step(horizon, times);
+}
+
+namespace {
+
+SimResult simulate_impl(const System& system, Time horizon,
+                        const PhaseSchedule* schedule) {
+  assert(system.validate().empty());
+
+  SimResult result;
+  result.horizon = horizon;
+  result.traces.resize(system.job_count());
+  result.segments.resize(system.job_count());
+  result.worst_response.assign(system.job_count(), 0.0);
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events;
+
+  for (int k = 0; k < system.job_count(); ++k) {
+    const Job& job = system.job(k);
+    const std::size_t hops = job.chain.size();
+    result.traces[k].assign(job.arrivals.count(), InstanceTrace{});
+    result.segments[k].assign(hops, {});
+    for (auto& trace : result.traces[k]) {
+      trace.hop_release.assign(hops, kTimeInfinity);
+      trace.hop_complete.assign(hops, kTimeInfinity);
+    }
+    for (std::size_t m = 1; m <= job.arrivals.count(); ++m) {
+      Event e;
+      e.t = job.arrivals.release(m);
+      e.kind = EventKind::kRelease;
+      e.processor = job.chain.front().processor;
+      e.payload = {k, 0, static_cast<long long>(m), e.t,
+                   job.chain.front().exec_time, job.chain.front().priority};
+      events.push(e);
+    }
+  }
+
+  std::vector<ProcessorState> procs(system.processor_count());
+
+  // Stop the running instance on `p` at `now`, crediting its service.
+  auto stop_running = [&](int p, Time now) {
+    ProcessorState& ps = procs[p];
+    assert(ps.running.has_value());
+    Pending& r = *ps.running;
+    const double served = now - ps.resume_time;
+    if (served > 0.0) {
+      result.segments[r.job][r.hop].push_back({ps.resume_time, now});
+      r.remaining -= served;
+    }
+    ++ps.completion_seq;  // invalidate the scheduled completion
+  };
+
+  // Start (or keep) the best candidate on `p` at `now`; schedules the
+  // completion event.
+  auto dispatch = [&](int p, Time now) {
+    ProcessorState& ps = procs[p];
+    const bool fcfs = system.scheduler(p) == SchedulerKind::kFcfs;
+    const bool preemptive = system.scheduler(p) == SchedulerKind::kSpp;
+
+    if (ps.ready.empty()) return;
+    const ReadyOrder order{fcfs};
+    auto best_it = std::min_element(ps.ready.begin(), ps.ready.end(), order);
+
+    if (ps.running) {
+      if (!preemptive) return;  // SPNP/FCFS: never preempt
+      if (ps.running->priority <= best_it->priority) return;
+      // Preempt: put the running instance back in the ready set.
+      stop_running(p, now);
+      ps.ready.push_back(*ps.running);
+      ps.running.reset();
+      best_it = std::min_element(ps.ready.begin(), ps.ready.end(), order);
+    }
+
+    ps.running = *best_it;
+    ps.ready.erase(best_it);
+    ps.resume_time = now;
+    ++ps.completion_seq;
+
+    Event done;
+    done.t = now + ps.running->remaining;
+    done.kind = EventKind::kCompletion;
+    done.processor = p;
+    done.seq = ps.completion_seq;
+    done.payload = *ps.running;
+    events.push(done);
+  };
+
+  while (!events.empty()) {
+    const Event e = events.top();
+    events.pop();
+    if (time_gt(e.t, horizon)) break;
+    const Time now = e.t;
+
+    if (e.kind == EventKind::kCompletion) {
+      ProcessorState& ps = procs[e.processor];
+      if (!ps.running || e.seq != ps.completion_seq) continue;  // stale
+      // Record service and completion.
+      stop_running(e.processor, now);
+      const Pending done = *ps.running;
+      ps.running.reset();
+      assert(std::fabs(done.remaining) <= 1e-6);
+
+      InstanceTrace& trace = result.traces[done.job][done.m - 1];
+      trace.hop_complete[done.hop] = now;
+
+      // Release the next hop: immediately (direct synchronization) or at
+      // its Phase Modification slot.
+      const Job& job = system.job(done.job);
+      if (done.hop + 1 < static_cast<int>(job.chain.size())) {
+        const Subjob& next = job.chain[done.hop + 1];
+        Time release_at = now;
+        if (schedule) {
+          const Time offset = schedule->offsets[done.job][done.hop + 1];
+          if (std::isfinite(offset)) {
+            release_at = std::max(
+                release_at, job.arrivals.release(done.m) + offset);
+          }
+        }
+        Event rel;
+        rel.t = release_at;
+        rel.kind = EventKind::kRelease;
+        rel.processor = next.processor;
+        rel.payload = {done.job, done.hop + 1, done.m, release_at,
+                       next.exec_time, next.priority};
+        events.push(rel);
+      }
+      dispatch(e.processor, now);
+    } else {
+      InstanceTrace& trace = result.traces[e.payload.job][e.payload.m - 1];
+      trace.hop_release[e.payload.hop] = now;
+      procs[e.processor].ready.push_back(e.payload);
+      dispatch(e.processor, now);
+    }
+  }
+
+  // Credit partial service of instances still running at the horizon, so
+  // observed service curves are exact up to the end of the window.
+  for (int p = 0; p < system.processor_count(); ++p) {
+    if (procs[p].running && time_lt(procs[p].resume_time, horizon)) {
+      stop_running(p, horizon);
+    }
+  }
+
+  // Summarize responses.
+  result.all_completed = true;
+  for (int k = 0; k < system.job_count(); ++k) {
+    Time worst = 0.0;
+    for (const InstanceTrace& trace : result.traces[k]) {
+      if (!trace.completed()) {
+        worst = kTimeInfinity;
+        result.all_completed = false;
+        break;
+      }
+      worst = std::max(worst, trace.response());
+    }
+    result.worst_response[k] = worst;
+  }
+  return result;
+}
+
+}  // namespace
+
+SimResult simulate(const System& system, Time horizon) {
+  return simulate_impl(system, horizon, nullptr);
+}
+
+SimResult simulate_phased(const System& system, const PhaseSchedule& schedule,
+                          Time horizon) {
+  assert(static_cast<int>(schedule.offsets.size()) == system.job_count());
+  return simulate_impl(system, horizon, &schedule);
+}
+
+}  // namespace rta

@@ -1,0 +1,65 @@
+// Leveled logging to stderr. Quiet by default; benches raise the level.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace rta {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  static void write(LogLevel lvl, const std::string& msg) {
+    if (lvl < level()) return;
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    std::cerr << "[" << name(lvl) << "] " << msg << "\n";
+  }
+
+  static const char* name(LogLevel lvl) {
+    switch (lvl) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+      default: return "off";
+    }
+  }
+};
+
+namespace detail {
+template <typename... Ts>
+std::string format_parts(const Ts&... parts) {
+  std::ostringstream ss;
+  (ss << ... << parts);
+  return ss.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  Log::write(LogLevel::kDebug, detail::format_parts(parts...));
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  Log::write(LogLevel::kInfo, detail::format_parts(parts...));
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  Log::write(LogLevel::kWarn, detail::format_parts(parts...));
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  Log::write(LogLevel::kError, detail::format_parts(parts...));
+}
+
+}  // namespace rta

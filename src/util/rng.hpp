@@ -1,0 +1,80 @@
+// Seeded random number generation with independent, reproducible streams.
+//
+// The evaluation harness shards Monte-Carlo trials across worker threads;
+// each trial derives its own stream from (base seed, trial index) so results
+// are bit-identical regardless of thread count or scheduling.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace rta {
+
+/// Deterministic 64-bit mix (splitmix64) used to derive stream seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Random stream: a mt19937_64 with convenience draws used by generators.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(splitmix64(seed)) {}
+
+  /// Uniform draw in the open interval (lo, hi); never returns an endpoint.
+  [[nodiscard]] double uniform_open(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    double v = dist(engine_);
+    while (v <= lo || v >= hi) v = dist(engine_);
+    return v;
+  }
+
+  /// Uniform draw in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int uniform_int(int lo, int hi) {
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Exponential draw with the given mean.
+  [[nodiscard]] double exponential(double mean) {
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+  }
+
+  /// Gamma draw parameterized by mean and variance (mean, var > 0).
+  /// shape k = mean^2 / var, scale theta = var / mean.
+  [[nodiscard]] double gamma_mean_var(double mean, double var) {
+    std::gamma_distribution<double> dist(mean * mean / var, var / mean);
+    return dist(engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Factory producing per-trial independent streams from one base seed.
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t base_seed) : base_(base_seed) {}
+
+  /// Stream for trial `index`; deterministic in (base seed, index).
+  [[nodiscard]] Rng stream(std::uint64_t index) const {
+    return Rng(splitmix64(base_) ^
+               splitmix64(index * 0x9E3779B97F4A7C15ull + 1));
+  }
+
+ private:
+  std::uint64_t base_;
+};
+
+}  // namespace rta

@@ -1,0 +1,121 @@
+// Fixed-size worker pool for embarrassingly-parallel Monte-Carlo evaluation.
+//
+// Determinism contract: parallel_for_index hands each index to exactly one
+// worker; callers derive per-index RNG streams (util/rng.hpp) so the results
+// do not depend on the number of workers or on scheduling order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rta {
+
+/// A minimal task-queue thread pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers = std::thread::hardware_concurrency()) {
+    if (workers == 0) workers = 1;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; it runs on some worker eventually.
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Run body(i) for i in [0, count) across the pool; blocks until done.
+  /// Exceptions thrown by body terminate (real-time analysis code reports
+  /// errors through return values, not exceptions).
+  void parallel_for_index(std::size_t count,
+                          std::function<void(std::size_t)> body) {
+    if (count == 0) return;
+
+    // Shared ownership: the caller can return as soon as every index has
+    // been processed, while sibling shards may still be probing `next`, so
+    // the state must outlive this frame.
+    struct ForState {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> done{0};
+      std::mutex mutex;
+      std::condition_variable cv;
+      std::size_t count;
+      std::function<void(std::size_t)> body;
+    };
+    auto state = std::make_shared<ForState>();
+    state->count = count;
+    state->body = std::move(body);
+
+    const std::size_t shards = std::min(count, workers_.size());
+    for (std::size_t s = 0; s < shards; ++s) {
+      submit([state] {
+        for (;;) {
+          const std::size_t i =
+              state->next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= state->count) break;
+          state->body(i);
+          if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+              state->count) {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->cv.notify_all();
+          }
+        }
+      });
+    }
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->count;
+    });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace rta

@@ -1,0 +1,71 @@
+// Tolerant floating-point time arithmetic.
+//
+// Release times in this system are real-valued (the paper's bursty arrival
+// generator, Eq. 27, produces irrational instants), so time is represented as
+// double. Every comparison that feeds a discrete decision -- "did instance m
+// depart no later than t", "how many whole executions fit into S(t)" -- goes
+// through the tolerant helpers here so that 2.9999999996 counts as 3.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace rta {
+
+/// Time instants and durations, in abstract time units.
+using Time = double;
+
+/// Sentinel for "never" / unbounded response time.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Absolute tolerance used by all time comparisons.
+inline constexpr double kTimeEpsAbs = 1e-9;
+/// Relative tolerance used by all time comparisons.
+inline constexpr double kTimeEpsRel = 1e-12;
+
+/// Combined tolerance for values of magnitude |a| and |b|.
+[[nodiscard]] inline double time_tolerance(Time a, Time b) {
+  const double mag = std::fmax(std::fabs(a), std::fabs(b));
+  return kTimeEpsAbs + kTimeEpsRel * mag;
+}
+
+/// a == b within tolerance.
+[[nodiscard]] inline bool time_eq(Time a, Time b) {
+  if (std::isinf(a) || std::isinf(b)) return a == b;
+  return std::fabs(a - b) <= time_tolerance(a, b);
+}
+
+/// a < b and not within tolerance.
+[[nodiscard]] inline bool time_lt(Time a, Time b) {
+  return a < b && !time_eq(a, b);
+}
+
+/// a <= b within tolerance.
+[[nodiscard]] inline bool time_le(Time a, Time b) {
+  return a < b || time_eq(a, b);
+}
+
+/// a > b and not within tolerance.
+[[nodiscard]] inline bool time_gt(Time a, Time b) { return time_lt(b, a); }
+
+/// a >= b within tolerance.
+[[nodiscard]] inline bool time_ge(Time a, Time b) { return time_le(b, a); }
+
+/// floor(x) robust against x being epsilon below an integer.
+[[nodiscard]] inline long long tolerant_floor(double x) {
+  const double nudged = x + kTimeEpsAbs + kTimeEpsRel * std::fabs(x);
+  return static_cast<long long>(std::floor(nudged));
+}
+
+/// ceil(x) robust against x being epsilon above an integer.
+[[nodiscard]] inline long long tolerant_ceil(double x) {
+  const double nudged = x - (kTimeEpsAbs + kTimeEpsRel * std::fabs(x));
+  return static_cast<long long>(std::ceil(nudged));
+}
+
+/// Clamp tiny negative values (arithmetic noise) to exact zero.
+[[nodiscard]] inline Time clamp_nonnegative(Time t) {
+  return (t < 0.0 && t > -kTimeEpsAbs) ? 0.0 : t;
+}
+
+}  // namespace rta

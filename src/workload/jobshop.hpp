@@ -1,0 +1,61 @@
+// The paper's evaluation workload: a job shop of stages (§5.1, Figure 2).
+//
+// The shop is a sequence of stages, each holding a number of processors.
+// Every job traverses the stages in order and executes on one (randomly
+// assigned) processor per stage. Release times follow Eq. 25 (periodic) or
+// Eq. 27 (bursty aperiodic); execution times follow Eq. 26 / Eq. 28, scaled
+// so the per-processor demand tracks the target utilization; deadlines are
+// a multiple of the period (periodic case) or drawn from a distribution with
+// configurable mean and variance (aperiodic case, Figure 4's panel grid).
+#pragma once
+
+#include <cstddef>
+
+#include "model/system.hpp"
+#include "util/rng.hpp"
+
+namespace rta {
+
+/// Arrival pattern for the generated job set.
+enum class ArrivalPattern {
+  kPeriodic,   ///< Eq. 25: t_m = (m-1)/x,          x ~ U(0,1)
+  kAperiodic,  ///< Eq. 27: t_m = sqrt(x^2+(m-1)^2)/x - 1
+};
+
+/// Deadline model.
+struct DeadlineModel {
+  /// Periodic case: deadline = multiple * period.
+  double period_multiple = 2.0;
+  /// Aperiodic case: deadline ~ Gamma(mean, variance), clamped to at least
+  /// the job's total execution time (a smaller deadline is trivially
+  /// unschedulable noise). The paper uses an exponential distribution, which
+  /// is Gamma with variance = mean^2; Figure 4 varies mean and variance
+  /// independently, so we expose both.
+  double mean = 4.0;
+  double variance = 16.0;
+};
+
+/// Generator parameters.
+struct JobShopConfig {
+  std::size_t stages = 4;
+  std::size_t processors_per_stage = 2;
+  std::size_t jobs = 6;
+  ArrivalPattern pattern = ArrivalPattern::kPeriodic;
+  DeadlineModel deadline;
+  /// Target utilization knob of Eq. 26 / Eq. 28.
+  double utilization = 0.5;
+  /// Generation window as a multiple of the largest job period 1/x.
+  double window_periods = 10.0;
+  /// Scheduler installed on every processor.
+  SchedulerKind scheduler = SchedulerKind::kSpp;
+  /// Rejection floor for x ~ U(0,1): avoids pathologically long periods
+  /// (1/x explodes as x -> 0), matching the paper's bounded experiments.
+  double min_rate = 0.05;
+};
+
+/// Generate a random job-shop system. Priorities are NOT assigned; callers
+/// apply a policy from model/priority.hpp (the paper uses
+/// assign_proportional_deadline_monotonic).
+[[nodiscard]] System generate_jobshop(const JobShopConfig& config, Rng& rng);
+
+}  // namespace rta

@@ -1,0 +1,220 @@
+// Unit and property tests for the curve algebra (curve/algebra.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "curve/algebra.hpp"
+#include "util/rng.hpp"
+
+namespace rta {
+namespace {
+
+PwlCurve random_step(Rng& rng, Time horizon, int jumps) {
+  std::vector<Time> times;
+  for (int i = 0; i < jumps; ++i) times.push_back(rng.uniform(0.0, horizon));
+  std::sort(times.begin(), times.end());
+  return PwlCurve::step(horizon, times);
+}
+
+TEST(Algebra, AddPointwise) {
+  const PwlCurve id = PwlCurve::identity(10.0);
+  const PwlCurve st = PwlCurve::step(10.0, {2.0, 4.0});
+  const PwlCurve sum = curve_add(id, st);
+  EXPECT_DOUBLE_EQ(sum.eval(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(sum.eval(2.0), 3.0);
+  EXPECT_DOUBLE_EQ(sum.eval_left(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(sum.eval(5.0), 7.0);
+}
+
+TEST(Algebra, SubCanDip) {
+  const PwlCurve id = PwlCurve::identity(10.0);
+  const PwlCurve st = PwlCurve::step(10.0, {2.0, 2.0, 2.0});
+  const PwlCurve diff = curve_sub(id, st);
+  EXPECT_DOUBLE_EQ(diff.eval(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(diff.eval(2.0), -1.0);
+  EXPECT_FALSE(diff.is_nondecreasing());
+}
+
+TEST(Algebra, MinMaxInsertCrossings) {
+  const PwlCurve id = PwlCurve::identity(10.0);
+  const PwlCurve c = PwlCurve::constant(10.0, 4.0);
+  const PwlCurve lo = curve_min(id, c);
+  const PwlCurve hi = curve_max(id, c);
+  EXPECT_DOUBLE_EQ(lo.eval(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(lo.eval(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(lo.eval(7.0), 4.0);
+  EXPECT_DOUBLE_EQ(hi.eval(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(hi.eval(7.0), 7.0);
+  // Exactness between grid points around the crossing.
+  EXPECT_DOUBLE_EQ(lo.eval(3.999), 3.999);
+  EXPECT_DOUBLE_EQ(hi.eval(4.001), 4.001);
+}
+
+TEST(Algebra, MinMaxIdentities) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const PwlCurve a = random_step(rng, 10.0, 5);
+    const PwlCurve b = random_step(rng, 10.0, 5);
+    const PwlCurve mn = curve_min(a, b);
+    const PwlCurve mx = curve_max(a, b);
+    // min + max == a + b pointwise.
+    EXPECT_TRUE(curve_add(mn, mx).approx_equal(curve_add(a, b)));
+    // min <= a <= max at sampled points.
+    for (double t = 0.0; t <= 10.0; t += 0.37) {
+      EXPECT_LE(mn.eval(t), a.eval(t) + 1e-9);
+      EXPECT_GE(mx.eval(t), a.eval(t) - 1e-9);
+    }
+  }
+}
+
+TEST(Algebra, ScaleAndAddConstant) {
+  const PwlCurve st = PwlCurve::step(10.0, {1.0, 2.0});
+  const PwlCurve scaled = curve_scale(st, 2.5);
+  EXPECT_DOUBLE_EQ(scaled.eval(1.5), 2.5);
+  EXPECT_DOUBLE_EQ(scaled.eval(2.0), 5.0);
+  const PwlCurve shifted = curve_add_constant(st, -1.0);
+  EXPECT_DOUBLE_EQ(shifted.eval(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(shifted.eval(2.0), 1.0);
+}
+
+TEST(Algebra, ClampMin) {
+  const PwlCurve c = curve_add_constant(PwlCurve::identity(10.0), -3.0);
+  const PwlCurve clamped = curve_clamp_min(c, 0.0);
+  EXPECT_DOUBLE_EQ(clamped.eval(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamped.eval(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamped.eval(5.0), 2.0);
+}
+
+TEST(Algebra, ShiftRightDelaysCurve) {
+  const PwlCurve st = PwlCurve::step(10.0, {1.0, 3.0});
+  const PwlCurve sh = curve_shift_right(st, 2.0);
+  EXPECT_DOUBLE_EQ(sh.eval(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sh.eval(2.9), 0.0);
+  EXPECT_DOUBLE_EQ(sh.eval(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(sh.eval(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(sh.horizon(), 10.0);
+}
+
+TEST(Algebra, ShiftRightZeroIsIdentity) {
+  const PwlCurve st = PwlCurve::step(10.0, {1.0});
+  EXPECT_TRUE(curve_shift_right(st, 0.0).approx_equal(st));
+}
+
+TEST(Algebra, ShiftRightBeyondHorizonIsConstant) {
+  const PwlCurve st = PwlCurve::step(10.0, {1.0});
+  const PwlCurve sh = curve_shift_right(st, 20.0);
+  EXPECT_DOUBLE_EQ(sh.eval(10.0), 0.0);
+}
+
+TEST(Algebra, ShiftRightHoldsInitialValue) {
+  const PwlCurve st = PwlCurve::step(10.0, {0.0, 4.0});  // value 1 at t=0
+  const PwlCurve sh = curve_shift_right(st, 3.0);
+  EXPECT_DOUBLE_EQ(sh.eval(0.0), 1.0);  // g(t) = f(0) for t < dt
+  EXPECT_DOUBLE_EQ(sh.eval(2.9), 1.0);
+  EXPECT_DOUBLE_EQ(sh.eval(7.0), 2.0);
+}
+
+TEST(Algebra, RunningMaxOfMonotoneIsIdentity) {
+  const PwlCurve id = PwlCurve::identity(10.0);
+  EXPECT_TRUE(curve_running_max(id).approx_equal(id));
+  const PwlCurve st = PwlCurve::step(10.0, {1.0, 5.0});
+  EXPECT_TRUE(curve_running_max(st).approx_equal(st));
+}
+
+TEST(Algebra, RunningMaxPlateausOverDips) {
+  // f = t - step(2): dips at t=2 from 2 to 1, recovers by t=3.
+  const PwlCurve f =
+      curve_sub(PwlCurve::identity(10.0), PwlCurve::step(10.0, {2.0}));
+  const PwlCurve m = curve_running_max(f);
+  EXPECT_DOUBLE_EQ(m.eval(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.eval(2.0), 2.0);  // left limit kept
+  EXPECT_DOUBLE_EQ(m.eval(2.5), 2.0);  // plateau
+  EXPECT_DOUBLE_EQ(m.eval(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(m.eval(4.0), 3.0);  // follows f again
+  EXPECT_TRUE(m.is_nondecreasing());
+}
+
+TEST(Algebra, RunningMaxIsSmallestMonotoneDominator) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const PwlCurve f = curve_sub(random_step(rng, 10.0, 6),
+                                 random_step(rng, 10.0, 6));
+    const PwlCurve m = curve_running_max(f);
+    EXPECT_TRUE(m.is_nondecreasing());
+    for (double t = 0.0; t <= 10.0; t += 0.31) {
+      EXPECT_GE(m.eval(t) + 1e-9, f.eval(t));
+      EXPECT_GE(m.eval(t) + 1e-9, f.eval_left(t));
+    }
+  }
+}
+
+TEST(Algebra, RightRunningMinMirrorsRunningMax) {
+  // Continuous zig-zag: rises to 3 at t=3, falls to 1 at t=5, rises to 4.
+  const PwlCurve f({{0.0, 0.0, 0.0}, {3.0, 3.0, 3.0}, {5.0, 1.0, 1.0},
+                    {10.0, 4.0, 4.0}});
+  const PwlCurve r = curve_right_running_min(f);
+  EXPECT_TRUE(r.is_nondecreasing());
+  EXPECT_DOUBLE_EQ(r.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.eval(2.0), 1.0);   // min over [2,10] is the dip
+  EXPECT_DOUBLE_EQ(r.eval(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.eval(7.0), f.eval(7.0));
+  for (double t = 0.0; t <= 10.0; t += 0.13) {
+    EXPECT_LE(r.eval(t), f.eval(t) + 1e-9);
+  }
+}
+
+TEST(Algebra, SumOfCurves) {
+  std::vector<PwlCurve> cs = {PwlCurve::step(5.0, {1.0}),
+                              PwlCurve::step(5.0, {2.0}),
+                              PwlCurve::step(5.0, {3.0})};
+  const PwlCurve s = curve_sum(cs, 5.0);
+  EXPECT_DOUBLE_EQ(s.eval(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.eval(2.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.eval(4.0), 3.0);
+  EXPECT_TRUE(curve_sum({}, 5.0).approx_equal(PwlCurve::zero(5.0)));
+}
+
+TEST(Algebra, FloorDivCountsCompletions) {
+  // S(t) = t: with tau = 2, completions at t = 2, 4, 6, 8, 10.
+  const PwlCurve dep = curve_floor_div(PwlCurve::identity(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(dep.eval(1.9), 0.0);
+  EXPECT_DOUBLE_EQ(dep.eval(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(dep.eval(9.99), 4.0);
+  EXPECT_DOUBLE_EQ(dep.eval(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(dep.pseudo_inverse(3.0), 6.0);
+}
+
+TEST(Algebra, FloorDivToleratesEpsilon) {
+  // S reaches 2*tau minus epsilon: the tolerant floor still counts 2.
+  const PwlCurve s({{0.0, 0.0, 0.0}, {5.0, 4.0 - 1e-11, 4.0 - 1e-11},
+                    {10.0, 4.0 - 1e-11, 4.0 - 1e-11}});
+  const PwlCurve dep = curve_floor_div(s, 2.0);
+  EXPECT_DOUBLE_EQ(dep.end_value(), 2.0);
+}
+
+TEST(Algebra, FirstCrossingOnMonotoneMatchesPseudoInverse) {
+  const PwlCurve st = PwlCurve::step(10.0, {1.0, 4.0, 7.0});
+  for (double y : {0.5, 1.0, 2.0, 3.0}) {
+    EXPECT_DOUBLE_EQ(curve_first_crossing(st, y), st.pseudo_inverse(y));
+  }
+  EXPECT_TRUE(std::isinf(curve_first_crossing(st, 4.0)));
+}
+
+TEST(Algebra, FirstCrossingOnDippingCurve) {
+  // Rises to 3 at t=3, dips to 1, rises to 4 by t=10.
+  const PwlCurve f({{0.0, 0.0, 0.0}, {3.0, 3.0, 3.0}, {5.0, 1.0, 1.0},
+                    {10.0, 4.0, 4.0}});
+  EXPECT_DOUBLE_EQ(curve_first_crossing(f, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(curve_first_crossing(f, 3.0), 3.0);
+  EXPECT_NEAR(curve_first_crossing(f, 3.5), 5.0 + 2.5 / 0.6, 1e-9);
+}
+
+TEST(Algebra, CrossingCountsMatchFloorDivOnMonotone) {
+  const PwlCurve s = PwlCurve::identity(10.0);
+  const PwlCurve a = curve_crossing_counts(s, 2.0);
+  const PwlCurve b = curve_floor_div(s, 2.0);
+  EXPECT_TRUE(a.approx_equal(b));
+}
+
+}  // namespace
+}  // namespace rta

@@ -1,0 +1,149 @@
+// Randomized algebraic identities over the curve substrate: the operators
+// must satisfy the (pointwise) semiring/lattice laws the analyzers silently
+// rely on when composing them.
+#include <gtest/gtest.h>
+
+#include "curve/algebra.hpp"
+#include "curve/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace rta {
+namespace {
+
+constexpr Time kHorizon = 12.0;
+
+PwlCurve random_curve(Rng& rng) {
+  // Mix of steps and ramps: start from a step curve, add a random line.
+  std::vector<Time> jumps;
+  const int n = rng.uniform_int(0, 8);
+  for (int i = 0; i < n; ++i) jumps.push_back(rng.uniform(0.0, kHorizon));
+  std::sort(jumps.begin(), jumps.end());
+  const PwlCurve steps =
+      PwlCurve::step(kHorizon, jumps, rng.uniform(0.25, 2.0));
+  return curve_add(steps, PwlCurve::line(kHorizon, rng.uniform(0.0, 1.5)));
+}
+
+class AlgebraProperties : public testing::TestWithParam<int> {};
+
+TEST_P(AlgebraProperties, AddIsCommutativeAndAssociative) {
+  Rng rng(GetParam());
+  const PwlCurve a = random_curve(rng);
+  const PwlCurve b = random_curve(rng);
+  const PwlCurve c = random_curve(rng);
+  EXPECT_TRUE(curve_add(a, b).approx_equal(curve_add(b, a)));
+  EXPECT_TRUE(curve_add(curve_add(a, b), c)
+                  .approx_equal(curve_add(a, curve_add(b, c))));
+}
+
+TEST_P(AlgebraProperties, MinMaxAreCommutativeAssociativeAbsorbing) {
+  Rng rng(GetParam() + 1000);
+  const PwlCurve a = random_curve(rng);
+  const PwlCurve b = random_curve(rng);
+  const PwlCurve c = random_curve(rng);
+  EXPECT_TRUE(curve_min(a, b).approx_equal(curve_min(b, a)));
+  EXPECT_TRUE(curve_max(a, b).approx_equal(curve_max(b, a)));
+  EXPECT_TRUE(curve_min(curve_min(a, b), c)
+                  .approx_equal(curve_min(a, curve_min(b, c))));
+  // Absorption: min(a, max(a, b)) == a.
+  EXPECT_TRUE(curve_min(a, curve_max(a, b)).approx_equal(a));
+  EXPECT_TRUE(curve_max(a, curve_min(a, b)).approx_equal(a));
+}
+
+TEST_P(AlgebraProperties, AdditionDistributesOverMinMax) {
+  // a + min(b, c) == min(a+b, a+c) (pointwise arithmetic).
+  Rng rng(GetParam() + 2000);
+  const PwlCurve a = random_curve(rng);
+  const PwlCurve b = random_curve(rng);
+  const PwlCurve c = random_curve(rng);
+  EXPECT_TRUE(curve_add(a, curve_min(b, c))
+                  .approx_equal(curve_min(curve_add(a, b), curve_add(a, c))));
+  EXPECT_TRUE(curve_add(a, curve_max(b, c))
+                  .approx_equal(curve_max(curve_add(a, b), curve_add(a, c))));
+}
+
+TEST_P(AlgebraProperties, SubThenAddRoundTrips) {
+  Rng rng(GetParam() + 3000);
+  const PwlCurve a = random_curve(rng);
+  const PwlCurve b = random_curve(rng);
+  EXPECT_TRUE(curve_add(curve_sub(a, b), b).approx_equal(a));
+}
+
+TEST_P(AlgebraProperties, ScaleIsLinear) {
+  Rng rng(GetParam() + 4000);
+  const PwlCurve a = random_curve(rng);
+  const PwlCurve b = random_curve(rng);
+  const double k = rng.uniform(0.5, 3.0);
+  EXPECT_TRUE(curve_scale(curve_add(a, b), k)
+                  .approx_equal(curve_add(curve_scale(a, k),
+                                          curve_scale(b, k))));
+}
+
+TEST_P(AlgebraProperties, ShiftComposes) {
+  Rng rng(GetParam() + 5000);
+  const PwlCurve a = random_curve(rng);
+  const Time d1 = rng.uniform(0.0, 3.0);
+  const Time d2 = rng.uniform(0.0, 3.0);
+  const PwlCurve lhs = curve_shift_right(curve_shift_right(a, d1), d2);
+  const PwlCurve rhs = curve_shift_right(a, d1 + d2);
+  EXPECT_LE(lhs.max_abs_difference(rhs), 1e-7);
+}
+
+TEST_P(AlgebraProperties, RunningMaxIsIdempotentAndMonotone) {
+  Rng rng(GetParam() + 6000);
+  const PwlCurve f =
+      curve_sub(random_curve(rng), random_curve(rng));  // non-monotone
+  const PwlCurve m = curve_running_max(f);
+  EXPECT_TRUE(m.is_nondecreasing());
+  EXPECT_TRUE(curve_running_max(m).approx_equal(m));
+  // Dominates f and is dominated by any monotone dominator: spot-check via
+  // max(f, m) == m.
+  EXPECT_TRUE(curve_max(f, m).approx_equal(m));
+}
+
+TEST_P(AlgebraProperties, PseudoInverseGaloisConnection) {
+  // For nondecreasing g: g(t) >= y  <=>  t >= g^{-1}(y) (within tolerance).
+  Rng rng(GetParam() + 7000);
+  const PwlCurve g = random_curve(rng);
+  for (int i = 0; i < 20; ++i) {
+    const double y = rng.uniform(0.0, g.end_value() + 0.5);
+    const Time inv = g.pseudo_inverse(y);
+    if (std::isinf(inv)) {
+      EXPECT_LT(g.end_value(), y + 1e-6);
+      continue;
+    }
+    EXPECT_GE(g.eval(inv), y - 1e-6);
+    if (inv > 1e-9) {
+      EXPECT_LT(g.eval_left(inv * (1.0 - 1e-9)), y + 1e-6);
+    }
+  }
+}
+
+TEST_P(AlgebraProperties, ServiceTransformMonotoneInBothArguments) {
+  // More availability or more demand never yields less service.
+  Rng rng(GetParam() + 8000);
+  std::vector<Time> j1, j2;
+  for (int i = 0; i < 5; ++i) {
+    j1.push_back(rng.uniform(0.0, kHorizon));
+    j2.push_back(rng.uniform(0.0, kHorizon));
+  }
+  std::sort(j1.begin(), j1.end());
+  std::sort(j2.begin(), j2.end());
+  const PwlCurve c_small = curve_scale(PwlCurve::step(kHorizon, j1), 0.4);
+  const PwlCurve c_big = curve_add(
+      c_small, curve_scale(PwlCurve::step(kHorizon, j2), 0.3));
+  const PwlCurve a_small = PwlCurve::line(kHorizon, 0.6);
+  const PwlCurve a_big = PwlCurve::identity(kHorizon);
+
+  const PwlCurve s_base = service_transform(a_small, c_small);
+  const PwlCurve s_more_avail = service_transform(a_big, c_small);
+  const PwlCurve s_more_demand = service_transform(a_small, c_big);
+  for (double t = 0.0; t <= kHorizon; t += 0.37) {
+    EXPECT_GE(s_more_avail.eval(t) + 1e-9, s_base.eval(t)) << t;
+    EXPECT_GE(s_more_demand.eval(t) + 1e-9, s_base.eval(t)) << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraProperties, testing::Range(1, 13));
+
+}  // namespace
+}  // namespace rta

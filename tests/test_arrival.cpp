@@ -1,0 +1,123 @@
+// Unit tests for arrival sequences and the paper's generators (Eq. 25/27).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "curve/arrival.hpp"
+
+namespace rta {
+namespace {
+
+TEST(ArrivalSequence, PeriodicMatchesEq25) {
+  // Eq. 25: t_m = (m-1)/x with x = 0.5 -> period 2.
+  const ArrivalSequence a = ArrivalSequence::periodic(2.0, 10.0);
+  ASSERT_EQ(a.count(), 6u);
+  for (std::size_t m = 1; m <= 6; ++m) {
+    EXPECT_DOUBLE_EQ(a.release(m), 2.0 * static_cast<double>(m - 1));
+  }
+  EXPECT_DOUBLE_EQ(a.min_inter_arrival(), 2.0);
+}
+
+TEST(ArrivalSequence, PeriodicWithOffset) {
+  const ArrivalSequence a = ArrivalSequence::periodic(3.0, 10.0, 1.0);
+  ASSERT_EQ(a.count(), 4u);  // 1, 4, 7, 10
+  EXPECT_DOUBLE_EQ(a.release(1), 1.0);
+  EXPECT_DOUBLE_EQ(a.release(4), 10.0);
+}
+
+TEST(ArrivalSequence, BurstyEq27StartsAtZero) {
+  const ArrivalSequence a = ArrivalSequence::bursty_eq27(0.5, 50.0);
+  ASSERT_GE(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.release(1), 0.0);  // m=1: sqrt(x^2)/x - 1 = 0
+}
+
+TEST(ArrivalSequence, BurstyEq27MatchesFormula) {
+  const double x = 0.7;
+  const ArrivalSequence a = ArrivalSequence::bursty_eq27(x, 30.0);
+  for (std::size_t m = 1; m <= a.count(); ++m) {
+    const double dm = static_cast<double>(m - 1);
+    EXPECT_NEAR(a.release(m), std::sqrt(x * x + dm * dm) / x - 1.0, 1e-12);
+  }
+}
+
+TEST(ArrivalSequence, BurstyEq27IsInitiallyBursty) {
+  // Early gaps are shorter than the asymptotic period 1/x; gaps increase
+  // towards 1/x.
+  const double x = 0.4;
+  const ArrivalSequence a = ArrivalSequence::bursty_eq27(x, 100.0);
+  ASSERT_GE(a.count(), 10u);
+  const double period = 1.0 / x;
+  double prev_gap = 0.0;
+  for (std::size_t m = 2; m <= 10; ++m) {
+    const double gap = a.release(m) - a.release(m - 1);
+    EXPECT_LT(gap, period + 1e-9);
+    EXPECT_GE(gap, prev_gap - 1e-9);  // gaps are nondecreasing
+    prev_gap = gap;
+  }
+  // The last observed gap is close to the period.
+  const double last_gap = a.release(a.count()) - a.release(a.count() - 1);
+  EXPECT_NEAR(last_gap, period, 0.05 * period);
+}
+
+TEST(ArrivalSequence, JitteredPeriodicStaysSorted) {
+  Rng rng(17);
+  const ArrivalSequence a =
+      ArrivalSequence::jittered_periodic(2.0, 5.0, 40.0, rng);
+  const auto& rel = a.releases();
+  for (std::size_t i = 1; i < rel.size(); ++i) {
+    EXPECT_LE(rel[i - 1], rel[i]);
+  }
+}
+
+TEST(ArrivalSequence, BurstThenPeriodic) {
+  const ArrivalSequence a =
+      ArrivalSequence::burst_then_periodic(3, 0.5, 4.0, 20.0);
+  ASSERT_GE(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.release(1), 0.0);
+  EXPECT_DOUBLE_EQ(a.release(2), 0.5);
+  EXPECT_DOUBLE_EQ(a.release(3), 1.0);
+  // Steady phase: one period after the last burst release, so the head
+  // burst stays exactly 3 arrivals.
+  EXPECT_DOUBLE_EQ(a.release(4), 5.0);
+  EXPECT_DOUBLE_EQ(a.release(5), 9.0);
+  EXPECT_DOUBLE_EQ(a.min_inter_arrival(), 0.5);
+}
+
+TEST(ArrivalSequence, PoissonHasRoughlyRateArrivals) {
+  Rng rng(23);
+  const double rate = 2.0;
+  const ArrivalSequence a = ArrivalSequence::poisson(rate, 500.0, rng);
+  // ~1000 expected; allow 5 sigma.
+  EXPECT_NEAR(static_cast<double>(a.count()), 1000.0, 160.0);
+  const auto& rel = a.releases();
+  for (std::size_t i = 1; i < rel.size(); ++i) {
+    EXPECT_LE(rel[i - 1], rel[i]);
+  }
+  EXPECT_GE(rel.front(), 0.0);
+  EXPECT_LE(rel.back(), 500.0);
+}
+
+TEST(ArrivalSequence, ToCurveMatchesDef1) {
+  const ArrivalSequence a(std::vector<Time>{1.0, 1.0, 3.0});
+  const PwlCurve f = a.to_curve(10.0);
+  EXPECT_DOUBLE_EQ(f.eval(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.eval(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.eval(2.9), 2.0);
+  EXPECT_DOUBLE_EQ(f.eval(3.0), 3.0);
+  // Eq. 3: f^{-1}(m) = t_m.
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(3.0), 3.0);
+}
+
+TEST(ArrivalSequence, EmptySequence) {
+  const ArrivalSequence a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.last_release(), 0.0);
+  EXPECT_TRUE(std::isinf(a.min_inter_arrival()));
+  EXPECT_TRUE(a.to_curve(5.0).approx_equal(PwlCurve::zero(5.0)));
+}
+
+}  // namespace
+}  // namespace rta

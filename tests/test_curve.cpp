@@ -1,0 +1,159 @@
+// Unit tests for PwlCurve: construction, evaluation, left limits,
+// pseudo-inverse (Def. 5), and structural invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "curve/pwl_curve.hpp"
+
+namespace rta {
+namespace {
+
+TEST(PwlCurve, DefaultIsZeroAtOrigin) {
+  PwlCurve c;
+  EXPECT_DOUBLE_EQ(c.eval(0.0), 0.0);
+  EXPECT_TRUE(c.check_invariants());
+}
+
+TEST(PwlCurve, ConstantAndZeroFactories) {
+  const PwlCurve z = PwlCurve::zero(10.0);
+  const PwlCurve c = PwlCurve::constant(10.0, 3.5);
+  EXPECT_DOUBLE_EQ(z.eval(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.eval(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(c.eval(10.0), 3.5);
+  EXPECT_TRUE(c.is_nondecreasing());
+  EXPECT_TRUE(c.is_continuous());
+}
+
+TEST(PwlCurve, IdentityEvaluatesToT) {
+  const PwlCurve id = PwlCurve::identity(8.0);
+  for (double t : {0.0, 0.5, 3.3, 8.0}) {
+    EXPECT_DOUBLE_EQ(id.eval(t), t);
+    EXPECT_DOUBLE_EQ(id.eval_left(t), t);
+  }
+}
+
+TEST(PwlCurve, LineWithSlope) {
+  const PwlCurve l = PwlCurve::line(4.0, 2.5);
+  EXPECT_DOUBLE_EQ(l.eval(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(l.end_value(), 10.0);
+}
+
+TEST(PwlCurve, StepCurveCountsArrivals) {
+  const PwlCurve f = PwlCurve::step(10.0, {1.0, 2.5, 2.5, 7.0});
+  EXPECT_DOUBLE_EQ(f.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.eval(0.999), 0.0);
+  EXPECT_DOUBLE_EQ(f.eval(1.0), 1.0);   // right-continuous at the jump
+  EXPECT_DOUBLE_EQ(f.eval_left(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.eval(2.5), 3.0);   // double jump merges
+  EXPECT_DOUBLE_EQ(f.eval_left(2.5), 1.0);
+  EXPECT_DOUBLE_EQ(f.eval(6.9), 3.0);
+  EXPECT_DOUBLE_EQ(f.eval(7.0), 4.0);
+  EXPECT_DOUBLE_EQ(f.eval(10.0), 4.0);
+  EXPECT_TRUE(f.is_nondecreasing());
+  EXPECT_FALSE(f.is_continuous());
+}
+
+TEST(PwlCurve, StepWithArrivalAtZero) {
+  const PwlCurve f = PwlCurve::step(5.0, {0.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(f.eval(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.eval_left(0.0), 2.0);  // convention: f(0^-) = f(0)
+  EXPECT_DOUBLE_EQ(f.eval(1.0), 3.0);
+}
+
+TEST(PwlCurve, StepIgnoresJumpsBeyondHorizon) {
+  const PwlCurve f = PwlCurve::step(5.0, {1.0, 9.0});
+  EXPECT_DOUBLE_EQ(f.end_value(), 1.0);
+}
+
+TEST(PwlCurve, StepHeightScales) {
+  const PwlCurve f = PwlCurve::step(5.0, {1.0, 2.0}, 2.5);
+  EXPECT_DOUBLE_EQ(f.eval(1.5), 2.5);
+  EXPECT_DOUBLE_EQ(f.eval(2.0), 5.0);
+}
+
+TEST(PwlCurve, EvalInterpolatesSegments) {
+  // Piecewise: 0 on [0,1], slope 2 on [1,3], flat after.
+  const PwlCurve c({{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, {3.0, 4.0, 4.0},
+                    {10.0, 4.0, 4.0}});
+  EXPECT_DOUBLE_EQ(c.eval(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.eval(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.eval(3.0), 4.0);
+  EXPECT_DOUBLE_EQ(c.eval(9.0), 4.0);
+}
+
+TEST(PwlCurve, EvalClampsOutsideHorizon) {
+  const PwlCurve c = PwlCurve::identity(5.0);
+  EXPECT_DOUBLE_EQ(c.eval(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.eval(100.0), 5.0);
+}
+
+TEST(PwlCurve, EvalSnapsNearKnots) {
+  const PwlCurve f = PwlCurve::step(10.0, {2.0});
+  EXPECT_DOUBLE_EQ(f.eval(2.0 - 1e-13), 1.0);  // snaps to the knot
+  EXPECT_DOUBLE_EQ(f.eval(2.0 + 1e-13), 1.0);
+}
+
+TEST(PwlCurve, PseudoInverseOfStepGivesArrivalTimes) {
+  // Def. 5 / Eq. 3: f^{-1}(m) = t_m.
+  const PwlCurve f = PwlCurve::step(10.0, {1.0, 2.5, 2.5, 7.0});
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(2.0), 2.5);
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(3.0), 2.5);
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(4.0), 7.0);
+  EXPECT_TRUE(std::isinf(f.pseudo_inverse(5.0)));
+}
+
+TEST(PwlCurve, PseudoInverseOnContinuousCurve) {
+  const PwlCurve id = PwlCurve::identity(10.0);
+  EXPECT_DOUBLE_EQ(id.pseudo_inverse(3.3), 3.3);
+  EXPECT_DOUBLE_EQ(id.pseudo_inverse(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(id.pseudo_inverse(-1.0), 0.0);
+}
+
+TEST(PwlCurve, PseudoInverseFlatSegmentReturnsFirstReach) {
+  // Rises to 2 at t=2, flat on [2,5], rises again.
+  const PwlCurve c({{0.0, 0.0, 0.0}, {2.0, 2.0, 2.0}, {5.0, 2.0, 2.0},
+                    {8.0, 5.0, 5.0}});
+  EXPECT_DOUBLE_EQ(c.pseudo_inverse(2.0), 2.0);
+  EXPECT_NEAR(c.pseudo_inverse(2.0 + 1e-3), 5.0 + 1e-3, 1e-6);
+}
+
+TEST(PwlCurve, NormalizationMergesDuplicateKnots) {
+  const PwlCurve c({{0.0, 0.0, 0.0}, {1.0, 1.0, 2.0}, {1.0, 2.0, 3.0},
+                    {4.0, 3.0, 3.0}});
+  EXPECT_DOUBLE_EQ(c.eval(1.0), 3.0);       // jumps compose
+  EXPECT_DOUBLE_EQ(c.eval_left(1.0), 1.0);
+  EXPECT_TRUE(c.check_invariants());
+}
+
+TEST(PwlCurve, NormalizationDropsCollinearKnots) {
+  const PwlCurve c({{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}, {2.0, 2.0, 2.0},
+                    {4.0, 4.0, 4.0}});
+  EXPECT_EQ(c.knot_count(), 2u);  // identity needs only its endpoints
+  EXPECT_DOUBLE_EQ(c.eval(3.0), 3.0);
+}
+
+TEST(PwlCurve, ConstructorAnchorsAtZero) {
+  const PwlCurve c({{2.0, 1.0, 1.0}, {5.0, 4.0, 4.0}});
+  EXPECT_DOUBLE_EQ(c.eval(0.0), 1.0);  // extended flat to the left
+  EXPECT_DOUBLE_EQ(c.eval(2.0), 1.0);
+  EXPECT_TRUE(c.check_invariants());
+}
+
+TEST(PwlCurve, MaxAbsDifferenceSeesJumpMismatch) {
+  const PwlCurve a = PwlCurve::step(10.0, {5.0});
+  const PwlCurve b = PwlCurve::zero(10.0);
+  EXPECT_DOUBLE_EQ(a.max_abs_difference(b), 1.0);
+  EXPECT_FALSE(a.approx_equal(b));
+  EXPECT_TRUE(a.approx_equal(a));
+}
+
+TEST(PwlCurve, IsNondecreasingDetectsDips) {
+  const PwlCurve dip({{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}, {2.0, 0.5, 0.5},
+                      {3.0, 2.0, 2.0}});
+  EXPECT_FALSE(dip.is_nondecreasing());
+}
+
+}  // namespace
+}  // namespace rta

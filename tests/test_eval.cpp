@@ -1,0 +1,144 @@
+// Tests for the evaluation harness: method plumbing, admission-probability
+// experiments (reproducibility, monotonicity, method ordering), validation
+// reports, and the CSV writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/admission.hpp"
+#include "eval/validation.hpp"
+#include "util/csv.hpp"
+
+namespace rta {
+namespace {
+
+AdmissionConfig small_config() {
+  AdmissionConfig cfg;
+  cfg.shop.stages = 2;
+  cfg.shop.processors_per_stage = 2;
+  cfg.shop.jobs = 4;
+  cfg.shop.window_periods = 5.0;
+  cfg.shop.min_rate = 0.2;
+  cfg.shop.deadline.period_multiple = 2.0;
+  cfg.utilizations = {0.3, 0.8};
+  cfg.methods = {Method::kSppExact, Method::kSpnpApp, Method::kFcfsApp};
+  cfg.trials = 40;
+  cfg.seed = 7;
+  cfg.threads = 4;
+  return cfg;
+}
+
+TEST(Methods, NamesAndSchedulers) {
+  EXPECT_STREQ(method_name(Method::kSppExact), "SPP/Exact");
+  EXPECT_STREQ(method_name(Method::kSppSL), "SPP/S&L");
+  EXPECT_STREQ(method_name(Method::kSpnpApp), "SPNP/App");
+  EXPECT_STREQ(method_name(Method::kFcfsApp), "FCFS/App");
+  EXPECT_STREQ(method_name(Method::kSppApp), "SPP/App");
+  EXPECT_EQ(method_scheduler(Method::kSppExact), SchedulerKind::kSpp);
+  EXPECT_EQ(method_scheduler(Method::kSppSL), SchedulerKind::kSpp);
+  EXPECT_EQ(method_scheduler(Method::kSpnpApp), SchedulerKind::kSpnp);
+  EXPECT_EQ(method_scheduler(Method::kFcfsApp), SchedulerKind::kFcfs);
+}
+
+TEST(Admission, GridShapeAndTrials) {
+  const AdmissionConfig cfg = small_config();
+  const auto points = run_admission_experiment(cfg);
+  ASSERT_EQ(points.size(), 6u);
+  for (const AdmissionPoint& p : points) {
+    EXPECT_EQ(p.trials, 40u);
+    EXPECT_LE(p.admitted, p.trials);
+    EXPECT_GE(p.probability(), 0.0);
+    EXPECT_LE(p.probability(), 1.0);
+  }
+}
+
+TEST(Admission, ReproducibleAcrossThreadCounts) {
+  AdmissionConfig cfg = small_config();
+  cfg.trials = 24;
+  cfg.threads = 1;
+  const auto serial = run_admission_experiment(cfg);
+  cfg.threads = 8;
+  const auto parallel = run_admission_experiment(cfg);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].admitted, parallel[i].admitted) << "point " << i;
+  }
+}
+
+TEST(Admission, ProbabilityFallsWithUtilization) {
+  const auto points = run_admission_experiment(small_config());
+  // points are utilization-major: [u0 x 3 methods, u1 x 3 methods].
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_GE(points[m].probability() + 1e-12, points[3 + m].probability())
+        << "method " << method_name(points[m].method);
+  }
+}
+
+TEST(Admission, ExactSppDominatesApproximateMethods) {
+  // The exact SPP analysis admits at least as many sets as SPNP/App and
+  // FCFS/App at every utilization (§5.2's consistent ordering).
+  const auto points = run_admission_experiment(small_config());
+  for (std::size_t u = 0; u < 2; ++u) {
+    const auto& exact = points[u * 3 + 0];
+    const auto& spnp = points[u * 3 + 1];
+    const auto& fcfs = points[u * 3 + 2];
+    EXPECT_GE(exact.admitted, spnp.admitted);
+    EXPECT_GE(exact.admitted, fcfs.admitted);
+  }
+}
+
+TEST(Admission, HolisticNeverBeatsExact) {
+  AdmissionConfig cfg = small_config();
+  cfg.methods = {Method::kSppExact, Method::kSppSL};
+  cfg.trials = 30;
+  const auto points = run_admission_experiment(cfg);
+  for (std::size_t u = 0; u < 2; ++u) {
+    EXPECT_GE(points[u * 2 + 0].admitted, points[u * 2 + 1].admitted);
+  }
+}
+
+TEST(Admission, HolisticInapplicableToAperiodicCountsAsReject) {
+  AdmissionConfig cfg = small_config();
+  cfg.shop.pattern = ArrivalPattern::kAperiodic;
+  cfg.methods = {Method::kSppSL};
+  cfg.trials = 10;
+  cfg.utilizations = {0.2};
+  const auto points = run_admission_experiment(cfg);
+  EXPECT_EQ(points[0].admitted, 0u);
+}
+
+TEST(Validation, ReportSlackAndBoundsHold) {
+  ValidationReport rep;
+  rep.jobs.push_back({"A", 5.0, 2.0, 3.0});
+  rep.jobs.push_back({"B", 5.0, 1.0, 4.0});
+  EXPECT_DOUBLE_EQ(rep.min_slack(), 1.0);
+  EXPECT_DOUBLE_EQ(rep.max_slack(), 3.0);
+  EXPECT_TRUE(rep.bounds_hold());
+  rep.jobs.push_back({"C", 5.0, 4.0, 3.5});
+  EXPECT_FALSE(rep.bounds_hold());
+}
+
+TEST(Validation, InfiniteBoundNeverViolates) {
+  ValidationReport rep;
+  rep.jobs.push_back({"A", 5.0, 2.0, kTimeInfinity});
+  EXPECT_TRUE(rep.bounds_hold());
+  // But an unfinished simulation with a finite bound does violate.
+  ValidationReport bad;
+  bad.jobs.push_back({"A", 5.0, kTimeInfinity, 3.0});
+  EXPECT_FALSE(bad.bounds_hold());
+}
+
+TEST(Csv, QuotingAndLayout) {
+  CsvWriter w({"name", "value"});
+  w.add(std::string("plain"), 1.5);
+  w.add(std::string("com,ma"), 2);
+  w.add(std::string("qu\"ote"), 3);
+  std::ostringstream ss;
+  w.write(ss);
+  EXPECT_EQ(ss.str(),
+            "name,value\nplain,1.5\n\"com,ma\",2\n\"qu\"\"ote\",3\n");
+  EXPECT_EQ(w.row_count(), 3u);
+}
+
+}  // namespace
+}  // namespace rta

@@ -1,0 +1,128 @@
+// Tests for the FCFS bounds (§4.2.3, Theorems 7-9): utilization function,
+// arrival-order service bounds, and tie handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "curve/transforms.hpp"
+#include "sim/simulator.hpp"
+
+namespace rta {
+namespace {
+
+Job make_job(const std::string& name, double deadline,
+             std::vector<Subjob> chain, std::vector<Time> releases) {
+  Job j;
+  j.name = name;
+  j.deadline = deadline;
+  j.chain = std::move(chain);
+  j.arrivals = ArrivalSequence(std::move(releases));
+  return j;
+}
+
+// Theorem 7 via the shared transform: U(t) = min_{0<=s<=t}{t - s + G(s^-)}.
+TEST(FcfsTheorem7, UtilizationOfSingleBurst) {
+  // Work: 3 units arriving at t = 1. U = 0 until 1, then slope 1 until all
+  // work done at t = 4, then flat... then nothing more arrives.
+  const PwlCurve g = curve_scale(PwlCurve::step(10.0, {1.0}), 3.0);
+  const PwlCurve u = service_transform(PwlCurve::identity(10.0), g);
+  EXPECT_DOUBLE_EQ(u.eval(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.eval(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.eval(4.0), 3.0);
+  EXPECT_DOUBLE_EQ(u.eval(9.0), 3.0);
+}
+
+TEST(FcfsTheorem7, BusyServerTracksElapsedTime) {
+  // Overloaded: 10 units at t = 0 -> U(t) = t over the horizon.
+  const PwlCurve g = curve_scale(PwlCurve::step(5.0, {0.0}), 10.0);
+  const PwlCurve u = service_transform(PwlCurve::identity(5.0), g);
+  EXPECT_TRUE(u.approx_equal(PwlCurve::identity(5.0)));
+}
+
+TEST(Fcfs, SingleSubjobExactWhenAlone) {
+  System sys(1, SchedulerKind::kFcfs);
+  sys.add_job(make_job("A", 10.0, {{0, 2.0, 0}}, {0.0, 5.0}));
+  const AnalysisResult r = BoundsAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NEAR(r.jobs[0].wcrt, 2.0, 1e-9);
+}
+
+TEST(Fcfs, AccountsForQueueingAhead) {
+  // B arrives at 0 (tau 3); A arrives at 1 (tau 1): A waits for B ->
+  // A completes at 4, response 3.
+  System sys(1, SchedulerKind::kFcfs);
+  sys.add_job(make_job("A", 10.0, {{0, 1.0, 0}}, {1.0}));
+  sys.add_job(make_job("B", 10.0, {{0, 3.0, 0}}, {0.0}));
+  const AnalysisResult r = BoundsAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NEAR(r.jobs[0].wcrt, 3.0, 1e-9);
+  EXPECT_NEAR(r.jobs[1].wcrt, 3.0, 1e-9);
+  const SimResult s = simulate(sys, 20.0);
+  EXPECT_DOUBLE_EQ(s.worst_response[0], 3.0);
+}
+
+TEST(Fcfs, TiesAssumeAdversarialOrder) {
+  // Two simultaneous arrivals of 1 unit each: the bound must cover being
+  // served second (response 2) for BOTH jobs.
+  System sys(1, SchedulerKind::kFcfs);
+  sys.add_job(make_job("A", 10.0, {{0, 1.0, 0}}, {0.0}));
+  sys.add_job(make_job("B", 10.0, {{0, 1.0, 0}}, {0.0}));
+  const AnalysisResult r = BoundsAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GE(r.jobs[0].wcrt, 2.0 - 1e-9);
+  EXPECT_GE(r.jobs[1].wcrt, 2.0 - 1e-9);
+}
+
+TEST(Fcfs, LaterArrivalsDoNotDelayEarlierOnes) {
+  // A huge job arriving after A must not affect A's bound.
+  System sys(1, SchedulerKind::kFcfs);
+  sys.add_job(make_job("A", 10.0, {{0, 1.0, 0}}, {0.0}));
+  sys.add_job(make_job("Big", 100.0, {{0, 50.0, 0}}, {2.0}));
+  const AnalysisResult r = BoundsAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NEAR(r.jobs[0].wcrt, 1.0, 1e-9);
+}
+
+TEST(Fcfs, TwoHopPipelineBoundsHold) {
+  System sys(2, SchedulerKind::kFcfs);
+  sys.add_job(
+      make_job("A", 50.0, {{0, 0.5, 0}, {1, 2.0, 0}}, {0.0, 1.0, 2.0}));
+  sys.add_job(make_job("B", 50.0, {{0, 1.0, 0}, {1, 0.5, 0}}, {0.2, 3.0}));
+  const AnalysisResult r = BoundsAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SimResult s = simulate(sys, r.horizon);
+  ASSERT_TRUE(s.all_completed);
+  for (int k = 0; k < 2; ++k) {
+    EXPECT_GE(r.jobs[k].wcrt, s.worst_response[k] - 1e-9) << "job " << k;
+  }
+}
+
+TEST(Fcfs, ServiceUpperIncludesTheorem9Slack) {
+  // S̄ = S̲ + tau (capped): before the first completion the upper bound
+  // allows up to one in-progress instance.
+  System sys(1, SchedulerKind::kFcfs);
+  sys.add_job(make_job("A", 10.0, {{0, 2.0, 0}}, {0.0}));
+  AnalysisConfig cfg;
+  cfg.record_curves = true;
+  const AnalysisResult r = BoundsAnalyzer(cfg).analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SubjobCurves& c = r.jobs[0].hops[0].curves[0];
+  EXPECT_DOUBLE_EQ(c.service_lower.eval(1.0), 0.0);   // not provably done
+  EXPECT_DOUBLE_EQ(c.service_lower.eval(2.0), 2.0);   // provably done at 2
+  EXPECT_LE(c.service_upper.eval(1.0), 1.0 + 1e-9);   // capped by t
+  EXPECT_GE(c.service_upper.eval(1.0), 1.0 - 1e-9);   // = min(S̲+tau, t, c̄)
+}
+
+TEST(Fcfs, OverloadedProcessorRejects) {
+  System sys(1, SchedulerKind::kFcfs);
+  std::vector<Time> rel;
+  for (int i = 0; i < 30; ++i) rel.push_back(0.5 * i);
+  sys.add_job(make_job("A", 2.0, {{0, 1.0, 0}}, std::move(rel)));
+  const AnalysisResult r = BoundsAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.jobs[0].schedulable);
+}
+
+}  // namespace
+}  // namespace rta

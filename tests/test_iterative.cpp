@@ -1,0 +1,135 @@
+// Tests for the fixed-point analyzer on cyclic topologies (the paper's §6
+// extension) and its agreement with BoundsAnalyzer on acyclic systems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "analysis/iterative.hpp"
+#include "sim/simulator.hpp"
+#include "model/priority.hpp"
+#include "workload/jobshop.hpp"
+
+namespace rta {
+namespace {
+
+Job make_job(const std::string& name, double deadline,
+             std::vector<Subjob> chain, std::vector<Time> releases) {
+  Job j;
+  j.name = name;
+  j.deadline = deadline;
+  j.chain = std::move(chain);
+  j.arrivals = ArrivalSequence(std::move(releases));
+  return j;
+}
+
+TEST(Iterative, MatchesBoundsAnalyzerOnAcyclicSystems) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    JobShopConfig cfg;
+    cfg.stages = 2;
+    cfg.processors_per_stage = 2;
+    cfg.jobs = 4;
+    cfg.utilization = 0.5;
+    cfg.window_periods = 5.0;
+    cfg.scheduler = SchedulerKind::kSpnp;
+    cfg.min_rate = 0.2;
+    Rng rng(seed);
+    System sys = generate_jobshop(cfg, rng);
+    assign_proportional_deadline_monotonic(sys);
+
+    const AnalysisResult direct = BoundsAnalyzer().analyze(sys);
+    const AnalysisResult iterative = IterativeBoundsAnalyzer().analyze(sys);
+    ASSERT_TRUE(direct.ok && iterative.ok);
+    for (int k = 0; k < sys.job_count(); ++k) {
+      if (std::isinf(direct.jobs[k].wcrt)) {
+        EXPECT_TRUE(std::isinf(iterative.jobs[k].wcrt));
+      } else {
+        EXPECT_NEAR(iterative.jobs[k].wcrt, direct.jobs[k].wcrt, 1e-6)
+            << "seed " << seed << " job " << k;
+      }
+    }
+  }
+}
+
+TEST(Iterative, HandlesLogicalLoop) {
+  // The §6 counterexample that the acyclic analyzers reject.
+  System sys(2, SchedulerKind::kSpnp);
+  sys.add_job(make_job("Tk", 30.0, {{0, 1.0, 2}, {1, 1.0, 1}}, {0.0, 10.0}));
+  sys.add_job(make_job("Tn", 30.0, {{1, 1.0, 2}, {0, 1.0, 1}}, {0.0, 10.0}));
+  ASSERT_FALSE(BoundsAnalyzer().analyze(sys).ok);
+
+  const AnalysisResult r = IterativeBoundsAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SimResult s = simulate(sys, r.horizon);
+  ASSERT_TRUE(s.all_completed);
+  for (int k = 0; k < 2; ++k) {
+    ASSERT_TRUE(std::isfinite(r.jobs[k].wcrt)) << "job " << k;
+    EXPECT_GE(r.jobs[k].wcrt, s.worst_response[k] - 1e-9) << "job " << k;
+  }
+}
+
+TEST(Iterative, HandlesPhysicalLoop) {
+  // A job visiting processor 0 twice (visit -> other proc -> revisit).
+  System sys(2, SchedulerKind::kSpnp);
+  sys.add_job(make_job("Loop", 30.0, {{0, 1.0, 1}, {1, 2.0, 1}, {0, 1.0, 2}},
+                       {0.0, 8.0}));
+  sys.add_job(make_job("Other", 30.0, {{1, 1.0, 2}}, {1.0, 9.0}));
+  const AnalysisResult r = IterativeBoundsAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SimResult s = simulate(sys, r.horizon);
+  ASSERT_TRUE(s.all_completed);
+  for (int k = 0; k < 2; ++k) {
+    ASSERT_TRUE(std::isfinite(r.jobs[k].wcrt)) << "job " << k;
+    EXPECT_GE(r.jobs[k].wcrt, s.worst_response[k] - 1e-9) << "job " << k;
+  }
+}
+
+TEST(Iterative, PhysicalLoopUnderFcfs) {
+  System sys(2, SchedulerKind::kFcfs);
+  sys.add_job(make_job("Loop", 40.0, {{0, 1.0, 0}, {1, 2.0, 0}, {0, 1.5, 0}},
+                       {0.0, 10.0}));
+  sys.add_job(make_job("Other", 40.0, {{0, 0.5, 0}}, {0.5, 10.5}));
+  const AnalysisResult r = IterativeBoundsAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SimResult s = simulate(sys, r.horizon);
+  ASSERT_TRUE(s.all_completed);
+  for (int k = 0; k < 2; ++k) {
+    ASSERT_TRUE(std::isfinite(r.jobs[k].wcrt)) << "job " << k;
+    EXPECT_GE(r.jobs[k].wcrt, s.worst_response[k] - 1e-9) << "job " << k;
+  }
+}
+
+TEST(Iterative, ConvergesWithinIterationBudget) {
+  AnalysisConfig cfg;
+  cfg.max_iterations = 32;
+  IterativeBoundsAnalyzer analyzer(cfg);
+  System sys(2, SchedulerKind::kSpnp);
+  sys.add_job(make_job("Tk", 30.0, {{0, 1.0, 2}, {1, 1.0, 1}}, {0.0, 10.0}));
+  sys.add_job(make_job("Tn", 30.0, {{1, 1.0, 2}, {0, 1.0, 1}}, {0.0, 10.0}));
+  const AnalysisResult r = analyzer.analyze(sys);
+  ASSERT_TRUE(r.ok);
+  EXPECT_LE(analyzer.last_iterations(), 32);
+  EXPECT_GE(analyzer.last_iterations(), 1);
+}
+
+TEST(Iterative, RefinementIsMonotone) {
+  // More iterations can only tighten (or keep) the bounds: run with caps 1
+  // and 16 and compare.
+  System sys(2, SchedulerKind::kSpnp);
+  sys.add_job(make_job("Tk", 30.0, {{0, 1.0, 2}, {1, 1.0, 1}}, {0.0, 10.0}));
+  sys.add_job(make_job("Tn", 30.0, {{1, 1.0, 2}, {0, 1.0, 1}}, {0.0, 10.0}));
+  AnalysisConfig one;
+  one.max_iterations = 1;
+  AnalysisConfig many;
+  many.max_iterations = 16;
+  const AnalysisResult r1 = IterativeBoundsAnalyzer(one).analyze(sys);
+  const AnalysisResult r16 = IterativeBoundsAnalyzer(many).analyze(sys);
+  ASSERT_TRUE(r1.ok && r16.ok);
+  for (int k = 0; k < 2; ++k) {
+    if (std::isinf(r1.jobs[k].wcrt)) continue;
+    EXPECT_LE(r16.jobs[k].wcrt, r1.jobs[k].wcrt + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace rta

@@ -1,0 +1,79 @@
+// Tests for the CLI option parser used by every bench/example binary.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/options.hpp"
+
+namespace rta {
+namespace {
+
+Options parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Options::parse(static_cast<int>(args.size()),
+                        const_cast<char**>(args.data()));
+}
+
+TEST(Options, KeyEqualsValueForm) {
+  const Options o = parse({"--trials=50", "--util=0.7"});
+  EXPECT_EQ(o.get_int("trials", 0), 50);
+  EXPECT_DOUBLE_EQ(o.get_double("util", 0.0), 0.7);
+}
+
+TEST(Options, KeySpaceValueForm) {
+  const Options o = parse({"--trials", "50", "--name", "hello"});
+  EXPECT_EQ(o.get_int("trials", 0), 50);
+  EXPECT_EQ(o.get("name", ""), "hello");
+}
+
+TEST(Options, BareFlagIsTrue) {
+  const Options o = parse({"--aperiodic", "--trials", "10"});
+  EXPECT_TRUE(o.get_bool("aperiodic", false));
+  EXPECT_EQ(o.get_int("trials", 0), 10);
+}
+
+TEST(Options, BoolRecognizesFalseSpellings) {
+  EXPECT_FALSE(parse({"--x", "0"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x", "false"}).get_bool("x", true));
+  EXPECT_TRUE(parse({"--x", "1"}).get_bool("x", false));
+}
+
+TEST(Options, DefaultsWhenMissingOrMalformed) {
+  const Options o = parse({"--n", "abc"});
+  EXPECT_EQ(o.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(o.get_double("n", 1.5), 1.5);
+  EXPECT_EQ(o.get_int("absent", 3), 3);
+  EXPECT_FALSE(o.has("absent"));
+  EXPECT_TRUE(o.has("n"));
+}
+
+TEST(Options, NegativeNumbersAsValues) {
+  const Options o = parse({"--offset", "-4"});
+  EXPECT_EQ(o.get_int("offset", 0), -4);
+}
+
+TEST(Options, PositionalArguments) {
+  const Options o = parse({"file.rts", "--verbose"});
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "file.rts");
+  EXPECT_TRUE(o.get_bool("verbose", false));
+}
+
+TEST(Options, FlagGreedilyConsumesFollowingBareToken) {
+  // Documented greediness: "--flag token" binds token as the flag's value;
+  // use --flag=1 before positional arguments to avoid it.
+  const Options o = parse({"--verbose", "other.txt"});
+  EXPECT_TRUE(o.positional().empty());
+  EXPECT_EQ(o.get("verbose", ""), "other.txt");
+  EXPECT_TRUE(o.get_bool("verbose", false));  // still truthy
+  const Options p = parse({"--verbose=1", "other.txt"});
+  ASSERT_EQ(p.positional().size(), 1u);
+}
+
+TEST(Options, LastOccurrenceWins) {
+  const Options o = parse({"--n", "1", "--n", "2"});
+  EXPECT_EQ(o.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace rta

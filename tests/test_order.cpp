@@ -1,0 +1,113 @@
+// Tests for the dependency graph and topological ordering used by the
+// analyzers (analysis/order.hpp).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/order.hpp"
+#include "model/priority.hpp"
+#include "workload/jobshop.hpp"
+
+namespace rta {
+namespace {
+
+Job make_job(const std::string& name, std::vector<Subjob> chain) {
+  Job j;
+  j.name = name;
+  j.deadline = 10.0;
+  j.chain = std::move(chain);
+  j.arrivals = ArrivalSequence(std::vector<Time>{0.0});
+  return j;
+}
+
+TEST(Order, ChainEdgesRespectHops) {
+  System sys(2, SchedulerKind::kSpp);
+  sys.add_job(make_job("A", {{0, 1.0, 1}, {1, 1.0, 1}}));
+  const auto order = topological_order(sys);
+  ASSERT_TRUE(order.has_value());
+  std::map<std::pair<int, int>, std::size_t> pos;
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    pos[{(*order)[i].job, (*order)[i].hop}] = i;
+  }
+  EXPECT_LT((pos[{0, 0}]), (pos[{0, 1}]));
+}
+
+TEST(Order, PriorityEdgesComeFirst) {
+  System sys(1, SchedulerKind::kSpp);
+  sys.add_job(make_job("Low", {{0, 1.0, 2}}));
+  sys.add_job(make_job("High", {{0, 1.0, 1}}));
+  const auto order = topological_order(sys);
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 2u);
+  EXPECT_EQ((*order)[0], (SubjobRef{1, 0}));  // High before Low
+}
+
+TEST(Order, FcfsCouplesViaPredecessors) {
+  // Both jobs' second hops share a FCFS processor; their first hops must
+  // both precede either second hop.
+  System sys(3, SchedulerKind::kSpp);
+  sys.set_scheduler(2, SchedulerKind::kFcfs);
+  sys.add_job(make_job("A", {{0, 1.0, 1}, {2, 1.0, 0}}));
+  sys.add_job(make_job("B", {{1, 1.0, 1}, {2, 1.0, 0}}));
+  const auto order = topological_order(sys);
+  ASSERT_TRUE(order.has_value());
+  std::map<std::pair<int, int>, std::size_t> pos;
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    pos[{(*order)[i].job, (*order)[i].hop}] = i;
+  }
+  EXPECT_LT((pos[{0, 0}]), (pos[{0, 1}]));
+  EXPECT_LT((pos[{0, 0}]), (pos[{1, 1}]));  // cross-coupling via FCFS
+  EXPECT_LT((pos[{1, 0}]), (pos[{0, 1}]));
+  EXPECT_LT((pos[{1, 0}]), (pos[{1, 1}]));
+}
+
+TEST(Order, CycleReturnsNullopt) {
+  System sys(2, SchedulerKind::kSpp);
+  sys.add_job(make_job("Tk", {{0, 1.0, 2}, {1, 1.0, 1}}));
+  sys.add_job(make_job("Tn", {{1, 1.0, 2}, {0, 1.0, 1}}));
+  EXPECT_FALSE(topological_order(sys).has_value());
+}
+
+TEST(Order, MatchesSystemCycleDetector) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    JobShopConfig cfg;
+    cfg.stages = 3;
+    cfg.processors_per_stage = 2;
+    cfg.jobs = 5;
+    Rng rng(seed);
+    System sys = generate_jobshop(cfg, rng);
+    assign_proportional_deadline_monotonic(sys);
+    EXPECT_EQ(topological_order(sys).has_value(),
+              sys.dependency_graph_is_acyclic());
+  }
+}
+
+TEST(Order, EveryDependencyPrecedes) {
+  // Property: for a random shop, walk the order and verify all declared
+  // graph edges point forward.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    JobShopConfig cfg;
+    cfg.stages = 4;
+    cfg.processors_per_stage = 2;
+    cfg.jobs = 6;
+    cfg.scheduler = (seed % 2) ? SchedulerKind::kSpnp : SchedulerKind::kFcfs;
+    Rng rng(seed);
+    System sys = generate_jobshop(cfg, rng);
+    assign_proportional_deadline_monotonic(sys);
+    const DependencyGraph g = build_dependency_graph(sys);
+    const auto order = topological_order(sys);
+    ASSERT_TRUE(order.has_value());
+    std::vector<std::size_t> pos(g.node_count());
+    for (std::size_t i = 0; i < order->size(); ++i) {
+      pos[g.node((*order)[i])] = i;
+    }
+    for (int u = 0; u < g.node_count(); ++u) {
+      for (int v : g.succ[u]) {
+        EXPECT_LT(pos[u], pos[v]) << "seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rta

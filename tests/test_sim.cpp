@@ -1,0 +1,169 @@
+// Unit tests for the discrete-event simulator: hand-checked schedules under
+// SPP (preemption), SPNP (blocking), FCFS (arrival order), and direct
+// synchronization across processors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.hpp"
+
+namespace rta {
+namespace {
+
+Job make_job(const std::string& name, double deadline,
+             std::vector<Subjob> chain, std::vector<Time> releases) {
+  Job j;
+  j.name = name;
+  j.deadline = deadline;
+  j.chain = std::move(chain);
+  j.arrivals = ArrivalSequence(std::move(releases));
+  return j;
+}
+
+TEST(Simulator, SingleJobRunsToCompletion) {
+  System sys(1, SchedulerKind::kSpp);
+  sys.add_job(make_job("A", 10.0, {{0, 2.0, 1}}, {0.0, 5.0}));
+  const SimResult r = simulate(sys, 20.0);
+  ASSERT_TRUE(r.all_completed);
+  EXPECT_DOUBLE_EQ(r.traces[0][0].hop_complete[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.traces[0][1].hop_complete[0], 7.0);
+  EXPECT_DOUBLE_EQ(r.worst_response[0], 2.0);
+}
+
+TEST(Simulator, SppPreemptsLowerPriority) {
+  // Low (prio 2, tau 4) released at 0; High (prio 1, tau 1) at t = 1.
+  // Low runs [0,1] and [2,5]; High runs [1,2].
+  System sys(1, SchedulerKind::kSpp);
+  sys.add_job(make_job("Low", 10.0, {{0, 4.0, 2}}, {0.0}));
+  sys.add_job(make_job("High", 10.0, {{0, 1.0, 1}}, {1.0}));
+  const SimResult r = simulate(sys, 20.0);
+  ASSERT_TRUE(r.all_completed);
+  EXPECT_DOUBLE_EQ(r.traces[1][0].hop_complete[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.traces[0][0].hop_complete[0], 5.0);
+  // Low's service splits into two segments around the preemption.
+  ASSERT_EQ(r.segments[0][0].size(), 2u);
+  EXPECT_DOUBLE_EQ(r.segments[0][0][0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(r.segments[0][0][0].end, 1.0);
+  EXPECT_DOUBLE_EQ(r.segments[0][0][1].begin, 2.0);
+  EXPECT_DOUBLE_EQ(r.segments[0][0][1].end, 5.0);
+}
+
+TEST(Simulator, SpnpDoesNotPreempt) {
+  // Same setup under SPNP: Low finishes at 4 before High starts.
+  System sys(1, SchedulerKind::kSpnp);
+  sys.add_job(make_job("Low", 10.0, {{0, 4.0, 2}}, {0.0}));
+  sys.add_job(make_job("High", 10.0, {{0, 1.0, 1}}, {1.0}));
+  const SimResult r = simulate(sys, 20.0);
+  ASSERT_TRUE(r.all_completed);
+  EXPECT_DOUBLE_EQ(r.traces[0][0].hop_complete[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.traces[1][0].hop_complete[0], 5.0);
+}
+
+TEST(Simulator, SpnpPicksHighestPriorityWhenFree) {
+  // Three released while the processor is busy: served in priority order
+  // after the running one completes.
+  System sys(1, SchedulerKind::kSpnp);
+  sys.add_job(make_job("First", 20.0, {{0, 3.0, 3}}, {0.0}));
+  sys.add_job(make_job("Mid", 20.0, {{0, 1.0, 2}}, {1.0}));
+  sys.add_job(make_job("Top", 20.0, {{0, 1.0, 1}}, {2.0}));
+  const SimResult r = simulate(sys, 30.0);
+  ASSERT_TRUE(r.all_completed);
+  EXPECT_DOUBLE_EQ(r.traces[0][0].hop_complete[0], 3.0);
+  EXPECT_DOUBLE_EQ(r.traces[2][0].hop_complete[0], 4.0);  // Top before Mid
+  EXPECT_DOUBLE_EQ(r.traces[1][0].hop_complete[0], 5.0);
+}
+
+TEST(Simulator, FcfsServesInArrivalOrder) {
+  System sys(1, SchedulerKind::kFcfs);
+  sys.add_job(make_job("A", 20.0, {{0, 2.0, 0}}, {0.5}));
+  sys.add_job(make_job("B", 20.0, {{0, 1.0, 0}}, {0.0}));
+  const SimResult r = simulate(sys, 30.0);
+  ASSERT_TRUE(r.all_completed);
+  EXPECT_DOUBLE_EQ(r.traces[1][0].hop_complete[0], 1.0);  // B first
+  EXPECT_DOUBLE_EQ(r.traces[0][0].hop_complete[0], 3.0);
+}
+
+TEST(Simulator, FcfsTieBreaksByJobIndex) {
+  System sys(1, SchedulerKind::kFcfs);
+  sys.add_job(make_job("A", 20.0, {{0, 1.0, 0}}, {0.0}));
+  sys.add_job(make_job("B", 20.0, {{0, 1.0, 0}}, {0.0}));
+  const SimResult r = simulate(sys, 30.0);
+  EXPECT_DOUBLE_EQ(r.traces[0][0].hop_complete[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.traces[1][0].hop_complete[0], 2.0);
+}
+
+TEST(Simulator, DirectSynchronizationChainsHops) {
+  System sys(2, SchedulerKind::kSpp);
+  sys.add_job(make_job("A", 20.0, {{0, 1.0, 1}, {1, 2.0, 1}}, {0.0, 3.0}));
+  const SimResult r = simulate(sys, 30.0);
+  ASSERT_TRUE(r.all_completed);
+  EXPECT_DOUBLE_EQ(r.traces[0][0].hop_release[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.traces[0][0].hop_complete[1], 3.0);
+  EXPECT_DOUBLE_EQ(r.traces[0][1].hop_release[1], 4.0);
+  EXPECT_DOUBLE_EQ(r.traces[0][1].hop_complete[1], 6.0);
+  EXPECT_DOUBLE_EQ(r.worst_response[0], 3.0);
+}
+
+TEST(Simulator, PipelinedInstancesQueuePerHop) {
+  // Period 1 at hop 1 of length 2: instances back up at the second hop.
+  System sys(2, SchedulerKind::kSpp);
+  sys.add_job(
+      make_job("A", 50.0, {{0, 0.5, 1}, {1, 2.0, 1}}, {0.0, 1.0, 2.0}));
+  const SimResult r = simulate(sys, 50.0);
+  ASSERT_TRUE(r.all_completed);
+  // Hop-2 completions: 2.5, 4.5, 6.5 (the hop-2 server is the bottleneck).
+  EXPECT_DOUBLE_EQ(r.traces[0][0].hop_complete[1], 2.5);
+  EXPECT_DOUBLE_EQ(r.traces[0][1].hop_complete[1], 4.5);
+  EXPECT_DOUBLE_EQ(r.traces[0][2].hop_complete[1], 6.5);
+  EXPECT_DOUBLE_EQ(r.worst_response[0], 4.5);
+}
+
+TEST(Simulator, IncompleteInstancesReportInfinity) {
+  System sys(1, SchedulerKind::kSpp);
+  sys.add_job(make_job("A", 10.0, {{0, 5.0, 1}}, {0.0, 1.0}));
+  const SimResult r = simulate(sys, 6.0);  // second instance can't finish
+  EXPECT_FALSE(r.all_completed);
+  EXPECT_TRUE(std::isinf(r.worst_response[0]));
+  EXPECT_DOUBLE_EQ(r.traces[0][0].hop_complete[0], 5.0);
+  EXPECT_TRUE(std::isinf(r.traces[0][1].hop_complete[0]));
+}
+
+TEST(Simulator, ServiceCurveAccumulatesSegments) {
+  System sys(1, SchedulerKind::kSpp);
+  sys.add_job(make_job("Low", 10.0, {{0, 4.0, 2}}, {0.0}));
+  sys.add_job(make_job("High", 10.0, {{0, 1.0, 1}}, {1.0}));
+  const SimResult r = simulate(sys, 10.0);
+  const PwlCurve s = r.service_curve({0, 0});
+  EXPECT_DOUBLE_EQ(s.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.eval(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.eval(2.0), 1.0);  // preempted
+  EXPECT_DOUBLE_EQ(s.eval(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.eval(5.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.eval(10.0), 4.0);
+  EXPECT_TRUE(s.is_nondecreasing());
+  EXPECT_TRUE(s.is_continuous());
+}
+
+TEST(Simulator, DepartureCurveMatchesCompletions) {
+  System sys(1, SchedulerKind::kSpp);
+  sys.add_job(make_job("A", 10.0, {{0, 2.0, 1}}, {0.0, 5.0}));
+  const SimResult r = simulate(sys, 20.0);
+  const PwlCurve dep = r.departure_curve({0, 0});
+  EXPECT_DOUBLE_EQ(dep.eval(1.9), 0.0);
+  EXPECT_DOUBLE_EQ(dep.eval(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(dep.eval(7.0), 2.0);
+}
+
+TEST(Simulator, SimultaneousCompletionAndRelease) {
+  // Hop 1 completes exactly when another job arrives at the same processor:
+  // the completion is processed first, then the scheduler picks by priority.
+  System sys(1, SchedulerKind::kSpp);
+  sys.add_job(make_job("A", 20.0, {{0, 2.0, 2}}, {0.0}));
+  sys.add_job(make_job("B", 20.0, {{0, 1.0, 1}}, {2.0}));
+  const SimResult r = simulate(sys, 20.0);
+  EXPECT_DOUBLE_EQ(r.traces[0][0].hop_complete[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.traces[1][0].hop_complete[0], 3.0);
+}
+
+}  // namespace
+}  // namespace rta

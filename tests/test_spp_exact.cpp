@@ -1,0 +1,150 @@
+// Tests for the exact SPP analysis (§4.1): hand-checked response times,
+// Theorem 1/2/3 semantics, and exact agreement with the simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/spp_exact.hpp"
+#include "sim/simulator.hpp"
+
+namespace rta {
+namespace {
+
+Job make_job(const std::string& name, double deadline,
+             std::vector<Subjob> chain, std::vector<Time> releases) {
+  Job j;
+  j.name = name;
+  j.deadline = deadline;
+  j.chain = std::move(chain);
+  j.arrivals = ArrivalSequence(std::move(releases));
+  return j;
+}
+
+TEST(SppExact, SingleJobSingleHop) {
+  System sys(1, SchedulerKind::kSpp);
+  sys.add_job(make_job("A", 10.0, {{0, 2.0, 1}}, {0.0, 5.0, 10.0}));
+  const AnalysisResult r = ExactSppAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.jobs[0].wcrt, 2.0);
+  EXPECT_TRUE(r.jobs[0].schedulable);
+  ASSERT_EQ(r.jobs[0].per_instance.size(), 3u);
+  for (Time t : r.jobs[0].per_instance) EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(SppExact, PreemptionDelaysLowPriority) {
+  // Low (prio 2, tau 4) at 0; High (prio 1, tau 1) at 1.
+  // Low completes at 5 -> response 5; High at 2 -> response 1.
+  System sys(1, SchedulerKind::kSpp);
+  sys.add_job(make_job("Low", 10.0, {{0, 4.0, 2}}, {0.0}));
+  sys.add_job(make_job("High", 10.0, {{0, 1.0, 1}}, {1.0}));
+  const AnalysisResult r = ExactSppAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.jobs[0].wcrt, 5.0);
+  EXPECT_DOUBLE_EQ(r.jobs[1].wcrt, 1.0);
+}
+
+TEST(SppExact, BacklogAcrossInstances) {
+  // tau 3 released every 2: queueing builds up (finite trace).
+  System sys(1, SchedulerKind::kSpp);
+  sys.add_job(make_job("A", 100.0, {{0, 3.0, 1}}, {0.0, 2.0, 4.0}));
+  const AnalysisResult r = ExactSppAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Completions at 3, 6, 9 -> responses 3, 4, 5.
+  ASSERT_EQ(r.jobs[0].per_instance.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.jobs[0].per_instance[0], 3.0);
+  EXPECT_DOUBLE_EQ(r.jobs[0].per_instance[1], 4.0);
+  EXPECT_DOUBLE_EQ(r.jobs[0].per_instance[2], 5.0);
+  EXPECT_DOUBLE_EQ(r.jobs[0].wcrt, 5.0);
+}
+
+TEST(SppExact, TwoHopPipeline) {
+  // Theorem 1 across processors with direct synchronization.
+  System sys(2, SchedulerKind::kSpp);
+  sys.add_job(
+      make_job("A", 50.0, {{0, 0.5, 1}, {1, 2.0, 1}}, {0.0, 1.0, 2.0}));
+  const AnalysisResult r = ExactSppAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Hop-2 completions 2.5, 4.5, 6.5 -> responses 2.5, 3.5, 4.5.
+  EXPECT_DOUBLE_EQ(r.jobs[0].per_instance[0], 2.5);
+  EXPECT_DOUBLE_EQ(r.jobs[0].per_instance[1], 3.5);
+  EXPECT_DOUBLE_EQ(r.jobs[0].per_instance[2], 4.5);
+  EXPECT_DOUBLE_EQ(r.jobs[0].wcrt, 4.5);
+}
+
+TEST(SppExact, CrossProcessorInterference) {
+  // Job A's second hop shares P1 with job B at higher priority; B's arrivals
+  // at P1 are its own first-hop departures.
+  System sys(2, SchedulerKind::kSpp);
+  sys.add_job(make_job("A", 50.0, {{0, 1.0, 1}, {1, 2.0, 2}}, {0.0}));
+  sys.add_job(make_job("B", 50.0, {{1, 3.0, 1}}, {0.5}));
+  const AnalysisResult r = ExactSppAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  // A hop1 done at 1; A hop2 released at 1 but B (prio 1) runs [0.5, 3.5];
+  // A hop2 runs [3.5, 5.5] -> response 5.5.
+  EXPECT_DOUBLE_EQ(r.jobs[0].wcrt, 5.5);
+  EXPECT_DOUBLE_EQ(r.jobs[1].wcrt, 3.0);
+}
+
+TEST(SppExact, RecordsCurvesWhenAsked) {
+  AnalysisConfig cfg;
+  cfg.record_curves = true;
+  System sys(1, SchedulerKind::kSpp);
+  sys.add_job(make_job("A", 10.0, {{0, 2.0, 1}}, {0.0}));
+  const AnalysisResult r = ExactSppAnalyzer(cfg).analyze(sys);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.jobs[0].hops.size(), 1u);
+  ASSERT_EQ(r.jobs[0].hops[0].curves.size(), 1u);
+  const SubjobCurves& c = r.jobs[0].hops[0].curves[0];
+  EXPECT_DOUBLE_EQ(c.service_upper.eval(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.departure_lower.eval(2.0), 1.0);
+}
+
+TEST(SppExact, RejectsNonSppSystems) {
+  System sys(1, SchedulerKind::kFcfs);
+  sys.add_job(make_job("A", 10.0, {{0, 2.0, 1}}, {0.0}));
+  const AnalysisResult r = ExactSppAnalyzer().analyze(sys);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(SppExact, RejectsCyclicTopology) {
+  System sys(2, SchedulerKind::kSpp);
+  sys.add_job(make_job("Tk", 10.0, {{0, 1.0, 2}, {1, 1.0, 1}}, {0.0}));
+  sys.add_job(make_job("Tn", 10.0, {{1, 1.0, 2}, {0, 1.0, 1}}, {0.0}));
+  const AnalysisResult r = ExactSppAnalyzer().analyze(sys);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(SppExact, UnschedulableOverloadReportsInfinity) {
+  // Utilization > 1: the backlog grows without bound; the tail instances
+  // cannot be bounded even after horizon doubling.
+  System sys(1, SchedulerKind::kSpp);
+  std::vector<Time> rel;
+  for (int i = 0; i < 40; ++i) rel.push_back(0.5 * i);
+  sys.add_job(make_job("A", 1.0, {{0, 1.0, 1}}, std::move(rel)));
+  const AnalysisResult r = ExactSppAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.jobs[0].schedulable);
+  // The worst instance response is 20-ish (finite trace), way over deadline.
+  EXPECT_GT(r.jobs[0].wcrt, 10.0);
+}
+
+TEST(SppExact, AgreesWithSimulatorOnHandBuiltSystem) {
+  System sys(2, SchedulerKind::kSpp);
+  sys.add_job(make_job("A", 50.0, {{0, 1.0, 1}, {1, 2.0, 2}}, {0.0, 4.0}));
+  sys.add_job(make_job("B", 50.0, {{0, 0.5, 2}, {1, 1.0, 1}}, {0.5, 4.5}));
+  const AnalysisResult r = ExactSppAnalyzer().analyze(sys);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SimResult s = simulate(sys, r.horizon);
+  ASSERT_TRUE(s.all_completed);
+  for (int k = 0; k < sys.job_count(); ++k) {
+    ASSERT_EQ(r.jobs[k].per_instance.size(), s.traces[k].size());
+    for (std::size_t m = 0; m < s.traces[k].size(); ++m) {
+      EXPECT_NEAR(r.jobs[k].per_instance[m], s.traces[k][m].response(), 1e-9)
+          << "job " << k << " instance " << m;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rta

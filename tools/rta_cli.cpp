@@ -1,0 +1,288 @@
+// rta_cli -- command-line front end to the bursty-rta analyzers.
+//
+// Subcommands:
+//   analyze  <system.rts> [--method auto|spp-exact|bounds|iterative|holistic]
+//            [--priorities keep|pdm|dm|rm] [--verbose]
+//   simulate <system.rts> [--horizon H] [--priorities ...]
+//   validate <system.rts> [--method ...]       analysis vs simulation
+//   curves   <system.rts> --out DIR            per-subjob service-bound CSVs
+//   generate [--stages N --procs N --jobs N --util U --seed S --aperiodic]
+//            [--out FILE]                       emit a random job shop
+//
+// Exit status: 0 = ok / schedulable, 1 = not schedulable, 2 = usage or
+// input error.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "io/curve_csv.hpp"
+#include "io/trace_csv.hpp"
+#include "io/system_text.hpp"
+#include "rta/rta.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+using namespace rta;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rta_cli <analyze|simulate|validate|curves|trace|generate> ...\n"
+      "  analyze  FILE [--method auto|spp-exact|bounds|iterative|holistic]\n"
+      "                [--priorities keep|pdm|dm|rm] [--verbose]\n"
+      "  simulate FILE [--horizon H] [--priorities ...]\n"
+      "  validate FILE [--method ...] [--priorities ...]\n"
+      "  curves   FILE --out DIR [--priorities ...]\n"
+      "  trace    FILE --out PREFIX [--horizon H] [--priorities ...]\n"
+      "  generate [--stages N --procs N --jobs N --util U --seed S\n"
+      "            --aperiodic --scheduler SPP|SPNP|FCFS] [--out FILE]\n");
+  return 2;
+}
+
+bool apply_priorities(System& system, const std::string& policy) {
+  if (policy == "keep") return true;
+  if (policy == "pdm") {
+    assign_proportional_deadline_monotonic(system);
+    return true;
+  }
+  if (policy == "dm") {
+    assign_deadline_monotonic(system);
+    return true;
+  }
+  if (policy == "rm") {
+    assign_rate_monotonic(system);
+    return true;
+  }
+  std::fprintf(stderr, "unknown priority policy '%s'\n", policy.c_str());
+  return false;
+}
+
+/// Pick an analyzer for the system: exact where possible, otherwise bounds,
+/// otherwise the iterative fixed point.
+AnalysisResult run_method(const std::string& method, const System& system,
+                          const AnalysisConfig& cfg, std::string* used) {
+  auto all_spp = [&] {
+    for (int pr = 0; pr < system.processor_count(); ++pr) {
+      if (system.scheduler(pr) != SchedulerKind::kSpp) return false;
+    }
+    return true;
+  };
+  if (method == "spp-exact") {
+    *used = ExactSppAnalyzer::name();
+    return ExactSppAnalyzer(cfg).analyze(system);
+  }
+  if (method == "bounds") {
+    *used = BoundsAnalyzer::name();
+    return BoundsAnalyzer(cfg).analyze(system);
+  }
+  if (method == "iterative") {
+    *used = IterativeBoundsAnalyzer::name();
+    return IterativeBoundsAnalyzer(cfg).analyze(system);
+  }
+  if (method == "holistic") {
+    *used = HolisticAnalyzer::name();
+    return HolisticAnalyzer(cfg).analyze(system);
+  }
+  if (method == "auto") {
+    if (all_spp() && system.dependency_graph_is_acyclic()) {
+      *used = ExactSppAnalyzer::name();
+      return ExactSppAnalyzer(cfg).analyze(system);
+    }
+    if (system.dependency_graph_is_acyclic()) {
+      *used = BoundsAnalyzer::name();
+      return BoundsAnalyzer(cfg).analyze(system);
+    }
+    *used = IterativeBoundsAnalyzer::name();
+    return IterativeBoundsAnalyzer(cfg).analyze(system);
+  }
+  AnalysisResult r;
+  r.error = "unknown method '" + method + "'";
+  return r;
+}
+
+int cmd_analyze(const Options& opts, System system) {
+  if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
+  std::string used;
+  const AnalysisResult r =
+      run_method(opts.get("method", "auto"), system, AnalysisConfig{}, &used);
+  if (!r.ok) {
+    std::fprintf(stderr, "analysis failed: %s\n", r.error.c_str());
+    return 2;
+  }
+  std::printf("method: %s\n", used.c_str());
+  std::printf("%-16s %12s %12s %8s\n", "job", "wcrt", "deadline", "ok?");
+  for (int k = 0; k < system.job_count(); ++k) {
+    std::printf("%-16s %12.4f %12.4f %8s\n", system.job(k).name.c_str(),
+                r.jobs[k].wcrt, system.job(k).deadline,
+                r.jobs[k].schedulable ? "yes" : "NO");
+    if (opts.get_bool("verbose", false)) {
+      for (const SubjobReport& hop : r.jobs[k].hops) {
+        std::printf("    hop %d on P%d: local bound %.4f\n", hop.ref.hop,
+                    system.subjob(hop.ref).processor, hop.local_bound);
+      }
+    }
+  }
+  std::printf("schedulable: %s\n", r.all_schedulable() ? "yes" : "no");
+  return r.all_schedulable() ? 0 : 1;
+}
+
+int cmd_simulate(const Options& opts, System system) {
+  if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
+  const Time horizon = opts.get_double(
+      "horizon", default_horizon(system, AnalysisConfig{}));
+  const SimResult s = simulate(system, horizon);
+  std::printf("simulated on [0, %.3f]\n", horizon);
+  std::printf("%-16s %10s %14s %10s\n", "job", "instances", "worst resp",
+              "deadline");
+  bool all_meet = true;
+  for (int k = 0; k < system.job_count(); ++k) {
+    std::printf("%-16s %10zu %14.4f %10.4f\n", system.job(k).name.c_str(),
+                s.traces[k].size(), s.worst_response[k],
+                system.job(k).deadline);
+    if (!(s.worst_response[k] <= system.job(k).deadline)) all_meet = false;
+  }
+  std::printf("all instances completed: %s; all deadlines met: %s\n",
+              s.all_completed ? "yes" : "no", all_meet ? "yes" : "no");
+  return all_meet ? 0 : 1;
+}
+
+int cmd_validate(const Options& opts, System system) {
+  if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
+  std::string used;
+  const AnalysisResult r =
+      run_method(opts.get("method", "auto"), system, AnalysisConfig{}, &used);
+  if (!r.ok) {
+    std::fprintf(stderr, "analysis failed: %s\n", r.error.c_str());
+    return 2;
+  }
+  const Time horizon =
+      r.horizon > 0.0 ? r.horizon : default_horizon(system, AnalysisConfig{});
+  const SimResult s = simulate(system, horizon);
+  std::printf("method: %s\n", used.c_str());
+  std::printf("%-16s %12s %12s %10s\n", "job", "bound", "simulated",
+              "slack");
+  bool sound = true;
+  for (int k = 0; k < system.job_count(); ++k) {
+    const double slack = r.jobs[k].wcrt - s.worst_response[k];
+    if (std::isfinite(r.jobs[k].wcrt) && slack < -1e-6) sound = false;
+    std::printf("%-16s %12.4f %12.4f %10.4f\n", system.job(k).name.c_str(),
+                r.jobs[k].wcrt, s.worst_response[k], slack);
+  }
+  std::printf("bounds dominate simulation: %s\n", sound ? "yes" : "NO");
+  return sound ? 0 : 1;
+}
+
+int cmd_curves(const Options& opts, System system) {
+  if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
+  const std::string dir = opts.get("out", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "curves: --out DIR is required\n");
+    return 2;
+  }
+  AnalysisConfig cfg;
+  cfg.record_curves = true;
+  std::string used;
+  const AnalysisResult r = run_method(opts.get("method", "auto"), system,
+                                      cfg, &used);
+  if (!r.ok) {
+    std::fprintf(stderr, "analysis failed: %s\n", r.error.c_str());
+    return 2;
+  }
+  int written = 0;
+  for (int k = 0; k < system.job_count(); ++k) {
+    for (std::size_t h = 0; h < r.jobs[k].hops.size(); ++h) {
+      if (r.jobs[k].hops[h].curves.empty()) continue;
+      const SubjobCurves& c = r.jobs[k].hops[h].curves[0];
+      const std::string base = dir + "/" + system.job(k).name + "_hop" +
+                               std::to_string(h);
+      const bool ok = save_curve_csv(c.service_lower, base + "_svc_lower.csv") &&
+                      save_curve_csv(c.service_upper, base + "_svc_upper.csv") &&
+                      save_curve_csv(c.arrival_upper, base + "_arr_upper.csv") &&
+                      save_curve_csv(c.departure_lower, base + "_dep_lower.csv");
+      if (!ok) {
+        std::fprintf(stderr, "cannot write under '%s'\n", dir.c_str());
+        return 2;
+      }
+      written += 4;
+    }
+  }
+  std::printf("wrote %d curve CSVs under %s (method: %s)\n", written,
+              dir.c_str(), used.c_str());
+  return 0;
+}
+
+int cmd_trace(const Options& opts, System system) {
+  if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
+  const std::string prefix = opts.get("out", "");
+  if (prefix.empty()) {
+    std::fprintf(stderr, "trace: --out PREFIX is required\n");
+    return 2;
+  }
+  const Time horizon = opts.get_double(
+      "horizon", default_horizon(system, AnalysisConfig{}));
+  const SimResult s = simulate(system, horizon);
+  if (!save_trace_csv(system, s, prefix)) {
+    std::fprintf(stderr, "cannot write '%s_*.csv'\n", prefix.c_str());
+    return 2;
+  }
+  std::printf("wrote %s_gantt.csv and %s_instances.csv ([0, %.3f])\n",
+              prefix.c_str(), prefix.c_str(), horizon);
+  return 0;
+}
+
+int cmd_generate(const Options& opts) {
+  JobShopConfig cfg;
+  cfg.stages = opts.get_int("stages", 4);
+  cfg.processors_per_stage = opts.get_int("procs", 2);
+  cfg.jobs = opts.get_int("jobs", 6);
+  cfg.utilization = opts.get_double("util", 0.6);
+  cfg.pattern = opts.get_bool("aperiodic", false)
+                    ? ArrivalPattern::kAperiodic
+                    : ArrivalPattern::kPeriodic;
+  const std::string sched = opts.get("scheduler", "SPP");
+  if (sched == "SPNP") cfg.scheduler = SchedulerKind::kSpnp;
+  else if (sched == "FCFS") cfg.scheduler = SchedulerKind::kFcfs;
+  else if (sched != "SPP") {
+    std::fprintf(stderr, "unknown scheduler '%s'\n", sched.c_str());
+    return 2;
+  }
+  Rng rng(opts.get_int("seed", 1));
+  System system = generate_jobshop(cfg, rng);
+  assign_proportional_deadline_monotonic(system);
+
+  const std::string out = opts.get("out", "");
+  if (out.empty()) {
+    std::printf("%s", to_system_text(system).c_str());
+  } else if (!save_system_file(system, out)) {
+    std::fprintf(stderr, "cannot write '%s'\n", out.c_str());
+    return 2;
+  } else {
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Options opts = Options::parse(argc - 1, argv + 1);
+
+  if (cmd == "generate") return cmd_generate(opts);
+
+  if (opts.positional().empty()) return usage();
+  const ParsedSystem parsed = load_system_file(opts.positional().front());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "%s\n", parsed.error.c_str());
+    return 2;
+  }
+
+  if (cmd == "analyze") return cmd_analyze(opts, parsed.system);
+  if (cmd == "simulate") return cmd_simulate(opts, parsed.system);
+  if (cmd == "validate") return cmd_validate(opts, parsed.system);
+  if (cmd == "curves") return cmd_curves(opts, parsed.system);
+  if (cmd == "trace") return cmd_trace(opts, parsed.system);
+  return usage();
+}
