@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spp.dir/ablation_spp.cpp.o"
+  "CMakeFiles/ablation_spp.dir/ablation_spp.cpp.o.d"
+  "ablation_spp"
+  "ablation_spp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakdown.dir/breakdown.cpp.o"
+  "CMakeFiles/breakdown.dir/breakdown.cpp.o.d"
+  "breakdown"
+  "breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envelope_vs_trace.dir/envelope_vs_trace.cpp.o"
+  "CMakeFiles/envelope_vs_trace.dir/envelope_vs_trace.cpp.o.d"
+  "envelope_vs_trace"
+  "envelope_vs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envelope_vs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_arrivals.dir/fig1_arrivals.cpp.o"
+  "CMakeFiles/fig1_arrivals.dir/fig1_arrivals.cpp.o.d"
+  "fig1_arrivals"
+  "fig1_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_aperiodic.dir/fig4_aperiodic.cpp.o"
+  "CMakeFiles/fig4_aperiodic.dir/fig4_aperiodic.cpp.o.d"
+  "fig4_aperiodic"
+  "fig4_aperiodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_aperiodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

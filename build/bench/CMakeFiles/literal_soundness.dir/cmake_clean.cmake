@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/literal_soundness.dir/literal_soundness.cpp.o"
+  "CMakeFiles/literal_soundness.dir/literal_soundness.cpp.o.d"
+  "literal_soundness"
+  "literal_soundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/literal_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_curve.dir/micro_curve.cpp.o"
+  "CMakeFiles/micro_curve.dir/micro_curve.cpp.o.d"
+  "micro_curve"
+  "micro_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_protocols.dir/sync_protocols.cpp.o"
+  "CMakeFiles/sync_protocols.dir/sync_protocols.cpp.o.d"
+  "sync_protocols"
+  "sync_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tightness_vs_stages.dir/tightness_vs_stages.cpp.o"
+  "CMakeFiles/tightness_vs_stages.dir/tightness_vs_stages.cpp.o.d"
+  "tightness_vs_stages"
+  "tightness_vs_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tightness_vs_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

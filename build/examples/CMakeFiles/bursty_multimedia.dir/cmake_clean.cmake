@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_multimedia.dir/bursty_multimedia.cpp.o"
+  "CMakeFiles/bursty_multimedia.dir/bursty_multimedia.cpp.o.d"
+  "bursty_multimedia"
+  "bursty_multimedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_multimedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

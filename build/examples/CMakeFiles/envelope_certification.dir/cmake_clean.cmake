@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envelope_certification.dir/envelope_certification.cpp.o"
+  "CMakeFiles/envelope_certification.dir/envelope_certification.cpp.o.d"
+  "envelope_certification"
+  "envelope_certification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envelope_certification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

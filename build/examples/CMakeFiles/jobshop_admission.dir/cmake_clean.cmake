@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobshop_admission.dir/jobshop_admission.cpp.o"
+  "CMakeFiles/jobshop_admission.dir/jobshop_admission.cpp.o.d"
+  "jobshop_admission"
+  "jobshop_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobshop_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

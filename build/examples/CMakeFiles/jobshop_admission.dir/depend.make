@@ -1,0 +1,2 @@
+# Empty dependencies file for jobshop_admission.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_links.dir/network_links.cpp.o"
+  "CMakeFiles/network_links.dir/network_links.cpp.o.d"
+  "network_links"
+  "network_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revisit_loop.dir/revisit_loop.cpp.o"
+  "CMakeFiles/revisit_loop.dir/revisit_loop.cpp.o.d"
+  "revisit_loop"
+  "revisit_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revisit_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bounds.cpp" "src/analysis/CMakeFiles/rta_analysis.dir/bounds.cpp.o" "gcc" "src/analysis/CMakeFiles/rta_analysis.dir/bounds.cpp.o.d"
+  "/root/repo/src/analysis/common.cpp" "src/analysis/CMakeFiles/rta_analysis.dir/common.cpp.o" "gcc" "src/analysis/CMakeFiles/rta_analysis.dir/common.cpp.o.d"
+  "/root/repo/src/analysis/holistic.cpp" "src/analysis/CMakeFiles/rta_analysis.dir/holistic.cpp.o" "gcc" "src/analysis/CMakeFiles/rta_analysis.dir/holistic.cpp.o.d"
+  "/root/repo/src/analysis/iterative.cpp" "src/analysis/CMakeFiles/rta_analysis.dir/iterative.cpp.o" "gcc" "src/analysis/CMakeFiles/rta_analysis.dir/iterative.cpp.o.d"
+  "/root/repo/src/analysis/order.cpp" "src/analysis/CMakeFiles/rta_analysis.dir/order.cpp.o" "gcc" "src/analysis/CMakeFiles/rta_analysis.dir/order.cpp.o.d"
+  "/root/repo/src/analysis/phase_mod.cpp" "src/analysis/CMakeFiles/rta_analysis.dir/phase_mod.cpp.o" "gcc" "src/analysis/CMakeFiles/rta_analysis.dir/phase_mod.cpp.o.d"
+  "/root/repo/src/analysis/spp_exact.cpp" "src/analysis/CMakeFiles/rta_analysis.dir/spp_exact.cpp.o" "gcc" "src/analysis/CMakeFiles/rta_analysis.dir/spp_exact.cpp.o.d"
+  "/root/repo/src/analysis/utilization.cpp" "src/analysis/CMakeFiles/rta_analysis.dir/utilization.cpp.o" "gcc" "src/analysis/CMakeFiles/rta_analysis.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rta_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/rta_curve.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rta_analysis.dir/bounds.cpp.o"
+  "CMakeFiles/rta_analysis.dir/bounds.cpp.o.d"
+  "CMakeFiles/rta_analysis.dir/common.cpp.o"
+  "CMakeFiles/rta_analysis.dir/common.cpp.o.d"
+  "CMakeFiles/rta_analysis.dir/holistic.cpp.o"
+  "CMakeFiles/rta_analysis.dir/holistic.cpp.o.d"
+  "CMakeFiles/rta_analysis.dir/iterative.cpp.o"
+  "CMakeFiles/rta_analysis.dir/iterative.cpp.o.d"
+  "CMakeFiles/rta_analysis.dir/order.cpp.o"
+  "CMakeFiles/rta_analysis.dir/order.cpp.o.d"
+  "CMakeFiles/rta_analysis.dir/phase_mod.cpp.o"
+  "CMakeFiles/rta_analysis.dir/phase_mod.cpp.o.d"
+  "CMakeFiles/rta_analysis.dir/spp_exact.cpp.o"
+  "CMakeFiles/rta_analysis.dir/spp_exact.cpp.o.d"
+  "CMakeFiles/rta_analysis.dir/utilization.cpp.o"
+  "CMakeFiles/rta_analysis.dir/utilization.cpp.o.d"
+  "librta_analysis.a"
+  "librta_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rta_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/curve/algebra.cpp" "src/curve/CMakeFiles/rta_curve.dir/algebra.cpp.o" "gcc" "src/curve/CMakeFiles/rta_curve.dir/algebra.cpp.o.d"
+  "/root/repo/src/curve/arrival.cpp" "src/curve/CMakeFiles/rta_curve.dir/arrival.cpp.o" "gcc" "src/curve/CMakeFiles/rta_curve.dir/arrival.cpp.o.d"
+  "/root/repo/src/curve/minplus.cpp" "src/curve/CMakeFiles/rta_curve.dir/minplus.cpp.o" "gcc" "src/curve/CMakeFiles/rta_curve.dir/minplus.cpp.o.d"
+  "/root/repo/src/curve/pwl_curve.cpp" "src/curve/CMakeFiles/rta_curve.dir/pwl_curve.cpp.o" "gcc" "src/curve/CMakeFiles/rta_curve.dir/pwl_curve.cpp.o.d"
+  "/root/repo/src/curve/transforms.cpp" "src/curve/CMakeFiles/rta_curve.dir/transforms.cpp.o" "gcc" "src/curve/CMakeFiles/rta_curve.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

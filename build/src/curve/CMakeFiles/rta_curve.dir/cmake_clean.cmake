@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rta_curve.dir/algebra.cpp.o"
+  "CMakeFiles/rta_curve.dir/algebra.cpp.o.d"
+  "CMakeFiles/rta_curve.dir/arrival.cpp.o"
+  "CMakeFiles/rta_curve.dir/arrival.cpp.o.d"
+  "CMakeFiles/rta_curve.dir/minplus.cpp.o"
+  "CMakeFiles/rta_curve.dir/minplus.cpp.o.d"
+  "CMakeFiles/rta_curve.dir/pwl_curve.cpp.o"
+  "CMakeFiles/rta_curve.dir/pwl_curve.cpp.o.d"
+  "CMakeFiles/rta_curve.dir/transforms.cpp.o"
+  "CMakeFiles/rta_curve.dir/transforms.cpp.o.d"
+  "librta_curve.a"
+  "librta_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rta_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

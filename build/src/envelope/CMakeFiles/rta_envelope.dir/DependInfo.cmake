@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/envelope/envelope.cpp" "src/envelope/CMakeFiles/rta_envelope.dir/envelope.cpp.o" "gcc" "src/envelope/CMakeFiles/rta_envelope.dir/envelope.cpp.o.d"
+  "/root/repo/src/envelope/envelope_analysis.cpp" "src/envelope/CMakeFiles/rta_envelope.dir/envelope_analysis.cpp.o" "gcc" "src/envelope/CMakeFiles/rta_envelope.dir/envelope_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/rta_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rta_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/rta_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rta_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

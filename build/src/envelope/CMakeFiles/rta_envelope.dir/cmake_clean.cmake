@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rta_envelope.dir/envelope.cpp.o"
+  "CMakeFiles/rta_envelope.dir/envelope.cpp.o.d"
+  "CMakeFiles/rta_envelope.dir/envelope_analysis.cpp.o"
+  "CMakeFiles/rta_envelope.dir/envelope_analysis.cpp.o.d"
+  "librta_envelope.a"
+  "librta_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rta_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

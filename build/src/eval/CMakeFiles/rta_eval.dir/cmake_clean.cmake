@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rta_eval.dir/admission.cpp.o"
+  "CMakeFiles/rta_eval.dir/admission.cpp.o.d"
+  "CMakeFiles/rta_eval.dir/breakdown.cpp.o"
+  "CMakeFiles/rta_eval.dir/breakdown.cpp.o.d"
+  "CMakeFiles/rta_eval.dir/validation.cpp.o"
+  "CMakeFiles/rta_eval.dir/validation.cpp.o.d"
+  "librta_eval.a"
+  "librta_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rta_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rta_io.dir/curve_csv.cpp.o"
+  "CMakeFiles/rta_io.dir/curve_csv.cpp.o.d"
+  "CMakeFiles/rta_io.dir/system_text.cpp.o"
+  "CMakeFiles/rta_io.dir/system_text.cpp.o.d"
+  "CMakeFiles/rta_io.dir/trace_csv.cpp.o"
+  "CMakeFiles/rta_io.dir/trace_csv.cpp.o.d"
+  "librta_io.a"
+  "librta_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rta_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rta_model.dir/priority.cpp.o"
+  "CMakeFiles/rta_model.dir/priority.cpp.o.d"
+  "CMakeFiles/rta_model.dir/system.cpp.o"
+  "CMakeFiles/rta_model.dir/system.cpp.o.d"
+  "librta_model.a"
+  "librta_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rta_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rta_sim.dir/invariants.cpp.o"
+  "CMakeFiles/rta_sim.dir/invariants.cpp.o.d"
+  "CMakeFiles/rta_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rta_sim.dir/simulator.cpp.o.d"
+  "librta_sim.a"
+  "librta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librta_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rta_workload.dir/jobshop.cpp.o"
+  "CMakeFiles/rta_workload.dir/jobshop.cpp.o.d"
+  "librta_workload.a"
+  "librta_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rta_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algebra_properties.dir/test_algebra_properties.cpp.o"
+  "CMakeFiles/test_algebra_properties.dir/test_algebra_properties.cpp.o.d"
+  "test_algebra_properties"
+  "test_algebra_properties.pdb"
+  "test_algebra_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algebra_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_common.dir/test_analysis_common.cpp.o"
+  "CMakeFiles/test_analysis_common.dir/test_analysis_common.cpp.o.d"
+  "test_analysis_common"
+  "test_analysis_common.pdb"
+  "test_analysis_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

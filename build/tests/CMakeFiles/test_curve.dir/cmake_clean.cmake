@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_curve.dir/test_curve.cpp.o"
+  "CMakeFiles/test_curve.dir/test_curve.cpp.o.d"
+  "test_curve"
+  "test_curve.pdb"
+  "test_curve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fcfs.dir/test_fcfs.cpp.o"
+  "CMakeFiles/test_fcfs.dir/test_fcfs.cpp.o.d"
+  "test_fcfs"
+  "test_fcfs.pdb"
+  "test_fcfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fcfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

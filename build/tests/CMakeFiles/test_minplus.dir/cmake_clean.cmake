@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minplus.dir/test_minplus.cpp.o"
+  "CMakeFiles/test_minplus.dir/test_minplus.cpp.o.d"
+  "test_minplus"
+  "test_minplus.pdb"
+  "test_minplus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_options.dir/test_options.cpp.o"
+  "CMakeFiles/test_options.dir/test_options.cpp.o.d"
+  "test_options"
+  "test_options.pdb"
+  "test_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

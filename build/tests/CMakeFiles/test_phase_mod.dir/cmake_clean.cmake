@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_mod.dir/test_phase_mod.cpp.o"
+  "CMakeFiles/test_phase_mod.dir/test_phase_mod.cpp.o.d"
+  "test_phase_mod"
+  "test_phase_mod.pdb"
+  "test_phase_mod[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_mod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

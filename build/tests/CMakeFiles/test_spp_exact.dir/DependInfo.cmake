@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_spp_exact.cpp" "tests/CMakeFiles/test_spp_exact.dir/test_spp_exact.cpp.o" "gcc" "tests/CMakeFiles/test_spp_exact.dir/test_spp_exact.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/rta_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rta_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rta_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rta_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/rta_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rta_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/envelope/CMakeFiles/rta_envelope.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rta_cli.dir/rta_cli.cpp.o"
+  "CMakeFiles/rta_cli.dir/rta_cli.cpp.o.d"
+  "rta_cli"
+  "rta_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
