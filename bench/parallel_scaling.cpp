@@ -1,0 +1,245 @@
+// Scaling study for the parallel, memoizing analysis engine: analyze a batch
+// of Fig. 3 (periodic) and Fig. 4 (aperiodic) job-shop systems with the
+// iterative fixed-point engine, sweeping the worker count from 1 up to the
+// hardware concurrency (and at least 8, the paper-reproduction reference
+// point), with the curve cache on. The baseline is the serial, uncached
+// engine -- exactly what `rta_cli analyze` runs by default -- so "speedup"
+// reads as end-to-end analysis-time reduction, not kernel-only time.
+//
+// Every configuration's results are checksummed against the baseline; a
+// mismatch aborts the bench, so a reported speedup is always a speedup of
+// the SAME arithmetic (the engine's determinism contract).
+//
+// Output: a human-readable table on stdout and BENCH_parallel.json with one
+// entry per (scenario, threads) point: wall seconds (best of --repeats),
+// speedup vs baseline, and the analyzer's cache hit/miss counters.
+//
+// Flags: --systems N (default 24)  --repeats N (default 3)
+//        --stages N (default 4)    --procs N (default 2, per stage)
+//        --jobs N (default 8)      --util U (default 0.7)
+//        --seed S (default 42)     --out FILE (default BENCH_parallel.json)
+//        --max-threads N (default max(hardware, 8))
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/iterative.hpp"
+#include "model/priority.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "workload/jobshop.hpp"
+
+using namespace rta;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  ArrivalPattern pattern;
+};
+
+struct Point {
+  int threads = 1;
+  bool cache = false;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+std::vector<System> make_systems(const Options& opts, ArrivalPattern pattern,
+                                 std::size_t count, std::uint64_t seed) {
+  JobShopConfig cfg;
+  cfg.stages = static_cast<std::size_t>(opts.get_int("stages", 4));
+  cfg.processors_per_stage =
+      static_cast<std::size_t>(opts.get_int("procs", 2));
+  cfg.jobs = static_cast<std::size_t>(opts.get_int("jobs", 8));
+  cfg.pattern = pattern;
+  cfg.utilization = opts.get_double("util", 0.7);
+  cfg.window_periods = 4.0;
+  cfg.deadline.period_multiple = 4.0;
+  cfg.scheduler = SchedulerKind::kSpp;
+
+  const RngFactory factory(seed);
+  std::vector<System> systems;
+  systems.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng = factory.stream(static_cast<std::uint64_t>(i));
+    System system = generate_jobshop(cfg, rng);
+    assign_proportional_deadline_monotonic(system);
+    systems.push_back(std::move(system));
+  }
+  return systems;
+}
+
+/// Order-sensitive digest of every reported bound; bitwise equality of the
+/// digests across configurations is the determinism check.
+std::uint64_t result_digest(std::uint64_t h, const AnalysisResult& r) {
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  mix(r.ok ? 1u : 0u);
+  for (const JobReport& j : r.jobs) {
+    mix(std::bit_cast<std::uint64_t>(j.wcrt));
+    for (const SubjobReport& hop : j.hops) {
+      mix(std::bit_cast<std::uint64_t>(hop.local_bound));
+    }
+  }
+  return h;
+}
+
+/// Analyze the whole batch through one analyzer (so the cache amortizes
+/// across systems, as it does in the admission experiments); returns the
+/// best-of-repeats wall time and the digest of the last repeat.
+Point run_config(const std::vector<System>& systems, int threads, bool cache,
+                 int repeats, std::uint64_t* digest_out) {
+  Point point;
+  point.threads = threads;
+  point.cache = cache;
+  point.seconds = -1.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    AnalysisConfig cfg;
+    cfg.threads = threads;
+    cfg.use_curve_cache = cache;
+    IterativeBoundsAnalyzer analyzer(cfg);
+    std::uint64_t digest = 0xC0FFEEull;
+    const auto start = std::chrono::steady_clock::now();
+    for (const System& system : systems) {
+      digest = result_digest(digest, analyzer.analyze(system));
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (point.seconds < 0.0 || elapsed.count() < point.seconds) {
+      point.seconds = elapsed.count();
+    }
+    *digest_out = digest;
+    if (analyzer.curve_cache() != nullptr) {
+      const CurveCacheStats stats = analyzer.curve_cache()->stats();
+      point.cache_hits = stats.hits();
+      point.cache_misses = stats.misses();
+    }
+  }
+  return point;
+}
+
+void write_json(const std::string& path, const Options& opts,
+                std::size_t system_count, int repeats,
+                const std::vector<std::pair<Scenario, std::vector<Point>>>&
+                    scenarios) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"parallel_scaling\",\n");
+  std::fprintf(f, "  \"engine\": \"iterative\",\n");
+  std::fprintf(f,
+               "  \"baseline\": {\"threads\": 1, \"cache\": false, "
+               "\"note\": \"serial uncached engine; speedup is relative to "
+               "this\"},\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"systems_per_scenario\": %zu,\n", system_count);
+  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"stages\": %lld, \"processors_per_stage\": %lld, "
+               "\"jobs\": %lld, \"utilization\": %g,\n",
+               opts.get_int("stages", 4), opts.get_int("procs", 2),
+               opts.get_int("jobs", 8), opts.get_double("util", 0.7));
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const auto& [scenario, points] = scenarios[s];
+    std::fprintf(f, "    {\n      \"name\": \"%s\",\n      \"points\": [\n",
+                 scenario.name.c_str());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::fprintf(f,
+                   "        {\"threads\": %d, \"cache\": %s, "
+                   "\"seconds\": %.6f, \"speedup\": %.3f, "
+                   "\"cache_hits\": %llu, \"cache_misses\": %llu}%s\n",
+                   p.threads, p.cache ? "true" : "false", p.seconds, p.speedup,
+                   static_cast<unsigned long long>(p.cache_hits),
+                   static_cast<unsigned long long>(p.cache_misses),
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n",
+                 s + 1 < scenarios.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const std::size_t system_count =
+      static_cast<std::size_t>(opts.get_int("systems", 24));
+  const int repeats = static_cast<int>(opts.get_int("repeats", 3));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  const std::string out = opts.get("out", "BENCH_parallel.json");
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const long long max_threads =
+      opts.get_int("max-threads", hw > 8 ? static_cast<long long>(hw) : 8);
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != max_threads) {
+    thread_counts.push_back(static_cast<int>(max_threads));
+  }
+
+  std::printf("Parallel scaling: iterative engine on %zu job-shop systems "
+              "per scenario, best of %d repeats (hardware threads: %u)\n",
+              system_count, repeats, hw);
+
+  const std::vector<Scenario> scenario_defs = {
+      {"fig3_periodic_jobshop", ArrivalPattern::kPeriodic},
+      {"fig4_aperiodic_jobshop", ArrivalPattern::kAperiodic},
+  };
+
+  std::vector<std::pair<Scenario, std::vector<Point>>> results;
+  for (const Scenario& scenario : scenario_defs) {
+    const std::vector<System> systems =
+        make_systems(opts, scenario.pattern, system_count, seed);
+
+    std::uint64_t baseline_digest = 0;
+    Point baseline =
+        run_config(systems, 1, false, repeats, &baseline_digest);
+    baseline.speedup = 1.0;
+
+    std::printf("\n--- %s ---\n", scenario.name.c_str());
+    std::printf("%8s %6s %10s %8s %12s %12s\n", "threads", "cache",
+                "seconds", "speedup", "cache_hits", "cache_miss");
+    std::printf("%8d %6s %10.4f %8.2f %12s %12s\n", 1, "off",
+                baseline.seconds, 1.0, "-", "-");
+
+    std::vector<Point> points;
+    points.push_back(baseline);
+    for (const int threads : thread_counts) {
+      std::uint64_t digest = 0;
+      Point p = run_config(systems, threads, true, repeats, &digest);
+      if (digest != baseline_digest) {
+        std::fprintf(stderr,
+                     "FATAL: results at threads=%d diverge from the serial "
+                     "baseline -- determinism contract violated\n",
+                     threads);
+        return 1;
+      }
+      p.speedup = baseline.seconds / p.seconds;
+      std::printf("%8d %6s %10.4f %8.2f %12llu %12llu\n", threads, "on",
+                  p.seconds, p.speedup,
+                  static_cast<unsigned long long>(p.cache_hits),
+                  static_cast<unsigned long long>(p.cache_misses));
+      points.push_back(p);
+    }
+    results.emplace_back(scenario, std::move(points));
+  }
+
+  write_json(out, opts, system_count, repeats, results);
+  return 0;
+}

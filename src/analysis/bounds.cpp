@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <thread>
 
 #include "analysis/order.hpp"
 #include "curve/algebra.hpp"
@@ -12,6 +13,26 @@ namespace rta {
 namespace detail {
 
 namespace {
+
+/// Pseudo-inverses of `c` at levels 1..count, through the cache when one is
+/// available. The cached table stores exactly c.pseudo_inverse(m), so both
+/// paths are bit-identical.
+class LevelInverses {
+ public:
+  LevelInverses(CurveCache* cache, const PwlCurve& c, long long count)
+      : curve_(c) {
+    if (cache != nullptr) table_ = cache->level_inverses(c, count);
+  }
+
+  [[nodiscard]] Time at(long long m) const {
+    if (table_) return (*table_)[static_cast<std::size_t>(m - 1)];
+    return curve_.pseudo_inverse(static_cast<double>(m));
+  }
+
+ private:
+  const PwlCurve& curve_;
+  std::shared_ptr<const std::vector<Time>> table_;
+};
 
 /// Next-hop arrival upper bound (Lemma 2): instances arrive at hop j+1 when
 /// S̄ first crosses multiples of tau; additionally an instance cannot reach
@@ -25,20 +46,22 @@ PwlCurve next_arrival_upper(const PwlCurve& svc_upper,
 /// Bounds for the subjobs of a static-priority processor (SPP with b = 0,
 /// SPNP with b of Eq. 15), in descending priority order.
 void priority_processor_bounds(const System& system, int p, Time horizon,
-                               BoundStateMap& states, BoundsVariant variant) {
+                               BoundStateMap& states, BoundsVariant variant,
+                               CurveCache* cache) {
   std::vector<SubjobRef> refs = system.subjobs_on(p);
   std::sort(refs.begin(), refs.end(),
             [&](const SubjobRef& a, const SubjobRef& b) {
               return system.subjob(a).priority < system.subjob(b).priority;
             });
   for (const SubjobRef& ref : refs) {
-    compute_single_priority_subjob(system, ref, horizon, states, variant);
+    compute_single_priority_subjob(system, ref, horizon, states, variant,
+                                   cache);
   }
 }
 
 /// Bounds for the subjobs of a FCFS processor (Theorems 7-9).
 void fcfs_processor_bounds(const System& system, int p, Time horizon,
-                           BoundStateMap& states) {
+                           BoundStateMap& states, CurveCache* cache) {
   const std::vector<SubjobRef> refs = system.subjobs_on(p);
 
   // Total workload bounds G (Eq. 21) over all subjobs on the processor.
@@ -70,10 +93,11 @@ void fcfs_processor_bounds(const System& system, int p, Time horizon,
     // ā_m = f̲_arr^{-1}(m) the latest possible m-th arrival.
     const long long count_lower =
         tolerant_floor(st.arr_lower.end_value() + 0.5);
+    const LevelInverses arr_lower_inv(cache, st.arr_lower, count_lower);
     std::vector<Time> dep_times;
     dep_times.reserve(count_lower);
     for (long long m = 1; m <= count_lower; ++m) {
-      const Time a_late = st.arr_lower.pseudo_inverse(static_cast<double>(m));
+      const Time a_late = arr_lower_inv.at(m);
       if (std::isinf(a_late)) break;
       const Time t = util_lower.pseudo_inverse(g_upper.eval(a_late));
       if (std::isinf(t)) break;
@@ -88,7 +112,7 @@ void fcfs_processor_bounds(const System& system, int p, Time horizon,
         curve_min(curve_min(curve_add_constant(st.svc_lower, tau), c_upper),
                   PwlCurve::identity(horizon));
     st.next_arr_upper = next_arrival_upper(st.svc_upper, st.arr_upper, tau);
-    st.local_bound = local_delay_bound(st.dep_lower, st.arr_upper);
+    st.local_bound = local_delay_bound(st.dep_lower, st.arr_upper, cache);
     st.computed = true;
   }
 }
@@ -152,7 +176,7 @@ void literal_priority_subjob(const System& system, SubjobRef ref,
 
 void compute_single_priority_subjob(const System& system, SubjobRef ref,
                                     Time horizon, BoundStateMap& states,
-                                    BoundsVariant variant) {
+                                    BoundsVariant variant, CurveCache* cache) {
   if (variant == BoundsVariant::kPaperLiteral) {
     literal_priority_subjob(system, ref, horizon, states);
     return;
@@ -204,12 +228,14 @@ void compute_single_priority_subjob(const System& system, SubjobRef ref,
 
   const long long count_lower = tolerant_floor(st.arr_lower.end_value() + 0.5);
   const long long count_upper = tolerant_floor(st.arr_upper.end_value() + 0.5);
+  const LevelInverses arr_lower_inv(cache, st.arr_lower, count_lower);
+  const LevelInverses arr_upper_inv(cache, st.arr_upper, count_upper);
 
   // ---- Lower service bound.
   PwlCurve svc_lower = PwlCurve::zero(horizon);
   bool have_lower = false;
   for (long long i = 1; i <= count_lower; ++i) {
-    const Time s_i = st.arr_lower.pseudo_inverse(static_cast<double>(i));
+    const Time s_i = arr_lower_inv.at(i);
     if (std::isinf(s_i)) break;
     const double base = static_cast<double>(i - 1) * tau;
     // term_i(t) = max(base, base + Q̲(t) - (s_i - S̲hp(s_i))).
@@ -233,7 +259,7 @@ void compute_single_priority_subjob(const System& system, SubjobRef ref,
     Time s_i = 0.0;
     double base = 0.0;
     if (i > 0) {
-      s_i = st.arr_upper.pseudo_inverse(static_cast<double>(i));
+      s_i = arr_upper_inv.at(i);
       if (std::isinf(s_i)) break;
       base = static_cast<double>(i - 1) * tau;
     }
@@ -258,17 +284,19 @@ void compute_single_priority_subjob(const System& system, SubjobRef ref,
   st.svc_upper = svc_upper;
   st.dep_lower = curve_floor_div(svc_lower, tau);  // Lemma 1
   st.next_arr_upper = next_arrival_upper(svc_upper, st.arr_upper, tau);
-  st.local_bound = local_delay_bound(st.dep_lower, st.arr_upper);
+  st.local_bound = local_delay_bound(st.dep_lower, st.arr_upper, cache);
   st.computed = true;
 }
 
-Time local_delay_bound(const PwlCurve& dep_lower, const PwlCurve& arr_upper) {
+Time local_delay_bound(const PwlCurve& dep_lower, const PwlCurve& arr_upper,
+                       CurveCache* cache) {
   const long long count = tolerant_floor(arr_upper.end_value() + 0.5);
+  const LevelInverses arr_inv(cache, arr_upper, count);
+  const LevelInverses dep_inv(cache, dep_lower, count);
   Time worst = 0.0;
   for (long long m = 1; m <= count; ++m) {
-    const double level = static_cast<double>(m);
-    const Time arr = arr_upper.pseudo_inverse(level);
-    const Time dep = dep_lower.pseudo_inverse(level);
+    const Time arr = arr_inv.at(m);
+    const Time dep = dep_inv.at(m);
     if (std::isinf(dep)) return kTimeInfinity;
     worst = std::max(worst, dep - arr);
   }
@@ -276,15 +304,31 @@ Time local_delay_bound(const PwlCurve& dep_lower, const PwlCurve& arr_upper) {
 }
 
 void compute_processor_bounds(const System& system, int p, Time horizon,
-                              BoundStateMap& states, BoundsVariant variant) {
+                              BoundStateMap& states, BoundsVariant variant,
+                              CurveCache* cache) {
   if (system.scheduler(p) == SchedulerKind::kFcfs) {
-    fcfs_processor_bounds(system, p, horizon, states);
+    fcfs_processor_bounds(system, p, horizon, states, cache);
   } else {
-    priority_processor_bounds(system, p, horizon, states, variant);
+    priority_processor_bounds(system, p, horizon, states, variant, cache);
   }
 }
 
 }  // namespace detail
+
+std::size_t analysis_worker_count(int threads) {
+  if (threads == 1) return 1;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+  }
+  return static_cast<std::size_t>(threads);
+}
+
+BoundsAnalyzer::BoundsAnalyzer(AnalysisConfig config) : config_(config) {
+  const std::size_t workers = analysis_worker_count(config.threads);
+  if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers);
+  if (config.use_curve_cache) cache_ = std::make_unique<CurveCache>();
+}
 
 AnalysisResult BoundsAnalyzer::analyze(const System& system) const {
   const auto problems = system.validate();
@@ -317,53 +361,102 @@ AnalysisResult BoundsAnalyzer::analyze(const System& system) const {
 
 AnalysisResult BoundsAnalyzer::analyze_at(const System& system,
                                           Time horizon) const {
-  const auto order = *topological_order(system);  // checked by analyze()
-
   detail::BoundStateMap states;
-  // Pre-create all states so processor-level passes can write into them.
+  // Pre-create all states so processor-level passes can write into them and
+  // the parallel waves never mutate the map structure.
   for (int k = 0; k < system.job_count(); ++k) {
     for (int h = 0; h < static_cast<int>(system.job(k).chain.size()); ++h) {
       states[{k, h}] = detail::BoundState{};
     }
   }
 
-  for (const SubjobRef& ref : order) {
-    detail::BoundState& st = states.at({ref.job, ref.hop});
-    if (st.computed) continue;  // FCFS processors compute in bulk
-
-    // Resolve this subjob's arrival bounds.
-    auto fill_arrivals = [&](SubjobRef r) {
-      detail::BoundState& s = states.at({r.job, r.hop});
-      if (r.hop == 0) {
-        const PwlCurve exact = system.job(r.job).arrivals.to_curve(horizon);
-        s.arr_upper = exact;
-        s.arr_lower = exact;
-      } else {
-        const detail::BoundState& pred = states.at({r.job, r.hop - 1});
-        assert(pred.computed);
-        s.arr_upper = pred.next_arr_upper;
-        s.arr_lower = pred.dep_lower;  // Lemma 1 feeding the DS identity
-      }
-    };
-
-    const int p = system.subjob(ref).processor;
-    if (system.scheduler(p) == SchedulerKind::kFcfs) {
-      // All arrival inputs for the processor are ready (dependency edges
-      // guarantee it); fill them and compute the whole processor at once.
-      for (const SubjobRef& r : system.subjobs_on(p)) fill_arrivals(r);
-      detail::compute_processor_bounds(system, p, horizon, states,
-                                       config_.bounds_variant);
+  // Resolve one subjob's arrival bounds from its (already computed)
+  // predecessor hop.
+  auto fill_arrivals = [&](SubjobRef r) {
+    detail::BoundState& s = states.at({r.job, r.hop});
+    if (r.hop == 0) {
+      const PwlCurve exact = system.job(r.job).arrivals.to_curve(horizon);
+      s.arr_upper = exact;
+      s.arr_lower = exact;
     } else {
-      // Priority processors can also be computed wholesale the first time
-      // one of their subjobs is encountered: higher-priority subjobs precede
-      // this one in the order, and their arrival inputs are ready. But a
-      // LOWER-priority subjob's predecessor may not be done yet, so compute
-      // only the prefix that is ready: here we compute just this subjob,
-      // reusing previously computed higher-priority service bounds.
-      fill_arrivals(ref);
-      detail::compute_single_priority_subjob(system, ref, horizon, states,
-                                             config_.bounds_variant);
+      const detail::BoundState& pred = states.at({r.job, r.hop - 1});
+      assert(pred.computed);
+      s.arr_upper = pred.next_arr_upper;
+      s.arr_lower = pred.dep_lower;  // Lemma 1 feeding the DS identity
     }
+  };
+
+  // Wavefront schedule over the computation-dependency graph. A unit is one
+  // subjob on a priority processor, or a whole FCFS processor (Theorem 7
+  // couples its subjobs through the shared utilization function). Unit depth
+  // = longest dependency chain feeding it, so all inputs of a depth-d unit
+  // are produced at depths < d: the units of one depth are independent and
+  // run concurrently, each writing only its own subjobs' states.
+  const DependencyGraph graph = build_dependency_graph(system);
+  const int n = graph.node_count();
+  std::vector<int> depth(n, 0);
+  {
+    std::vector<int> indeg(n, 0);
+    for (const auto& edges : graph.succ) {
+      for (int v : edges) ++indeg[v];
+    }
+    std::vector<int> ready;
+    for (int v = 0; v < n; ++v) {
+      if (indeg[v] == 0) ready.push_back(v);
+    }
+    int processed = 0;
+    while (!ready.empty()) {
+      const int v = ready.back();
+      ready.pop_back();
+      ++processed;
+      for (int w : graph.succ[v]) {
+        depth[w] = std::max(depth[w], depth[v] + 1);
+        if (--indeg[w] == 0) ready.push_back(w);
+      }
+    }
+    assert(processed == n);  // acyclic: checked by analyze()
+    (void)processed;
+  }
+
+  struct Unit {
+    int processor = -1;    ///< FCFS: whole processor; else unused
+    SubjobRef ref;         ///< priority processors: the one subjob
+    bool whole_fcfs = false;
+  };
+  int max_depth = 0;
+  for (int v = 0; v < n; ++v) max_depth = std::max(max_depth, depth[v]);
+  std::vector<std::vector<Unit>> waves(max_depth + 1);
+  for (int p = 0; p < system.processor_count(); ++p) {
+    const std::vector<SubjobRef> on_p = system.subjobs_on(p);
+    if (system.scheduler(p) == SchedulerKind::kFcfs) {
+      if (on_p.empty()) continue;
+      int d = 0;
+      for (const SubjobRef& r : on_p) d = std::max(d, depth[graph.node(r)]);
+      waves[d].push_back({p, {}, true});
+    } else {
+      for (const SubjobRef& r : on_p) {
+        waves[depth[graph.node(r)]].push_back({p, r, false});
+      }
+    }
+  }
+
+  for (const std::vector<Unit>& wave : waves) {
+    for_each_index(pool_.get(), wave.size(), [&](std::size_t i) {
+      const Unit& unit = wave[i];
+      if (unit.whole_fcfs) {
+        for (const SubjobRef& r : system.subjobs_on(unit.processor)) {
+          fill_arrivals(r);
+        }
+        detail::compute_processor_bounds(system, unit.processor, horizon,
+                                         states, config_.bounds_variant,
+                                         cache_.get());
+      } else {
+        fill_arrivals(unit.ref);
+        detail::compute_single_priority_subjob(system, unit.ref, horizon,
+                                               states, config_.bounds_variant,
+                                               cache_.get());
+      }
+    });
   }
 
   AnalysisResult result;

@@ -51,10 +51,13 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "analysis/result.hpp"
+#include "curve/curve_cache.hpp"
 #include "model/system.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rta {
 
@@ -75,41 +78,61 @@ struct BoundState {
 using BoundStateMap = std::map<std::pair<int, int>, BoundState>;
 
 /// Compute bounds for every subjob on processor `p`. The arr_upper/arr_lower
-/// members of each subjob on `p` must already be set in `states`.
+/// members of each subjob on `p` must already be set in `states`. An
+/// optional CurveCache memoizes the pseudo-inverse tables; cached and
+/// uncached runs produce bit-identical bounds.
 void compute_processor_bounds(const System& system, int p, Time horizon,
                               BoundStateMap& states,
-                              BoundsVariant variant = BoundsVariant::kSound);
+                              BoundsVariant variant = BoundsVariant::kSound,
+                              CurveCache* cache = nullptr);
 
 /// Compute bounds for one subjob on a static-priority processor. Its
 /// arrival bounds and the service bounds of all higher-priority subjobs on
 /// the processor must already be present in `states`.
 void compute_single_priority_subjob(const System& system, SubjobRef ref,
                                     Time horizon, BoundStateMap& states,
-                                    BoundsVariant variant = BoundsVariant::kSound);
+                                    BoundsVariant variant = BoundsVariant::kSound,
+                                    CurveCache* cache = nullptr);
 
 /// d_{k,j} = max_m ( f̲_dep^{-1}(m) - f̄_arr^{-1}(m) ) over the released
 /// instances (Eq. 12); kTimeInfinity if some instance's departure cannot be
 /// bounded within the horizon.
 [[nodiscard]] Time local_delay_bound(const PwlCurve& dep_lower,
-                                     const PwlCurve& arr_upper);
+                                     const PwlCurve& arr_upper,
+                                     CurveCache* cache = nullptr);
 
 }  // namespace detail
 
 /// The approximate analyzer (SPNP/App, FCFS/App, SPP/App and mixes thereof,
 /// chosen by each processor's SchedulerKind).
+///
+/// With AnalysisConfig::threads != 1 the subjob computations are scheduled as
+/// a wavefront over the dependency graph and independent units of each wave
+/// run concurrently on an internal ThreadPool; with use_curve_cache the
+/// pseudo-inverse tables are memoized. Both are bit-identical to the serial,
+/// uncached engine. analyze() is safe to call concurrently from several
+/// threads on one instance (pool and cache are shared).
 class BoundsAnalyzer {
  public:
-  explicit BoundsAnalyzer(AnalysisConfig config = {}) : config_(config) {}
+  explicit BoundsAnalyzer(AnalysisConfig config = {});
 
   [[nodiscard]] AnalysisResult analyze(const System& system) const;
 
   [[nodiscard]] static const char* name() { return "Bounds/App"; }
+
+  /// The memoization layer, for stats inspection (null when disabled).
+  [[nodiscard]] const CurveCache* curve_cache() const { return cache_.get(); }
 
  private:
   [[nodiscard]] AnalysisResult analyze_at(const System& system,
                                           Time horizon) const;
 
   AnalysisConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<CurveCache> cache_;
 };
+
+/// Workers implied by AnalysisConfig::threads (1 = serial, 0 = hardware).
+[[nodiscard]] std::size_t analysis_worker_count(int threads);
 
 }  // namespace rta

@@ -1,11 +1,21 @@
 #include "analysis/iterative.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "analysis/bounds.hpp"
 #include "curve/algebra.hpp"
 
 namespace rta {
+
+IterativeBoundsAnalyzer::IterativeBoundsAnalyzer(AnalysisConfig config)
+    : config_(config) {
+  const std::size_t workers = analysis_worker_count(config.threads);
+  if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers);
+  if (config.use_curve_cache) cache_ = std::make_unique<CurveCache>();
+}
 
 AnalysisResult IterativeBoundsAnalyzer::analyze(const System& system) const {
   const auto problems = system.validate();
@@ -56,42 +66,93 @@ AnalysisResult IterativeBoundsAnalyzer::analyze_at(const System& system,
     }
   }
 
-  // Monotone refinement to a fixpoint.
+  const std::size_t proc_count =
+      static_cast<std::size_t>(system.processor_count());
+  const std::size_t job_count = static_cast<std::size_t>(system.job_count());
+  std::vector<std::vector<SubjobRef>> on_proc(proc_count);
+  for (std::size_t p = 0; p < proc_count; ++p) {
+    on_proc[p] = system.subjobs_on(static_cast<int>(p));
+  }
+
+  // Pass-skip memo: a processor pass is a pure function of its subjobs'
+  // arrival bounds, so when those are knot-for-knot identical to the inputs
+  // of the pass that last ran, the outputs already sitting in `states` are
+  // what the pass would recompute -- skip it. The comparison is exact, so
+  // skipping never changes a result; it only removes the redundant
+  // recomputation the fixed point otherwise performs every round.
+  struct PassMemo {
+    bool valid = false;
+    std::vector<PwlCurve> inputs;  ///< arr_upper, arr_lower per subjob
+  };
+  std::vector<PassMemo> memo(proc_count);
+
+  auto run_processor_pass = [&](std::size_t p) {
+    PassMemo& m = memo[p];
+    if (cache_ != nullptr) {
+      if (m.valid) {
+        bool unchanged = true;
+        for (std::size_t i = 0; i < on_proc[p].size() && unchanged; ++i) {
+          const detail::BoundState& st =
+              states.at({on_proc[p][i].job, on_proc[p][i].hop});
+          unchanged = curves_identical(m.inputs[2 * i], st.arr_upper) &&
+                      curves_identical(m.inputs[2 * i + 1], st.arr_lower);
+        }
+        if (unchanged) return;
+      }
+      m.inputs.clear();
+      m.inputs.reserve(2 * on_proc[p].size());
+      for (const SubjobRef& r : on_proc[p]) {
+        const detail::BoundState& st = states.at({r.job, r.hop});
+        m.inputs.push_back(st.arr_upper);
+        m.inputs.push_back(st.arr_lower);
+      }
+      m.valid = true;
+    }
+    detail::compute_processor_bounds(system, static_cast<int>(p), horizon,
+                                     states, config_.bounds_variant,
+                                     cache_.get());
+  };
+
+  // Monotone refinement to a fixpoint. Within a round the processor passes
+  // touch disjoint states, as do the per-job propagations, so both phases
+  // run on the pool when one is configured; the phase boundary is a barrier,
+  // which keeps the results independent of the worker count.
   int iterations = 0;
   for (; iterations < config_.max_iterations; ++iterations) {
-    for (int p = 0; p < system.processor_count(); ++p) {
-      detail::compute_processor_bounds(system, p, horizon, states,
-                                       config_.bounds_variant);
-    }
-    bool changed = false;
-    for (int k = 0; k < system.job_count(); ++k) {
-      const Job& job = system.job(k);
+    for_each_index(pool_.get(), proc_count,
+                   [&](std::size_t p) { run_processor_pass(p); });
+
+    std::atomic<bool> changed{false};
+    for_each_index(pool_.get(), job_count, [&](std::size_t k) {
+      const Job& job = system.job(static_cast<int>(k));
+      bool job_changed = false;
       for (int h = 1; h < static_cast<int>(job.chain.size()); ++h) {
-        const detail::BoundState& pred = states.at({k, h - 1});
-        detail::BoundState& st = states.at({k, h});
+        const detail::BoundState& pred =
+            states.at({static_cast<int>(k), h - 1});
+        detail::BoundState& st = states.at({static_cast<int>(k), h});
         const PwlCurve new_upper =
             curve_min(st.arr_upper, pred.next_arr_upper);
         const PwlCurve new_lower = curve_max(st.arr_lower, pred.dep_lower);
         if (!new_upper.approx_equal(st.arr_upper) ||
             !new_lower.approx_equal(st.arr_lower)) {
-          changed = true;
+          job_changed = true;
         }
         st.arr_upper = new_upper;
         st.arr_lower = new_lower;
       }
-    }
-    if (!changed) {
+      if (job_changed) changed.store(true, std::memory_order_relaxed);
+    });
+    if (!changed.load(std::memory_order_relaxed)) {
       ++iterations;
       break;
     }
   }
   // One final processor pass so service/departure bounds and the local
-  // delays reflect the final arrival bounds.
-  for (int p = 0; p < system.processor_count(); ++p) {
-    detail::compute_processor_bounds(system, p, horizon, states,
-                                       config_.bounds_variant);
-  }
-  last_iterations_ = iterations;
+  // delays reflect the final arrival bounds. (With the pass memo this is
+  // free when the last round already ran on the final arrivals.)
+  for_each_index(pool_.get(), proc_count,
+                 [&](std::size_t p) { run_processor_pass(p); });
+  last_iterations_.store(iterations, std::memory_order_relaxed);
 
   AnalysisResult result;
   result.ok = true;

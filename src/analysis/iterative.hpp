@@ -18,32 +18,53 @@
 //
 // Works for any mix of SPP/SPNP/FCFS processors. On acyclic systems it
 // converges to the same result as BoundsAnalyzer (verified in tests).
+//
+// Parallel engine: within one refinement round the per-processor passes are
+// independent (each reads and writes only its own subjobs' states), as are
+// the per-job arrival propagations, so with AnalysisConfig::threads != 1
+// both run concurrently on an internal ThreadPool. With use_curve_cache a
+// processor pass whose arrival inputs are knot-for-knot unchanged since its
+// last execution is skipped outright (its outputs are already in place), and
+// pseudo-inverse tables are memoized via CurveCache. All of it preserves the
+// determinism contract: bounds are bit-identical to the serial, uncached
+// engine for every thread count (tests/test_differential_engine.cpp).
 #pragma once
 
+#include <atomic>
+#include <memory>
+
 #include "analysis/result.hpp"
+#include "curve/curve_cache.hpp"
 #include "model/system.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rta {
 
 class IterativeBoundsAnalyzer {
  public:
-  explicit IterativeBoundsAnalyzer(AnalysisConfig config = {})
-      : config_(config) {}
+  explicit IterativeBoundsAnalyzer(AnalysisConfig config = {});
 
   [[nodiscard]] AnalysisResult analyze(const System& system) const;
 
   [[nodiscard]] static const char* name() { return "Bounds/Iterative"; }
 
-  /// Number of refinement iterations used in the last analyze() call on this
-  /// thread (diagnostic; not synchronized across threads).
-  [[nodiscard]] int last_iterations() const { return last_iterations_; }
+  /// Number of refinement iterations used in the last analyze() call
+  /// (diagnostic; last writer wins under concurrent analyze() calls).
+  [[nodiscard]] int last_iterations() const {
+    return last_iterations_.load(std::memory_order_relaxed);
+  }
+
+  /// The memoization layer, for stats inspection (null when disabled).
+  [[nodiscard]] const CurveCache* curve_cache() const { return cache_.get(); }
 
  private:
   [[nodiscard]] AnalysisResult analyze_at(const System& system,
                                           Time horizon) const;
 
   AnalysisConfig config_;
-  mutable int last_iterations_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<CurveCache> cache_;
+  mutable std::atomic<int> last_iterations_{0};
 };
 
 }  // namespace rta

@@ -44,6 +44,17 @@ struct AnalysisConfig {
 
   /// SPNP/SPP bound formulas (see BoundsVariant).
   BoundsVariant bounds_variant = BoundsVariant::kSound;
+
+  /// Worker threads for the parallel bounds engines: 1 = serial (default),
+  /// 0 = std::thread::hardware_concurrency(), N = that many workers.
+  /// Determinism contract: the computed bounds are bit-identical for every
+  /// value (tests/test_differential_engine.cpp).
+  int threads = 1;
+
+  /// Memoize curve operations and unchanged per-processor passes (see
+  /// curve/curve_cache.hpp). Purely an optimization: cache hits are verified
+  /// knot-for-knot, so the results are bit-identical with the cache off.
+  bool use_curve_cache = true;
 };
 
 /// Curves retained for one subjob when record_curves is set.

@@ -1,0 +1,163 @@
+#include "curve/curve_cache.hpp"
+
+#include <bit>
+
+#include "curve/minplus.hpp"
+#include "util/rng.hpp"
+
+namespace rta {
+
+namespace {
+
+bool same_knots(const std::vector<Knot>& a, const std::vector<Knot>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i].t) !=
+            std::bit_cast<std::uint64_t>(b[i].t) ||
+        std::bit_cast<std::uint64_t>(a[i].left) !=
+            std::bit_cast<std::uint64_t>(b[i].left) ||
+        std::bit_cast<std::uint64_t>(a[i].right) !=
+            std::bit_cast<std::uint64_t>(b[i].right)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t mix(std::uint64_t h, double v) {
+  return splitmix64(h ^ std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+bool curves_identical(const PwlCurve& a, const PwlCurve& b) {
+  return same_knots(a.knots(), b.knots());
+}
+
+std::uint64_t CurveCache::structural_hash(const PwlCurve& c) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull ^ c.knot_count();
+  for (const Knot& k : c.knots()) {
+    h = mix(h, k.t);
+    h = mix(h, k.left);
+    h = mix(h, k.right);
+  }
+  return h;
+}
+
+PwlCurve CurveCache::binary_op(
+    std::unordered_map<std::uint64_t, std::vector<BinaryEntry>> Shard::*map,
+    const PwlCurve& f, const PwlCurve& g,
+    PwlCurve (*compute)(const PwlCurve&, const PwlCurve&)) {
+  const std::uint64_t k = splitmix64(key(f) * 3 + 1) ^ key(g);
+  Shard& shard = shard_for(k);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = (shard.*map).find(k);
+    if (it != (shard.*map).end()) {
+      for (const BinaryEntry& e : it->second) {
+        if (same_knots(e.f, f.knots()) && same_knots(e.g, g.knots())) {
+          conv_hits_.fetch_add(1, std::memory_order_relaxed);
+          return e.result;
+        }
+        collisions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  // Miss: compute outside the lock (the operators are the expensive part),
+  // then insert unless a racing thread beat us to it.
+  conv_misses_.fetch_add(1, std::memory_order_relaxed);
+  PwlCurve result = compute(f, g);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<BinaryEntry>& bucket = (shard.*map)[k];
+  for (const BinaryEntry& e : bucket) {
+    if (same_knots(e.f, f.knots()) && same_knots(e.g, g.knots())) {
+      return result;
+    }
+  }
+  bucket.push_back({f.knots(), g.knots(), result});
+  return result;
+}
+
+PwlCurve CurveCache::convolution(const PwlCurve& f, const PwlCurve& g) {
+  return binary_op(&Shard::conv, f, g, &min_plus_convolution);
+}
+
+PwlCurve CurveCache::deconvolution(const PwlCurve& f, const PwlCurve& g) {
+  return binary_op(&Shard::deconv, f, g, &min_plus_deconvolution);
+}
+
+CurveCache::UnaryEntry& CurveCache::unary_entry(Shard& shard, std::uint64_t k,
+                                                const PwlCurve& c) {
+  std::vector<UnaryEntry>& bucket = shard.unary[k];
+  for (UnaryEntry& e : bucket) {
+    if (same_knots(e.knots, c.knots())) return e;
+    collisions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bucket.push_back({c.knots(), nullptr, {}});
+  return bucket.back();
+}
+
+std::shared_ptr<const std::vector<Time>> CurveCache::level_inverses(
+    const PwlCurve& c, long long count) {
+  if (count < 0) count = 0;
+  const std::uint64_t k = key(c);
+  Shard& shard = shard_for(k);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  UnaryEntry& entry = unary_entry(shard, k, c);
+  const std::size_t have = entry.levels ? entry.levels->size() : 0;
+  const std::size_t want = static_cast<std::size_t>(count);
+  if (have >= want) {
+    pinv_hits_.fetch_add(want, std::memory_order_relaxed);
+    return entry.levels ? entry.levels
+                        : std::make_shared<const std::vector<Time>>();
+  }
+  // Extend copy-on-write: snapshots handed out earlier stay immutable.
+  auto extended = std::make_shared<std::vector<Time>>();
+  extended->reserve(want);
+  if (entry.levels) *extended = *entry.levels;
+  for (std::size_t m = have + 1; m <= want; ++m) {
+    extended->push_back(c.pseudo_inverse(static_cast<double>(m)));
+  }
+  pinv_hits_.fetch_add(have, std::memory_order_relaxed);
+  pinv_misses_.fetch_add(want - have, std::memory_order_relaxed);
+  entry.levels = std::move(extended);
+  return entry.levels;
+}
+
+Time CurveCache::pseudo_inverse(const PwlCurve& c, double y) {
+  const std::uint64_t k = key(c);
+  Shard& shard = shard_for(k);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  UnaryEntry& entry = unary_entry(shard, k, c);
+  const std::uint64_t y_bits = std::bit_cast<std::uint64_t>(y);
+  const auto it = entry.at_y.find(y_bits);
+  if (it != entry.at_y.end()) {
+    pinv_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  pinv_misses_.fetch_add(1, std::memory_order_relaxed);
+  const Time t = c.pseudo_inverse(y);
+  entry.at_y.emplace(y_bits, t);
+  return t;
+}
+
+CurveCacheStats CurveCache::stats() const {
+  CurveCacheStats s;
+  s.conv_hits = conv_hits_.load(std::memory_order_relaxed);
+  s.conv_misses = conv_misses_.load(std::memory_order_relaxed);
+  s.pinv_hits = pinv_hits_.load(std::memory_order_relaxed);
+  s.pinv_misses = pinv_misses_.load(std::memory_order_relaxed);
+  s.collisions = collisions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void CurveCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.conv.clear();
+    shard.deconv.clear();
+    shard.unary.clear();
+  }
+}
+
+}  // namespace rta

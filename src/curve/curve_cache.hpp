@@ -1,0 +1,125 @@
+// Memoization layer for expensive curve operations.
+//
+// The fixed-point analyzers recompute the same min-plus products and
+// pseudo-inverses on every refinement round; this cache keys them by a cheap
+// structural hash of the exact knot vector. Hits are verified knot-for-knot
+// with exact (bitwise) double comparison before a stored result is returned,
+// so a hash collision degrades to a recomputation, never to a wrong answer:
+// every value handed out is bit-identical to what the direct computation
+// would produce. That property is what lets the cached engine pass the
+// differential harness (tests/test_differential_engine.cpp) unchanged.
+//
+// Thread-safe: entries live in mutex-protected shards selected by hash, so
+// the parallel engine's workers can share one cache.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "curve/pwl_curve.hpp"
+
+namespace rta {
+
+/// Exact (bitwise) knot-vector equality: the collision-fallback comparison.
+/// Stricter than PwlCurve::approx_equal -- two curves are identical exactly
+/// when recomputing any operation on them yields bit-identical results.
+[[nodiscard]] bool curves_identical(const PwlCurve& a, const PwlCurve& b);
+
+/// Hit/miss accounting for one CurveCache.
+struct CurveCacheStats {
+  std::uint64_t conv_hits = 0;    ///< convolution / deconvolution hits
+  std::uint64_t conv_misses = 0;  ///< convolution / deconvolution misses
+  std::uint64_t pinv_hits = 0;    ///< pseudo-inverse hits (per level / y)
+  std::uint64_t pinv_misses = 0;  ///< pseudo-inverse misses
+  std::uint64_t collisions = 0;   ///< hash matched but operands differed
+
+  [[nodiscard]] std::uint64_t hits() const { return conv_hits + pinv_hits; }
+  [[nodiscard]] std::uint64_t misses() const {
+    return conv_misses + pinv_misses;
+  }
+};
+
+class CurveCache {
+ public:
+  CurveCache() = default;
+
+  /// Testing hook: keys become structural_hash(c) & hash_mask, so a small
+  /// mask forces collisions and exercises the exact-comparison fallback.
+  explicit CurveCache(std::uint64_t hash_mask) : hash_mask_(hash_mask) {}
+
+  CurveCache(const CurveCache&) = delete;
+  CurveCache& operator=(const CurveCache&) = delete;
+
+  /// Order-sensitive structural hash of the exact knot bits.
+  [[nodiscard]] static std::uint64_t structural_hash(const PwlCurve& c);
+
+  /// Memoized min_plus_convolution(f, g).
+  [[nodiscard]] PwlCurve convolution(const PwlCurve& f, const PwlCurve& g);
+
+  /// Memoized min_plus_deconvolution(f, g).
+  [[nodiscard]] PwlCurve deconvolution(const PwlCurve& f, const PwlCurve& g);
+
+  /// Pseudo-inverses of `c` at the integer levels 1..count (index m - 1
+  /// holds c.pseudo_inverse(m)): the access pattern of the bounds engine
+  /// (latest/earliest m-th arrivals, Eq. 12). The returned snapshot is
+  /// immutable; later extensions of the table do not touch it.
+  [[nodiscard]] std::shared_ptr<const std::vector<Time>> level_inverses(
+      const PwlCurve& c, long long count);
+
+  /// Memoized c.pseudo_inverse(y) for arbitrary levels.
+  [[nodiscard]] Time pseudo_inverse(const PwlCurve& c, double y);
+
+  [[nodiscard]] CurveCacheStats stats() const;
+
+  /// Drop all entries (counters are kept).
+  void clear();
+
+ private:
+  /// Memoized results of one binary operation on one operand pair.
+  struct BinaryEntry {
+    std::vector<Knot> f, g;  ///< exact operands, for collision fallback
+    PwlCurve result;
+  };
+  /// Memoized pseudo-inverses of one curve.
+  struct UnaryEntry {
+    std::vector<Knot> knots;  ///< exact operand, for collision fallback
+    std::shared_ptr<const std::vector<Time>> levels;  ///< pinv(1..n)
+    std::unordered_map<std::uint64_t, Time> at_y;     ///< pinv keyed by bits(y)
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<BinaryEntry>> conv;
+    std::unordered_map<std::uint64_t, std::vector<BinaryEntry>> deconv;
+    std::unordered_map<std::uint64_t, std::vector<UnaryEntry>> unary;
+  };
+  static constexpr std::size_t kShardCount = 16;  // power of two
+
+  [[nodiscard]] std::uint64_t key(const PwlCurve& c) const {
+    return structural_hash(c) & hash_mask_;
+  }
+  [[nodiscard]] Shard& shard_for(std::uint64_t k) {
+    return shards_[(k >> 4) % kShardCount];
+  }
+
+  /// Entry for `c` in the right shard, created on demand; counts a collision
+  /// for every same-key entry holding a different curve. Caller must hold
+  /// the shard mutex.
+  UnaryEntry& unary_entry(Shard& shard, std::uint64_t k, const PwlCurve& c);
+
+  [[nodiscard]] PwlCurve binary_op(
+      std::unordered_map<std::uint64_t, std::vector<BinaryEntry>> Shard::*map,
+      const PwlCurve& f, const PwlCurve& g,
+      PwlCurve (*compute)(const PwlCurve&, const PwlCurve&));
+
+  std::uint64_t hash_mask_ = ~0ull;
+  Shard shards_[kShardCount];
+  std::atomic<std::uint64_t> conv_hits_{0}, conv_misses_{0};
+  std::atomic<std::uint64_t> pinv_hits_{0}, pinv_misses_{0};
+  std::atomic<std::uint64_t> collisions_{0};
+};
+
+}  // namespace rta

@@ -1,8 +1,18 @@
-// Fixed-size worker pool for embarrassingly-parallel Monte-Carlo evaluation.
+// Fixed-size worker pool for embarrassingly-parallel work: Monte-Carlo
+// evaluation (eval/admission.cpp) and the parallel analysis engine
+// (analysis/bounds.cpp, analysis/iterative.cpp).
 //
 // Determinism contract: parallel_for_index hands each index to exactly one
-// worker; callers derive per-index RNG streams (util/rng.hpp) so the results
-// do not depend on the number of workers or on scheduling order.
+// shard; bodies write only per-index state (callers derive per-index RNG
+// streams from util/rng.hpp where randomness is involved), so the results do
+// not depend on the number of workers or on scheduling order.
+//
+// Exception contract: the first exception thrown by a body is captured and
+// rethrown on the calling thread after every in-flight index has retired;
+// remaining unstarted indices are abandoned. The pool itself survives and
+// stays usable. The calling thread always participates as a shard, so a loop
+// makes progress even when every worker is busy (nested parallel_for_index
+// cannot deadlock).
 #pragma once
 
 #include <atomic>
@@ -42,7 +52,7 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; it runs on some worker eventually.
+  /// Enqueue a task; it runs on some worker eventually. Tasks must not throw.
   void submit(std::function<void()> task) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -51,49 +61,77 @@ class ThreadPool {
     cv_.notify_one();
   }
 
-  /// Run body(i) for i in [0, count) across the pool; blocks until done.
-  /// Exceptions thrown by body terminate (real-time analysis code reports
-  /// errors through return values, not exceptions).
+  /// Run body(i) for i in [0, count) across the pool and the calling thread;
+  /// blocks until every handed-out index has retired. If a body throws, the
+  /// first exception is rethrown here once the loop has quiesced.
   void parallel_for_index(std::size_t count,
                           std::function<void(std::size_t)> body) {
     if (count == 0) return;
 
-    // Shared ownership: the caller can return as soon as every index has
-    // been processed, while sibling shards may still be probing `next`, so
-    // the state must outlive this frame.
+    // Shared ownership: the caller returns as soon as every index is
+    // accounted for, while sibling shard tasks may still be probing `next`,
+    // so the state must outlive this frame.
     struct ForState {
       std::atomic<std::size_t> next{0};
-      std::atomic<std::size_t> done{0};
+      /// Indices retired: completed, thrown, or abandoned after a throw.
+      std::atomic<std::size_t> accounted{0};
       std::mutex mutex;
       std::condition_variable cv;
-      std::size_t count;
+      std::exception_ptr error;  ///< first failure; guarded by mutex
+      std::size_t count = 0;
       std::function<void(std::size_t)> body;
+
+      void account(std::size_t n) {
+        if (accounted.fetch_add(n, std::memory_order_acq_rel) + n == count) {
+          std::lock_guard<std::mutex> lock(mutex);
+          cv.notify_all();
+        }
+      }
+
+      void run_shard() {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) return;
+          try {
+            body(i);
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> lock(mutex);
+              if (!error) error = std::current_exception();
+            }
+            // Stop handing out new indices; everything not yet handed out is
+            // abandoned and retired here in one step. In-flight indices on
+            // sibling shards retire themselves.
+            const std::size_t handed =
+                next.exchange(count, std::memory_order_relaxed);
+            account(1 + (handed < count ? count - handed : 0));
+            return;
+          }
+          account(1);
+        }
+      }
     };
     auto state = std::make_shared<ForState>();
     state->count = count;
     state->body = std::move(body);
 
-    const std::size_t shards = std::min(count, workers_.size());
-    for (std::size_t s = 0; s < shards; ++s) {
-      submit([state] {
-        for (;;) {
-          const std::size_t i =
-              state->next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= state->count) break;
-          state->body(i);
-          if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-              state->count) {
-            std::lock_guard<std::mutex> lock(state->mutex);
-            state->cv.notify_all();
-          }
-        }
-      });
+    // The calling thread is a shard too, so at most count - 1 helpers are
+    // useful.
+    const std::size_t helpers = std::min(count - 1, workers_.size());
+    for (std::size_t s = 0; s < helpers; ++s) {
+      submit([state] { state->run_shard(); });
     }
+    state->run_shard();
 
     std::unique_lock<std::mutex> lock(state->mutex);
     state->cv.wait(lock, [&] {
-      return state->done.load(std::memory_order_acquire) == state->count;
+      return state->accounted.load(std::memory_order_acquire) == state->count;
     });
+    if (state->error) {
+      const std::exception_ptr error = state->error;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
   }
 
  private:
@@ -117,5 +155,18 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
 };
+
+/// Run body(i) for i in [0, count): on `pool` when one is provided, inline
+/// otherwise. The serial path performs the indices in order; the parallel
+/// path requires bodies that write only per-index state, in which case the
+/// results are identical (the engine's determinism contract).
+inline void for_each_index(ThreadPool* pool, std::size_t count,
+                           const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->parallel_for_index(count, body);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) body(i);
+}
 
 }  // namespace rta

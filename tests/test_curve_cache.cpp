@@ -1,0 +1,221 @@
+// Property tests for the CurveCache memoization layer: cached results are
+// bit-identical to direct computation, hash collisions fall back to exact
+// segment comparison, and the hit/miss counters add up.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "curve/curve_cache.hpp"
+#include "curve/minplus.hpp"
+#include "util/rng.hpp"
+
+namespace rta {
+namespace {
+
+constexpr Time kHorizon = 40.0;
+
+/// A random nondecreasing curve: a mix of steps and ramps on [0, kHorizon].
+PwlCurve random_monotone_curve(Rng& rng) {
+  std::vector<Knot> knots;
+  knots.push_back({0.0, 0.0, rng.uniform(0.0, 2.0)});
+  Time t = 0.0;
+  double v = knots.front().right;
+  const int pieces = rng.uniform_int(1, 8);
+  for (int i = 0; i < pieces && t < kHorizon - 1.0; ++i) {
+    t += rng.uniform(0.7, 6.0);
+    if (t >= kHorizon) break;
+    const double left = v + rng.uniform(0.0, 3.0);   // ramp up to the knot
+    const double jump = rng.uniform_int(0, 1) == 0   // optional step
+                            ? 0.0
+                            : rng.uniform(0.5, 2.0);
+    knots.push_back({t, left, left + jump});
+    v = left + jump;
+  }
+  knots.push_back({kHorizon, v + rng.uniform(0.0, 2.0),
+                   v + rng.uniform(0.0, 2.0)});
+  knots.back().right = knots.back().left;
+  return PwlCurve(std::move(knots));
+}
+
+TEST(CurveCache, ConvolutionMatchesDirectComputation) {
+  CurveCache cache;
+  Rng rng(101);
+  for (int i = 0; i < 40; ++i) {
+    const PwlCurve f = random_monotone_curve(rng);
+    const PwlCurve g = random_monotone_curve(rng);
+    const PwlCurve direct = min_plus_convolution(f, g);
+    EXPECT_TRUE(curves_identical(cache.convolution(f, g), direct));  // miss
+    EXPECT_TRUE(curves_identical(cache.convolution(f, g), direct));  // hit
+  }
+  const CurveCacheStats s = cache.stats();
+  EXPECT_EQ(s.conv_misses, 40u);
+  EXPECT_EQ(s.conv_hits, 40u);
+}
+
+TEST(CurveCache, ConvolutionIsOrderSensitive) {
+  CurveCache cache;
+  Rng rng(7);
+  const PwlCurve f = random_monotone_curve(rng);
+  const PwlCurve g = random_monotone_curve(rng);
+  // (f, g) and (g, f) are distinct keys; both must match their own direct
+  // result (min-plus convolution is commutative mathematically, but the
+  // knot enumeration order may differ -- the cache must not conflate them).
+  EXPECT_TRUE(
+      curves_identical(cache.convolution(f, g), min_plus_convolution(f, g)));
+  EXPECT_TRUE(
+      curves_identical(cache.convolution(g, f), min_plus_convolution(g, f)));
+}
+
+TEST(CurveCache, DeconvolutionMatchesDirectComputation) {
+  CurveCache cache;
+  Rng rng(202);
+  for (int i = 0; i < 40; ++i) {
+    const PwlCurve f = random_monotone_curve(rng);
+    const PwlCurve g = random_monotone_curve(rng);
+    const PwlCurve direct = min_plus_deconvolution(f, g);
+    EXPECT_TRUE(curves_identical(cache.deconvolution(f, g), direct));
+    EXPECT_TRUE(curves_identical(cache.deconvolution(f, g), direct));
+  }
+}
+
+TEST(CurveCache, LevelInversesMatchDirectPseudoInverse) {
+  CurveCache cache;
+  Rng rng(303);
+  for (int i = 0; i < 40; ++i) {
+    const PwlCurve c = random_monotone_curve(rng);
+    const long long count = 12;
+    const auto table = cache.level_inverses(c, count);
+    ASSERT_EQ(table->size(), static_cast<std::size_t>(count));
+    for (long long m = 1; m <= count; ++m) {
+      const Time direct = c.pseudo_inverse(static_cast<double>(m));
+      // Bitwise: both values come from the same function on the same curve.
+      EXPECT_EQ((*table)[static_cast<std::size_t>(m - 1)], direct)
+          << "curve " << i << " level " << m;
+    }
+  }
+}
+
+TEST(CurveCache, LevelInversesExtendWithoutMutatingSnapshots) {
+  CurveCache cache;
+  Rng rng(404);
+  const PwlCurve c = random_monotone_curve(rng);
+  const auto small = cache.level_inverses(c, 3);
+  const std::vector<Time> copy = *small;
+  const auto large = cache.level_inverses(c, 10);
+  EXPECT_EQ(*small, copy);  // earlier snapshot untouched
+  ASSERT_EQ(large->size(), 10u);
+  for (std::size_t m = 0; m < 3; ++m) EXPECT_EQ((*large)[m], copy[m]);
+}
+
+TEST(CurveCache, PseudoInverseMatchesDirectIncludingUnreachableLevels) {
+  CurveCache cache;
+  Rng rng(505);
+  for (int i = 0; i < 30; ++i) {
+    const PwlCurve c = random_monotone_curve(rng);
+    for (const double y : {0.0, 0.5, 1.0, 2.5, c.end_value(),
+                           c.end_value() + 10.0}) {
+      const Time direct = c.pseudo_inverse(y);
+      const Time cached = cache.pseudo_inverse(c, y);
+      if (std::isinf(direct)) {
+        EXPECT_TRUE(std::isinf(cached));
+      } else {
+        EXPECT_EQ(cached, direct);
+      }
+      EXPECT_EQ(cache.pseudo_inverse(c, y), cached);  // repeat: hit
+    }
+  }
+}
+
+TEST(CurveCache, HitMissCountersAreConsistent) {
+  CurveCache cache;
+  Rng rng(606);
+  const PwlCurve f = random_monotone_curve(rng);
+  const PwlCurve g = random_monotone_curve(rng);
+
+  (void)cache.convolution(f, g);
+  CurveCacheStats s = cache.stats();
+  EXPECT_EQ(s.conv_misses, 1u);
+  EXPECT_EQ(s.conv_hits, 0u);
+
+  (void)cache.convolution(f, g);
+  s = cache.stats();
+  EXPECT_EQ(s.conv_misses, 1u);
+  EXPECT_EQ(s.conv_hits, 1u);
+
+  (void)cache.level_inverses(f, 5);  // 5 misses
+  (void)cache.level_inverses(f, 5);  // 5 hits
+  (void)cache.level_inverses(f, 8);  // 5 hits + 3 misses
+  s = cache.stats();
+  EXPECT_EQ(s.pinv_misses, 8u);
+  EXPECT_EQ(s.pinv_hits, 10u);
+  EXPECT_EQ(s.hits(), s.conv_hits + s.pinv_hits);
+  EXPECT_EQ(s.misses(), s.conv_misses + s.pinv_misses);
+
+  // clear() drops entries but keeps counters; the next lookup misses again.
+  cache.clear();
+  (void)cache.convolution(f, g);
+  s = cache.stats();
+  EXPECT_EQ(s.conv_misses, 2u);
+}
+
+// A degraded hash (all keys collapse to one bit) forces every lookup through
+// the collision path; results must still be exact and the collisions
+// counter must record the fallbacks.
+TEST(CurveCache, HashCollisionsFallBackToFullComparison) {
+  CurveCache degraded(/*hash_mask=*/0x1);
+  Rng rng(707);
+  std::vector<PwlCurve> curves;
+  for (int i = 0; i < 12; ++i) curves.push_back(random_monotone_curve(rng));
+
+  for (const PwlCurve& c : curves) {
+    const auto table = degraded.level_inverses(c, 6);
+    for (long long m = 1; m <= 6; ++m) {
+      EXPECT_EQ((*table)[static_cast<std::size_t>(m - 1)],
+                c.pseudo_inverse(static_cast<double>(m)));
+    }
+  }
+  // Second pass: every curve must still resolve to ITS OWN entry.
+  for (const PwlCurve& c : curves) {
+    const auto table = degraded.level_inverses(c, 6);
+    for (long long m = 1; m <= 6; ++m) {
+      EXPECT_EQ((*table)[static_cast<std::size_t>(m - 1)],
+                c.pseudo_inverse(static_cast<double>(m)));
+    }
+  }
+  EXPECT_GT(degraded.stats().collisions, 0u);
+
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    for (std::size_t j = 0; j < curves.size(); ++j) {
+      const PwlCurve direct = min_plus_convolution(curves[i], curves[j]);
+      EXPECT_TRUE(
+          curves_identical(degraded.convolution(curves[i], curves[j]), direct));
+    }
+  }
+}
+
+TEST(CurveCache, ConcurrentLookupsReturnIdenticalResults) {
+  CurveCache cache;
+  Rng seed_rng(808);
+  std::vector<PwlCurve> curves;
+  for (int i = 0; i < 8; ++i) curves.push_back(random_monotone_curve(seed_rng));
+
+  std::vector<std::vector<Time>> per_thread(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 20; ++round) {
+        for (const PwlCurve& c : curves) {
+          const auto table = cache.level_inverses(c, 10);
+          per_thread[t].insert(per_thread[t].end(), table->begin(),
+                               table->end());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < 4; ++t) EXPECT_EQ(per_thread[t], per_thread[0]);
+}
+
+}  // namespace
+}  // namespace rta

@@ -1,0 +1,154 @@
+// Randomized differential harness for the parallel, memoizing analysis
+// engine (Choi/Oh/Ha's cross-validation idea turned into a test): on a few
+// hundred random job-shop systems the parallel + cached engines must return
+// BIT-IDENTICAL end-to-end bounds d_k and per-hop bounds d_{k,j} to the
+// serial, uncached engine, for every thread count. Exact double equality --
+// not approximate -- because the engine's determinism contract promises the
+// same arithmetic, not merely close results.
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "analysis/iterative.hpp"
+#include "model/priority.hpp"
+#include "util/rng.hpp"
+#include "workload/jobshop.hpp"
+
+namespace rta {
+namespace {
+
+constexpr int kSystemsPerScheduler = 70;  // 3 schedulers -> 210 systems total
+
+std::vector<int> thread_counts() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<int> counts = {1, 2};
+  if (hw > 2) counts.push_back(static_cast<int>(hw));
+  return counts;
+}
+
+System random_system(Rng& rng, SchedulerKind scheduler) {
+  JobShopConfig cfg;
+  cfg.stages = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  cfg.processors_per_stage = static_cast<std::size_t>(rng.uniform_int(1, 2));
+  cfg.jobs = static_cast<std::size_t>(rng.uniform_int(2, 5));
+  cfg.pattern = rng.uniform_int(0, 1) == 0 ? ArrivalPattern::kPeriodic
+                                           : ArrivalPattern::kAperiodic;
+  cfg.utilization = rng.uniform(0.3, 1.1);
+  cfg.window_periods = 4.0;
+  cfg.deadline.period_multiple = rng.uniform(2.0, 4.0);
+  cfg.scheduler = scheduler;
+  System system = generate_jobshop(cfg, rng);
+  assign_proportional_deadline_monotonic(system);
+  return system;
+}
+
+/// Bitwise comparison of everything the analysis reports: d_k (wcrt),
+/// d_{k,j} (local bounds), schedulability, and the horizon used.
+void expect_bit_identical(const AnalysisResult& serial,
+                          const AnalysisResult& other,
+                          const std::string& label) {
+  ASSERT_EQ(serial.ok, other.ok) << label;
+  if (!serial.ok) return;
+  ASSERT_EQ(serial.jobs.size(), other.jobs.size()) << label;
+  EXPECT_EQ(serial.horizon, other.horizon) << label;
+  for (std::size_t k = 0; k < serial.jobs.size(); ++k) {
+    const JobReport& a = serial.jobs[k];
+    const JobReport& b = other.jobs[k];
+    // NaN never appears (bounds are sums of finite or +inf terms); plain ==
+    // therefore tests bit-identity including the infinity cases.
+    EXPECT_EQ(a.wcrt, b.wcrt) << label << " job " << k;
+    EXPECT_EQ(a.schedulable, b.schedulable) << label << " job " << k;
+    ASSERT_EQ(a.hops.size(), b.hops.size()) << label << " job " << k;
+    for (std::size_t h = 0; h < a.hops.size(); ++h) {
+      EXPECT_EQ(a.hops[h].local_bound, b.hops[h].local_bound)
+          << label << " job " << k << " hop " << h;
+    }
+  }
+}
+
+AnalysisConfig engine_config(int threads, bool cache) {
+  AnalysisConfig cfg;
+  cfg.threads = threads;
+  cfg.use_curve_cache = cache;
+  return cfg;
+}
+
+void run_differential(SchedulerKind scheduler, std::uint64_t base_seed) {
+  const RngFactory factory(base_seed);
+  const std::vector<int> counts = thread_counts();
+  for (int trial = 0; trial < kSystemsPerScheduler; ++trial) {
+    Rng rng = factory.stream(static_cast<std::uint64_t>(trial));
+    const System system = random_system(rng, scheduler);
+
+    const AnalysisConfig serial_cfg = engine_config(1, false);
+    const AnalysisResult serial_direct =
+        BoundsAnalyzer(serial_cfg).analyze(system);
+    const AnalysisResult serial_iterative =
+        IterativeBoundsAnalyzer(serial_cfg).analyze(system);
+
+    for (const int threads : counts) {
+      const AnalysisConfig cfg = engine_config(threads, true);
+      const std::string label = std::string(to_string(scheduler)) + " trial " +
+                                std::to_string(trial) + " threads " +
+                                std::to_string(threads);
+      expect_bit_identical(serial_direct, BoundsAnalyzer(cfg).analyze(system),
+                           "direct " + label);
+      expect_bit_identical(serial_iterative,
+                           IterativeBoundsAnalyzer(cfg).analyze(system),
+                           "iterative " + label);
+    }
+  }
+}
+
+TEST(DifferentialEngine, SppParallelCachedMatchesSerial) {
+  run_differential(SchedulerKind::kSpp, 0xD1FF5EED);
+}
+
+TEST(DifferentialEngine, SpnpParallelCachedMatchesSerial) {
+  run_differential(SchedulerKind::kSpnp, 0xD1FF5EED ^ 0xBEEF);
+}
+
+TEST(DifferentialEngine, FcfsParallelCachedMatchesSerial) {
+  run_differential(SchedulerKind::kFcfs, 0xD1FF5EED ^ 0xF0F0);
+}
+
+// The cache alone (serial engine) must also be invisible, including for the
+// paper-literal bound variant used by the soundness ablation.
+TEST(DifferentialEngine, CacheIsInvisibleForLiteralVariant) {
+  const RngFactory factory(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng rng = factory.stream(static_cast<std::uint64_t>(trial));
+    const System system = random_system(rng, SchedulerKind::kSpnp);
+    AnalysisConfig plain = engine_config(1, false);
+    plain.bounds_variant = BoundsVariant::kPaperLiteral;
+    AnalysisConfig cached = engine_config(2, true);
+    cached.bounds_variant = BoundsVariant::kPaperLiteral;
+    expect_bit_identical(BoundsAnalyzer(plain).analyze(system),
+                         BoundsAnalyzer(cached).analyze(system),
+                         "literal trial " + std::to_string(trial));
+  }
+}
+
+// Re-analyzing different systems through ONE analyzer instance reuses its
+// cache across systems; stale entries must never leak into the results.
+TEST(DifferentialEngine, CacheReuseAcrossSystemsIsInvisible) {
+  const RngFactory factory(1234);
+  const AnalysisConfig cfg = engine_config(2, true);
+  IterativeBoundsAnalyzer reused(cfg);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng rng = factory.stream(static_cast<std::uint64_t>(trial));
+    const System system = random_system(rng, SchedulerKind::kSpp);
+    const AnalysisResult fresh =
+        IterativeBoundsAnalyzer(engine_config(1, false)).analyze(system);
+    expect_bit_identical(fresh, reused.analyze(system),
+                         "reuse trial " + std::to_string(trial));
+  }
+  ASSERT_NE(reused.curve_cache(), nullptr);
+  EXPECT_GT(reused.curve_cache()->stats().hits(), 0u);
+}
+
+}  // namespace
+}  // namespace rta

@@ -31,13 +31,27 @@ int usage() {
       "usage: rta_cli <analyze|simulate|validate|curves|trace|generate> ...\n"
       "  analyze  FILE [--method auto|spp-exact|bounds|iterative|holistic]\n"
       "                [--priorities keep|pdm|dm|rm] [--verbose]\n"
+      "                [--threads N] [--no-cache]\n"
       "  simulate FILE [--horizon H] [--priorities ...]\n"
-      "  validate FILE [--method ...] [--priorities ...]\n"
-      "  curves   FILE --out DIR [--priorities ...]\n"
+      "  validate FILE [--method ...] [--priorities ...] [--threads N]\n"
+      "           [--no-cache]\n"
+      "  curves   FILE --out DIR [--priorities ...] [--threads N] [--no-cache]\n"
       "  trace    FILE --out PREFIX [--horizon H] [--priorities ...]\n"
       "  generate [--stages N --procs N --jobs N --util U --seed S\n"
-      "            --aperiodic --scheduler SPP|SPNP|FCFS] [--out FILE]\n");
+      "            --aperiodic --scheduler SPP|SPNP|FCFS] [--out FILE]\n"
+      "  --threads N: bounds-engine worker threads (1 = serial, 0 = all\n"
+      "               hardware threads); results are identical for every N.\n"
+      "  --no-cache:  disable curve-operation memoization (same results,\n"
+      "               slower fixed-point rounds).\n");
   return 2;
+}
+
+/// Analysis knobs shared by the analyze/validate/curves subcommands.
+AnalysisConfig analysis_config(const Options& opts) {
+  AnalysisConfig cfg;
+  cfg.threads = static_cast<int>(opts.get_int("threads", 1));
+  cfg.use_curve_cache = !opts.get_bool("no-cache", false);
+  return cfg;
 }
 
 bool apply_priorities(System& system, const std::string& policy) {
@@ -104,8 +118,8 @@ AnalysisResult run_method(const std::string& method, const System& system,
 int cmd_analyze(const Options& opts, System system) {
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   std::string used;
-  const AnalysisResult r =
-      run_method(opts.get("method", "auto"), system, AnalysisConfig{}, &used);
+  const AnalysisResult r = run_method(opts.get("method", "auto"), system,
+                                      analysis_config(opts), &used);
   if (!r.ok) {
     std::fprintf(stderr, "analysis failed: %s\n", r.error.c_str());
     return 2;
@@ -150,8 +164,8 @@ int cmd_simulate(const Options& opts, System system) {
 int cmd_validate(const Options& opts, System system) {
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   std::string used;
-  const AnalysisResult r =
-      run_method(opts.get("method", "auto"), system, AnalysisConfig{}, &used);
+  const AnalysisResult r = run_method(opts.get("method", "auto"), system,
+                                      analysis_config(opts), &used);
   if (!r.ok) {
     std::fprintf(stderr, "analysis failed: %s\n", r.error.c_str());
     return 2;
@@ -180,7 +194,7 @@ int cmd_curves(const Options& opts, System system) {
     std::fprintf(stderr, "curves: --out DIR is required\n");
     return 2;
   }
-  AnalysisConfig cfg;
+  AnalysisConfig cfg = analysis_config(opts);
   cfg.record_curves = true;
   std::string used;
   const AnalysisResult r = run_method(opts.get("method", "auto"), system,
