@@ -8,6 +8,8 @@
 #include "analysis/iterative.hpp"
 #include "analysis/spp_exact.hpp"
 #include "model/priority.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "workload/jobshop.hpp"
 
@@ -85,6 +87,40 @@ void BM_SimulatorByJobs(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_SimulatorByJobs)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+// Observability overhead trio: identical analysis with no sink (the
+// default configuration -- the null-sink path the <= 2% overhead budget in
+// docs/observability.md refers to), with a metrics registry attached, and
+// with metrics plus tracer. Compare their per-iteration times to read off
+// the cost of instrumentation.
+void BM_BoundsObsOff(benchmark::State& state) {
+  const System sys = make_system(3, 8, SchedulerKind::kSpnp);
+  const BoundsAnalyzer analyzer;
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(sys));
+}
+BENCHMARK(BM_BoundsObsOff);
+
+void BM_BoundsObsMetrics(benchmark::State& state) {
+  const System sys = make_system(3, 8, SchedulerKind::kSpnp);
+  obs::MetricsRegistry registry;
+  AnalysisConfig cfg;
+  cfg.observer.metrics = &registry;
+  const BoundsAnalyzer analyzer(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(sys));
+}
+BENCHMARK(BM_BoundsObsMetrics);
+
+void BM_BoundsObsMetricsAndTrace(benchmark::State& state) {
+  const System sys = make_system(3, 8, SchedulerKind::kSpnp);
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  AnalysisConfig cfg;
+  cfg.observer.metrics = &registry;
+  cfg.observer.tracer = &tracer;
+  const BoundsAnalyzer analyzer(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(analyzer.analyze(sys));
+}
+BENCHMARK(BM_BoundsObsMetricsAndTrace);
 
 void BM_BurstyWorkloadAnalysis(benchmark::State& state) {
   const System sys = make_system(3, 6, SchedulerKind::kSpp,

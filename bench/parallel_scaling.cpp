@@ -28,6 +28,7 @@
 
 #include "analysis/iterative.hpp"
 #include "model/priority.hpp"
+#include "obs/metrics.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "workload/jobshop.hpp"
@@ -48,6 +49,13 @@ struct Point {
   double speedup = 1.0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  /// Per-phase engine breakdown from the metrics registry (last repeat):
+  /// wall time inside processor passes vs. arrival propagation.
+  std::uint64_t pass_time_us = 0;
+  std::uint64_t propagate_time_us = 0;
+  std::uint64_t passes_run = 0;
+  std::uint64_t passes_skipped = 0;
 };
 
 std::vector<System> make_systems(const Options& opts, ArrivalPattern pattern,
@@ -101,9 +109,14 @@ Point run_config(const std::vector<System>& systems, int threads, bool cache,
   point.cache = cache;
   point.seconds = -1.0;
   for (int rep = 0; rep < repeats; ++rep) {
+    // Every repeat carries the same metrics sink, so the timing comparison
+    // across thread counts stays apples-to-apples (the sink's overhead is
+    // bounded by the micro_analysis null-sink budget anyway).
+    obs::MetricsRegistry registry;
     AnalysisConfig cfg;
     cfg.threads = threads;
     cfg.use_curve_cache = cache;
+    cfg.observer.metrics = &registry;
     IterativeBoundsAnalyzer analyzer(cfg);
     std::uint64_t digest = 0xC0FFEEull;
     const auto start = std::chrono::steady_clock::now();
@@ -121,7 +134,21 @@ Point run_config(const std::vector<System>& systems, int threads, bool cache,
       point.cache_hits = stats.hits();
       point.cache_misses = stats.misses();
     }
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    auto counter = [&](const char* name) -> std::uint64_t {
+      const auto it = snap.counters.find(name);
+      return it == snap.counters.end() ? 0u : it->second;
+    };
+    point.pass_time_us = counter("iterative.pass_time_us");
+    point.propagate_time_us = counter("iterative.propagate_time_us");
+    point.passes_run = counter("iterative.passes_run");
+    point.passes_skipped = counter("iterative.passes_skipped");
   }
+  const std::uint64_t lookups = point.cache_hits + point.cache_misses;
+  point.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(point.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
   return point;
 }
 
@@ -159,10 +186,19 @@ void write_json(const std::string& path, const Options& opts,
       std::fprintf(f,
                    "        {\"threads\": %d, \"cache\": %s, "
                    "\"seconds\": %.6f, \"speedup\": %.3f, "
-                   "\"cache_hits\": %llu, \"cache_misses\": %llu}%s\n",
+                   "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                   "\"cache_hit_rate\": %.4f, "
+                   "\"phase_us\": {\"processor_passes\": %llu, "
+                   "\"propagation\": %llu}, "
+                   "\"passes_run\": %llu, \"passes_skipped\": %llu}%s\n",
                    p.threads, p.cache ? "true" : "false", p.seconds, p.speedup,
                    static_cast<unsigned long long>(p.cache_hits),
                    static_cast<unsigned long long>(p.cache_misses),
+                   p.cache_hit_rate,
+                   static_cast<unsigned long long>(p.pass_time_us),
+                   static_cast<unsigned long long>(p.propagate_time_us),
+                   static_cast<unsigned long long>(p.passes_run),
+                   static_cast<unsigned long long>(p.passes_skipped),
                    i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f, "      ]\n    }%s\n",
@@ -213,10 +249,13 @@ int main(int argc, char** argv) {
     baseline.speedup = 1.0;
 
     std::printf("\n--- %s ---\n", scenario.name.c_str());
-    std::printf("%8s %6s %10s %8s %12s %12s\n", "threads", "cache",
-                "seconds", "speedup", "cache_hits", "cache_miss");
-    std::printf("%8d %6s %10.4f %8.2f %12s %12s\n", 1, "off",
-                baseline.seconds, 1.0, "-", "-");
+    std::printf("%8s %6s %10s %8s %12s %12s %6s %10s %10s\n", "threads",
+                "cache", "seconds", "speedup", "cache_hits", "cache_miss",
+                "hit%", "pass_ms", "prop_ms");
+    std::printf("%8d %6s %10.4f %8.2f %12s %12s %6s %10.1f %10.1f\n", 1,
+                "off", baseline.seconds, 1.0, "-", "-", "-",
+                baseline.pass_time_us / 1000.0,
+                baseline.propagate_time_us / 1000.0);
 
     std::vector<Point> points;
     points.push_back(baseline);
@@ -231,10 +270,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       p.speedup = baseline.seconds / p.seconds;
-      std::printf("%8d %6s %10.4f %8.2f %12llu %12llu\n", threads, "on",
-                  p.seconds, p.speedup,
+      std::printf("%8d %6s %10.4f %8.2f %12llu %12llu %5.0f%% %10.1f %10.1f\n",
+                  threads, "on", p.seconds, p.speedup,
                   static_cast<unsigned long long>(p.cache_hits),
-                  static_cast<unsigned long long>(p.cache_misses));
+                  static_cast<unsigned long long>(p.cache_misses),
+                  100.0 * p.cache_hit_rate, p.pass_time_us / 1000.0,
+                  p.propagate_time_us / 1000.0);
       points.push_back(p);
     }
     results.emplace_back(scenario, std::move(points));

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validate rta_cli observability exports (stdlib only).
+
+Usage:
+    check_trace.py --trace t.json [--metrics m.json]
+    check_trace.py t.json [m.json]          # positional: trace then metrics
+
+Trace JSON (Chrome trace_event format, as written by --trace-json):
+  * top level is an object with a "traceEvents" list;
+  * every event has name/ph/ts/pid/tid, ph is one of B E i X M C;
+  * per tid, timestamps are strictly increasing;
+  * per tid, B/E events are properly nested and balanced
+    (X events carry dur >= 0 instead).
+
+Metrics JSON (as written by --metrics-json):
+  * top level has "counters", "gauges", "histograms" objects;
+  * counters are non-negative integers, gauges are numbers;
+  * every histogram has bounds/counts/count/sum/max with
+    len(counts) == len(bounds) + 1 and sum(counts) == count.
+
+Exit status: 0 when every given file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PHASES = {"B", "E", "i", "X", "M", "C"}
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def check_trace(path):
+    errors = []
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return ["top level must be an object with a 'traceEvents' list"]
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+
+    last_ts = {}     # tid -> last timestamp seen
+    open_spans = {}  # tid -> stack of open B names
+    for n, ev in enumerate(events):
+        where = f"event #{n}"
+        if not isinstance(ev, dict):
+            fail(errors, f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(errors, f"{where}: missing '{key}'")
+        ph = ev.get("ph")
+        if ph not in ALLOWED_PHASES:
+            fail(errors, f"{where}: bad phase {ph!r}")
+            continue
+        ts = ev.get("ts")
+        tid = ev.get("tid")
+        if not isinstance(ts, (int, float)):
+            fail(errors, f"{where}: non-numeric ts {ts!r}")
+            continue
+        if tid in last_ts and ts <= last_ts[tid]:
+            fail(errors,
+                 f"{where}: ts {ts} not strictly increasing on tid {tid} "
+                 f"(previous {last_ts[tid]})")
+        last_ts[tid] = ts
+        if ph == "B":
+            open_spans.setdefault(tid, []).append(ev.get("name"))
+        elif ph == "E":
+            stack = open_spans.get(tid, [])
+            if not stack:
+                fail(errors, f"{where}: 'E' with no open span on tid {tid}")
+            else:
+                begun = stack.pop()
+                name = ev.get("name")
+                if name and name != begun:
+                    fail(errors,
+                         f"{where}: 'E' for {name!r} but innermost open "
+                         f"span on tid {tid} is {begun!r}")
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(errors, f"{where}: 'X' needs dur >= 0, got {dur!r}")
+    for tid, stack in open_spans.items():
+        if stack:
+            fail(errors, f"tid {tid}: unclosed spans {stack}")
+    return errors
+
+
+def check_metrics(path):
+    errors = []
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        return ["top level must be an object"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(data.get(section), dict):
+            fail(errors, f"missing or non-object '{section}'")
+    if errors:
+        return errors
+    for name, value in data["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(errors, f"counter {name!r}: not a non-negative int: {value!r}")
+    for name, value in data["gauges"].items():
+        if not isinstance(value, (int, float)):
+            fail(errors, f"gauge {name!r}: not a number: {value!r}")
+    for name, h in data["histograms"].items():
+        if not isinstance(h, dict):
+            fail(errors, f"histogram {name!r}: not an object")
+            continue
+        bounds = h.get("bounds")
+        counts = h.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            fail(errors, f"histogram {name!r}: bounds/counts must be lists")
+            continue
+        if len(counts) != len(bounds) + 1:
+            fail(errors,
+                 f"histogram {name!r}: {len(counts)} counts for "
+                 f"{len(bounds)} bounds (want bounds+1)")
+        if bounds != sorted(bounds):
+            fail(errors, f"histogram {name!r}: bounds not sorted")
+        if any(not isinstance(c, int) or c < 0 for c in counts):
+            fail(errors, f"histogram {name!r}: negative/non-int bucket count")
+        total = h.get("count")
+        if sum(c for c in counts if isinstance(c, int)) != total:
+            fail(errors,
+                 f"histogram {name!r}: sum(counts) != count ({total!r})")
+        for key in ("sum", "max"):
+            if not isinstance(h.get(key), (int, float)):
+                fail(errors, f"histogram {name!r}: missing numeric '{key}'")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", help="Chrome trace_event JSON to validate")
+    parser.add_argument("--metrics", help="metrics JSON to validate")
+    parser.add_argument("files", nargs="*",
+                        help="positional fallback: trace.json [metrics.json]")
+    args = parser.parse_args()
+
+    trace = args.trace
+    metrics = args.metrics
+    if args.files:
+        if trace is None:
+            trace = args.files[0]
+            if metrics is None and len(args.files) > 1:
+                metrics = args.files[1]
+        elif metrics is None:
+            metrics = args.files[0]
+    if trace is None and metrics is None:
+        parser.error("give --trace and/or --metrics (or positional files)")
+
+    status = 0
+    for kind, path, checker in (("trace", trace, check_trace),
+                                ("metrics", metrics, check_metrics)):
+        if path is None:
+            continue
+        try:
+            errors = checker(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            errors = [str(exc)]
+        if errors:
+            status = 1
+            print(f"{kind} {path}: INVALID", file=sys.stderr)
+            for e in errors[:20]:
+                print(f"  - {e}", file=sys.stderr)
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more", file=sys.stderr)
+        else:
+            print(f"{kind} {path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
@@ -328,9 +329,14 @@ BoundsAnalyzer::BoundsAnalyzer(AnalysisConfig config) : config_(config) {
   const std::size_t workers = analysis_worker_count(config.threads);
   if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers);
   if (config.use_curve_cache) cache_ = std::make_unique<CurveCache>();
+  eobs_ = detail::EngineObs::make_if(config.observer, "bounds");
 }
 
 AnalysisResult BoundsAnalyzer::analyze(const System& system) const {
+  const detail::EngineObs* eo = eobs_.get();
+  detail::EngineObs::AnalyzeScope obs_scope(eo, pool_.get(), cache_.get());
+  obs::Tracer::Span span = obs::Tracer::span_if(
+      eo != nullptr ? eo->tracer() : nullptr, "bounds.analyze");
   const auto problems = system.validate();
   if (!problems.empty()) {
     AnalysisResult r;
@@ -440,22 +446,64 @@ AnalysisResult BoundsAnalyzer::analyze_at(const System& system,
     }
   }
 
-  for (const std::vector<Unit>& wave : waves) {
+  const detail::EngineObs* eo = eobs_.get();
+  obs::Tracer* tracer = eo != nullptr ? eo->tracer() : nullptr;
+  obs::Counter waves_counter, units_counter;
+  if (eo != nullptr && eo->metrics() != nullptr) {
+    waves_counter = eo->metrics()->counter("bounds.waves");
+    units_counter = eo->metrics()->counter("bounds.units");
+  }
+
+  auto run_unit = [&](const Unit& unit) {
+    if (unit.whole_fcfs) {
+      for (const SubjobRef& r : system.subjobs_on(unit.processor)) {
+        fill_arrivals(r);
+      }
+      detail::compute_processor_bounds(system, unit.processor, horizon,
+                                       states, config_.bounds_variant,
+                                       cache_.get());
+    } else {
+      fill_arrivals(unit.ref);
+      detail::compute_single_priority_subjob(system, unit.ref, horizon,
+                                             states, config_.bounds_variant,
+                                             cache_.get());
+    }
+  };
+  auto unit_label = [&](const Unit& unit) {
+    if (unit.whole_fcfs) {
+      return "bounds.unit fcfs P" + std::to_string(unit.processor);
+    }
+    return "bounds.unit P" + std::to_string(unit.processor) + " " +
+           system.job(unit.ref.job).name + ".h" + std::to_string(unit.ref.hop);
+  };
+
+  for (std::size_t d = 0; d < waves.size(); ++d) {
+    const std::vector<Unit>& wave = waves[d];
+    if (wave.empty()) continue;
+    waves_counter.inc();
+    units_counter.add(wave.size());
+    obs::Tracer::Span wave_span = obs::Tracer::span_if(
+        tracer, "bounds.wave",
+        tracer != nullptr ? "{\"depth\": " + std::to_string(d) +
+                                ", \"units\": " + std::to_string(wave.size()) +
+                                "}"
+                          : std::string());
     for_each_index(pool_.get(), wave.size(), [&](std::size_t i) {
       const Unit& unit = wave[i];
-      if (unit.whole_fcfs) {
-        for (const SubjobRef& r : system.subjobs_on(unit.processor)) {
-          fill_arrivals(r);
-        }
-        detail::compute_processor_bounds(system, unit.processor, horizon,
-                                         states, config_.bounds_variant,
-                                         cache_.get());
-      } else {
-        fill_arrivals(unit.ref);
-        detail::compute_single_priority_subjob(system, unit.ref, horizon,
-                                               states, config_.bounds_variant,
-                                               cache_.get());
+      if (eo == nullptr) {
+        run_unit(unit);
+        return;
       }
+      // Worker threads inherit no sink; install this analyzer's for the
+      // duration of the unit so the curve kernels it calls report here.
+      obs::KernelSinkScope sink_scope(eo->kernel_sink());
+      obs::Tracer::Span unit_span = obs::Tracer::span_if(
+          tracer, unit_label(unit));
+      const auto start = std::chrono::steady_clock::now();
+      run_unit(unit);
+      const std::chrono::duration<double, std::micro> us =
+          std::chrono::steady_clock::now() - start;
+      eo->add_unit_time(system.scheduler(unit.processor), us.count());
     });
   }
 

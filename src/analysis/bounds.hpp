@@ -54,6 +54,7 @@
 #include <memory>
 #include <utility>
 
+#include "analysis/instrument.hpp"
 #include "analysis/result.hpp"
 #include "curve/curve_cache.hpp"
 #include "model/system.hpp"
@@ -130,6 +131,7 @@ class BoundsAnalyzer {
   AnalysisConfig config_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<CurveCache> cache_;
+  std::unique_ptr<detail::EngineObs> eobs_;  ///< null without an observer
 };
 
 /// Workers implied by AnalysisConfig::threads (1 = serial, 0 = hardware).

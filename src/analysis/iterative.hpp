@@ -33,6 +33,7 @@
 #include <atomic>
 #include <memory>
 
+#include "analysis/instrument.hpp"
 #include "analysis/result.hpp"
 #include "curve/curve_cache.hpp"
 #include "model/system.hpp"
@@ -64,6 +65,7 @@ class IterativeBoundsAnalyzer {
   AnalysisConfig config_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<CurveCache> cache_;
+  std::unique_ptr<detail::EngineObs> eobs_;  ///< null without an observer
   mutable std::atomic<int> last_iterations_{0};
 };
 

@@ -6,6 +6,7 @@
 
 #include "curve/pwl_curve.hpp"
 #include "model/system.hpp"
+#include "obs/observer.hpp"
 #include "util/time.hpp"
 
 namespace rta {
@@ -55,6 +56,12 @@ struct AnalysisConfig {
   /// curve/curve_cache.hpp). Purely an optimization: cache hits are verified
   /// knot-for-knot, so the results are bit-identical with the cache off.
   bool use_curve_cache = true;
+
+  /// Instrumentation sinks (see obs/observer.hpp and docs/observability.md).
+  /// Both null by default: the engine then records nothing and skips every
+  /// instrumentation atomic. Never affects results -- instrumented and
+  /// uninstrumented analyses are bit-identical (tests/test_obs.cpp).
+  obs::Observer observer{};
 };
 
 /// Curves retained for one subjob when record_curves is set.

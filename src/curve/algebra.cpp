@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/kernel_sink.hpp"
+
 namespace rta {
 
 namespace {
@@ -59,7 +61,13 @@ PwlCurve combine(const PwlCurve& a, const PwlCurve& b, Op op,
     knots.push_back({t, op(a.eval_left(t), b.eval_left(t)),
                      op(a.eval(t), b.eval(t))});
   }
-  return PwlCurve(std::move(knots));
+  PwlCurve result(std::move(knots));
+  if (obs::KernelSink* sink = obs::kernel_sink()) {
+    sink->pointwise_ops.inc();
+    sink->pointwise_result_knots.observe(
+        static_cast<double>(result.knot_count()));
+  }
+  return result;
 }
 
 }  // namespace

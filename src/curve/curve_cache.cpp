@@ -55,6 +55,7 @@ PwlCurve CurveCache::binary_op(
     auto it = (shard.*map).find(k);
     if (it != (shard.*map).end()) {
       for (const BinaryEntry& e : it->second) {
+        verifies_.fetch_add(1, std::memory_order_relaxed);
         if (same_knots(e.f, f.knots()) && same_knots(e.g, g.knots())) {
           conv_hits_.fetch_add(1, std::memory_order_relaxed);
           return e.result;
@@ -90,6 +91,7 @@ CurveCache::UnaryEntry& CurveCache::unary_entry(Shard& shard, std::uint64_t k,
                                                 const PwlCurve& c) {
   std::vector<UnaryEntry>& bucket = shard.unary[k];
   for (UnaryEntry& e : bucket) {
+    verifies_.fetch_add(1, std::memory_order_relaxed);
     if (same_knots(e.knots, c.knots())) return e;
     collisions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -148,6 +150,7 @@ CurveCacheStats CurveCache::stats() const {
   s.pinv_hits = pinv_hits_.load(std::memory_order_relaxed);
   s.pinv_misses = pinv_misses_.load(std::memory_order_relaxed);
   s.collisions = collisions_.load(std::memory_order_relaxed);
+  s.verifies = verifies_.load(std::memory_order_relaxed);
   return s;
 }
 

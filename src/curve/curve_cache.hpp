@@ -36,6 +36,7 @@ struct CurveCacheStats {
   std::uint64_t pinv_hits = 0;    ///< pseudo-inverse hits (per level / y)
   std::uint64_t pinv_misses = 0;  ///< pseudo-inverse misses
   std::uint64_t collisions = 0;   ///< hash matched but operands differed
+  std::uint64_t verifies = 0;     ///< knot-for-knot candidate comparisons
 
   [[nodiscard]] std::uint64_t hits() const { return conv_hits + pinv_hits; }
   [[nodiscard]] std::uint64_t misses() const {
@@ -119,7 +120,7 @@ class CurveCache {
   Shard shards_[kShardCount];
   std::atomic<std::uint64_t> conv_hits_{0}, conv_misses_{0};
   std::atomic<std::uint64_t> pinv_hits_{0}, pinv_misses_{0};
-  std::atomic<std::uint64_t> collisions_{0};
+  std::atomic<std::uint64_t> collisions_{0}, verifies_{0};
 };
 
 }  // namespace rta

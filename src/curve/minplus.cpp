@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/kernel_sink.hpp"
+
 namespace rta {
 
 namespace {
@@ -70,6 +72,12 @@ std::vector<Time> result_grid(const PwlCurve& f, const PwlCurve& g,
 
 PwlCurve min_plus_convolution(const PwlCurve& f, const PwlCurve& g) {
   assert(time_eq(f.horizon(), g.horizon()));
+  obs::KernelSink* sink = obs::kernel_sink();
+  if (sink != nullptr) {
+    sink->conv_ops.inc();
+    sink->conv_operand_knots.observe(
+        static_cast<double>(f.knot_count() + g.knot_count()));
+  }
   std::vector<Knot> knots;
   for (Time t : result_grid(f, g, /*sums=*/true)) {
     const double v = convolve_at(f, g, t);
@@ -79,17 +87,30 @@ PwlCurve min_plus_convolution(const PwlCurve& f, const PwlCurve& g) {
   // follows one linear regime, so linear interpolation is exact too. Jumps
   // in operands can create jumps in the result; re-probe the left limits.
   PwlCurve result(std::move(knots));
+  if (sink != nullptr) {
+    sink->conv_result_knots.observe(static_cast<double>(result.knot_count()));
+  }
   return result;
 }
 
 PwlCurve min_plus_deconvolution(const PwlCurve& f, const PwlCurve& g) {
   assert(time_eq(f.horizon(), g.horizon()));
+  obs::KernelSink* sink = obs::kernel_sink();
+  if (sink != nullptr) {
+    sink->deconv_ops.inc();
+    sink->conv_operand_knots.observe(
+        static_cast<double>(f.knot_count() + g.knot_count()));
+  }
   std::vector<Knot> knots;
   for (Time t : result_grid(f, g, /*sums=*/false)) {
     const double v = deconvolve_at(f, g, t);
     knots.push_back({t, v, v});
   }
-  return PwlCurve(std::move(knots));
+  PwlCurve result(std::move(knots));
+  if (sink != nullptr) {
+    sink->conv_result_knots.observe(static_cast<double>(result.knot_count()));
+  }
+  return result;
 }
 
 }  // namespace rta

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/kernel_sink.hpp"
+
 namespace rta {
 
 namespace {
@@ -144,6 +146,7 @@ double PwlCurve::eval_left(Time t) const {
 
 Time PwlCurve::pseudo_inverse(double y) const {
   assert(is_nondecreasing());
+  if (obs::KernelSink* sink = obs::kernel_sink()) sink->pinv_ops.inc();
   if (y <= knots_.front().right + kValueEps) return 0.0;
   if (y > knots_.back().right + kValueEps) return kTimeInfinity;
   // Find the first knot whose right value reaches y, then decide whether the

@@ -1,0 +1,22 @@
+#include "obs/kernel_sink.hpp"
+
+namespace rta::obs {
+
+namespace detail {
+thread_local KernelSink* tl_kernel_sink = nullptr;
+}  // namespace detail
+
+KernelSink::KernelSink(MetricsRegistry& registry)
+    : conv_ops(registry.counter("kernel.conv_ops")),
+      deconv_ops(registry.counter("kernel.deconv_ops")),
+      pointwise_ops(registry.counter("kernel.pointwise_ops")),
+      pinv_ops(registry.counter("kernel.pinv_ops")),
+      conv_operand_knots(registry.histogram("kernel.conv_operand_knots",
+                                            MetricsRegistry::knot_buckets())),
+      conv_result_knots(registry.histogram("kernel.conv_result_knots",
+                                           MetricsRegistry::knot_buckets())),
+      pointwise_result_knots(
+          registry.histogram("kernel.pointwise_result_knots",
+                             MetricsRegistry::knot_buckets())) {}
+
+}  // namespace rta::obs

@@ -1,0 +1,63 @@
+// Thread-local instrumentation hook for the curve kernels.
+//
+// The min-plus and pointwise-algebra kernels are the innermost hot paths of
+// the analysis; threading an Observer through their free-function signatures
+// would be invasive, and unconditional counters would tax the (default)
+// unobserved runs. Instead the kernels consult one thread-local pointer:
+//
+//   if (obs::KernelSink* s = obs::kernel_sink()) s->conv_ops.inc();
+//
+// The analyzers install the sink around each unit of work (the bodies they
+// hand to for_each_index) via KernelSinkScope, so pool workers and the
+// calling thread are all covered. With no observer configured the pointer
+// stays null and the kernels pay one thread-local load and branch -- no
+// atomics (the "zero-cost when disabled" contract; the <= 2% ceiling is
+// checked against bench/micro_analysis).
+//
+// The counters land in per-thread registry shards (obs/metrics.hpp), so
+// enabling them adds no contention either.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace rta::obs {
+
+/// Pre-resolved handles for everything the kernels record.
+struct KernelSink {
+  explicit KernelSink(MetricsRegistry& registry);
+
+  Counter conv_ops;        ///< min-plus convolutions computed
+  Counter deconv_ops;      ///< min-plus deconvolutions computed
+  Counter pointwise_ops;   ///< curve_min/max/add/sub evaluations
+  Counter pinv_ops;        ///< PwlCurve::pseudo_inverse evaluations
+  Histogram conv_operand_knots;   ///< |f| + |g| entering a (de)convolution
+  Histogram conv_result_knots;    ///< knots of a (de)convolution result
+  Histogram pointwise_result_knots;  ///< knots of a pointwise-merge result
+};
+
+namespace detail {
+extern thread_local KernelSink* tl_kernel_sink;
+}  // namespace detail
+
+/// The calling thread's sink, or null when kernel instrumentation is off.
+[[nodiscard]] inline KernelSink* kernel_sink() {
+  return detail::tl_kernel_sink;
+}
+
+/// Installs `sink` (may be null) for the scope's lifetime, restoring the
+/// previous sink on exit; nests correctly with inline/recursive execution.
+class KernelSinkScope {
+ public:
+  explicit KernelSinkScope(KernelSink* sink) : prev_(detail::tl_kernel_sink) {
+    detail::tl_kernel_sink = sink;
+  }
+  ~KernelSinkScope() { detail::tl_kernel_sink = prev_; }
+
+  KernelSinkScope(const KernelSinkScope&) = delete;
+  KernelSinkScope& operator=(const KernelSinkScope&) = delete;
+
+ private:
+  KernelSink* prev_;
+};
+
+}  // namespace rta::obs

@@ -1,0 +1,139 @@
+// Lock-cheap metrics registry: counters, gauges, and fixed-bucket
+// histograms for the analysis engine's instrumentation layer.
+//
+// Hot-path design: counters and histograms write to per-thread shards (one
+// slab of relaxed atomics per thread per registry), so concurrent writers
+// never contend; snapshot() aggregates the slabs under the registry mutex.
+// Gauges are registry-level cells (they are only touched on cold paths:
+// once per refinement round, once per analyze() call). Registration interns
+// names under the mutex and is idempotent, so call sites can re-resolve
+// handles freely; the handles themselves are trivially copyable and their
+// operations are wait-free apart from a slab's one-time creation.
+//
+// Zero-cost contract: nothing in this file runs unless a call site holds a
+// handle into a live registry. The engine guards every instrumentation
+// site on its configured sink (see obs/observer.hpp and
+// obs/kernel_sink.hpp), so an unobserved analysis performs no atomic
+// operations on behalf of this layer.
+//
+// Naming convention (relied on by tests and docs/observability.md): metrics
+// whose value is derived from wall-clock time end in "_us" (microseconds)
+// or "_ns"; every other metric is deterministic for a fixed system at
+// threads = 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rta::obs {
+
+class MetricsRegistry;
+
+/// Monotone event count. Copyable handle; inert when default-constructed.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n = 1) const;
+  void inc() const { add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::uint32_t slot)
+      : registry_(registry), slot_(slot) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// Last-write-wins value with an optional high-water-mark style of use.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(double v) const;         ///< last write wins
+  void record_max(double v) const;  ///< keep the maximum seen
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(void* cell) : cell_(cell) {}
+  void* cell_ = nullptr;  ///< GaugeCell*, stable for the registry lifetime
+};
+
+/// Fixed-bucket histogram: counts per bucket plus count/sum/max.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(double v) const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, std::uint32_t first_slot,
+            const std::vector<double>* bounds)
+      : registry_(registry), first_slot_(first_slot), bounds_(bounds) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t first_slot_ = 0;
+  const std::vector<double>* bounds_ = nullptr;  ///< registry-owned, stable
+};
+
+/// Aggregated view of one histogram.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< bucket upper bounds; +inf implied
+  std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Point-in-time aggregation over every thread's shard.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Flat metrics JSON (the --metrics-json format; see
+  /// docs/observability.md).
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Resolve (registering on first use) a metric by name. Re-resolving an
+  /// existing name returns an equivalent handle; resolving an existing name
+  /// as a different kind is a programming error (asserted).
+  [[nodiscard]] Counter counter(const std::string& name);
+  [[nodiscard]] Gauge gauge(const std::string& name);
+  [[nodiscard]] Histogram histogram(const std::string& name,
+                                    const std::vector<double>& bounds);
+
+  /// Canonical exponential bucket layout for knot counts (1, 2, 4, ...,
+  /// 4096); shared by every kernel histogram so their snapshots compare.
+  [[nodiscard]] static const std::vector<double>& knot_buckets();
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  friend class Counter;
+  friend class Histogram;
+
+  struct Impl;
+  void add_to_slot(std::uint32_t slot, std::uint64_t n);
+  void cas_sum_slot(std::uint32_t slot, double v);
+  void cas_max_slot(std::uint32_t slot, double v);
+
+  Impl* impl_;
+};
+
+}  // namespace rta::obs

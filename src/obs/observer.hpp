@@ -1,0 +1,28 @@
+// The engine's observability sink: a pair of non-owning pointers carried by
+// AnalysisConfig. Both default to null, which disables the entire
+// instrumentation layer -- every call site guards on these pointers, so an
+// unobserved analysis performs no tracing or metric atomics (the zero-cost
+// contract verified by tests/test_obs.cpp and bench/micro_analysis).
+//
+// Deliberately header-only and dependency-free: AnalysisConfig lives in
+// analysis/result.hpp, which many translation units include; they only need
+// the two pointers, not the metrics/tracer machinery.
+#pragma once
+
+namespace rta::obs {
+
+class MetricsRegistry;
+class Tracer;
+
+/// Where an analyzer reports what it does. The pointees must outlive every
+/// analyzer configured with them.
+struct Observer {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+
+  [[nodiscard]] bool enabled() const {
+    return metrics != nullptr || tracer != nullptr;
+  }
+};
+
+}  // namespace rta::obs

@@ -1,0 +1,140 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace rta::obs {
+
+namespace {
+
+std::uint64_t next_tracer_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+/// Per-(thread, tracer) event buffer. Appends come only from the owning
+/// thread; the mutex makes export from another thread safe and is otherwise
+/// uncontended.
+struct ThreadBuf {
+  int tid = 0;
+  double last_ts = -1.0;
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+struct Tracer::Impl {
+  std::uint64_t uid = next_tracer_uid();
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  int next_tid = 0;
+};
+
+Tracer::Tracer() : t0_(std::chrono::steady_clock::now()), impl_(new Impl) {}
+
+Tracer::~Tracer() { delete impl_; }
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+void* Tracer::local_buf() {
+  thread_local std::vector<std::pair<std::uint64_t, ThreadBuf*>> cache;
+  for (auto& [id, buf] : cache) {
+    if (id == impl_->uid) return buf;
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->bufs.push_back(std::make_unique<ThreadBuf>());
+  ThreadBuf* buf = impl_->bufs.back().get();
+  buf->tid = impl_->next_tid++;
+  cache.emplace_back(impl_->uid, buf);
+  return buf;
+}
+
+void Tracer::emit(char phase, void* buf_ptr, const std::string& name,
+                  const std::string& args) {
+  ThreadBuf* buf = static_cast<ThreadBuf*>(buf_ptr);
+  double ts = now_us();
+  std::lock_guard<std::mutex> lock(buf->mutex);
+  // Strictly increasing timestamps per thread (nudge by 1 ns on clock ties).
+  if (ts <= buf->last_ts) ts = buf->last_ts + 0.001;
+  buf->last_ts = ts;
+  buf->events.push_back({name, phase, ts, buf->tid, args});
+}
+
+Tracer::Span Tracer::span(std::string name, std::string args_json) {
+  void* buf = local_buf();
+  emit('B', buf, name, args_json);
+  return Span(this, buf, std::move(name));
+}
+
+void Tracer::Span::finish() {
+  if (tracer_ == nullptr) return;
+  tracer_->emit('E', buf_, name_, end_args_);
+  tracer_ = nullptr;
+}
+
+void Tracer::instant(std::string name, std::string args_json) {
+  emit('i', local_buf(), name, args_json);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> all;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& buf : impl_->bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  return all;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const TraceEvent& e : events()) {
+    if (!first) out += ",\n";
+    first = false;
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "{\"ph\": \"%c\", \"ts\": %.3f, \"pid\": 1, \"tid\": %d",
+                  e.phase, e.ts_us, e.tid);
+    out += head;
+    out += ", \"cat\": \"rta\", \"name\": \"";
+    json_escape_into(out, e.name);
+    out += "\"";
+    if (e.phase == 'i') out += ", \"s\": \"t\"";
+    if (!e.args.empty()) {
+      out += ", \"args\": ";
+      out += e.args;
+    }
+    out += "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+}  // namespace rta::obs

@@ -1,0 +1,118 @@
+// Span-based tracer with Chrome trace_event JSON export.
+//
+// The engine opens a Span around each phase / wavefront unit / refinement
+// round; spans nest per thread (RAII), so every thread's event stream is a
+// properly bracketed sequence of 'B'/'E' duration events plus 'i' instants.
+// Events land in per-thread buffers (one uncontended mutex each -- spans are
+// coarse-grained, so a lock per event is cheap), and to_chrome_json() merges
+// the buffers into a file that chrome://tracing and Perfetto open directly.
+//
+// Timestamps are microseconds since the tracer's construction, from
+// std::chrono::steady_clock, nudged so that successive events of one thread
+// are strictly increasing (scripts/check_trace.py enforces this).
+//
+// A Span is movable but must begin and end on the same thread (it captures
+// its thread's buffer). All Span/instant entry points accept a null tracer
+// via the *_if helpers and become no-ops, which is how the engine stays
+// zero-cost when no sink is configured.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rta::obs {
+
+/// One exported trace event (a subset of the Chrome trace_event model).
+struct TraceEvent {
+  std::string name;
+  char phase = 'i';   ///< 'B' begin, 'E' end, 'i' instant
+  double ts_us = 0.0; ///< microseconds since tracer construction
+  int tid = 0;
+  std::string args;   ///< preformatted JSON object text, "" for none
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// RAII duration event. Default-constructed spans are inert.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { swap(other); }
+    Span& operator=(Span&& other) noexcept {
+      finish();
+      swap(other);
+      return *this;
+    }
+    ~Span() { finish(); }
+
+    /// Attach args JSON (e.g. "{\"rounds\": 3}") to the closing event --
+    /// for values only known when the span ends.
+    void annotate(std::string args_json) { end_args_ = std::move(args_json); }
+
+    /// Emit the 'E' event now (idempotent).
+    void finish();
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, void* buf, std::string name)
+        : tracer_(tracer), buf_(buf), name_(std::move(name)) {}
+    void swap(Span& other) noexcept {
+      std::swap(tracer_, other.tracer_);
+      std::swap(buf_, other.buf_);
+      std::swap(name_, other.name_);
+      std::swap(end_args_, other.end_args_);
+    }
+
+    Tracer* tracer_ = nullptr;
+    void* buf_ = nullptr;  ///< ThreadBuf* of the opening thread
+    std::string name_;
+    std::string end_args_;
+  };
+
+  /// Open a span on the calling thread ('B' emitted immediately).
+  [[nodiscard]] Span span(std::string name, std::string args_json = {});
+
+  /// Point event on the calling thread.
+  void instant(std::string name, std::string args_json = {});
+
+  /// Null-safe helpers: the disabled path costs one branch.
+  [[nodiscard]] static Span span_if(Tracer* tracer, std::string name,
+                                    std::string args_json = {}) {
+    return tracer != nullptr ? tracer->span(std::move(name),
+                                            std::move(args_json))
+                             : Span();
+  }
+  static void instant_if(Tracer* tracer, std::string name,
+                         std::string args_json = {}) {
+    if (tracer != nullptr) tracer->instant(std::move(name),
+                                           std::move(args_json));
+  }
+
+  /// Microseconds since construction (the spans' clock).
+  [[nodiscard]] double now_us() const;
+
+  /// Every recorded event, grouped by tid, in per-thread order (for tests).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  struct Impl;
+  void emit(char phase, void* buf, const std::string& name,
+            const std::string& args);
+  [[nodiscard]] void* local_buf();
+
+  std::chrono::steady_clock::time_point t0_;
+  Impl* impl_;
+};
+
+}  // namespace rta::obs

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -30,11 +32,26 @@ namespace rta {
 /// A minimal task-queue thread pool.
 class ThreadPool {
  public:
+  /// Monotone lifetime counters; snapshot via stats(). Exists so the
+  /// exception path of parallel_for_index is observable: indices handed out
+  /// and completed vs. abandoned after a throw always satisfy
+  /// indices_executed + indices_abandoned == sum of loop counts.
+  struct Stats {
+    std::uint64_t tasks_executed = 0;     ///< queue tasks run by workers
+    std::uint64_t loops = 0;              ///< parallel_for_index calls
+    std::uint64_t indices_executed = 0;   ///< loop bodies that completed/threw
+    std::uint64_t indices_abandoned = 0;  ///< retired unrun after a throw
+    std::size_t queue_high_water = 0;     ///< max pending queue depth seen
+    std::vector<std::uint64_t> worker_busy_ns;  ///< per-worker task time
+  };
+
   explicit ThreadPool(std::size_t workers = std::thread::hardware_concurrency()) {
     if (workers == 0) workers = 1;
     workers_.reserve(workers);
+    busy_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      busy_ns_[i].store(0, std::memory_order_relaxed);
+      workers_.emplace_back([this, i] { worker_loop(i); });
     }
   }
 
@@ -52,11 +69,30 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Point-in-time copy of the lifetime counters.
+  [[nodiscard]] Stats stats() const {
+    Stats s;
+    s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+    s.loops = loops_.load(std::memory_order_relaxed);
+    s.indices_executed = indices_executed_.load(std::memory_order_relaxed);
+    s.indices_abandoned = indices_abandoned_.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      s.queue_high_water = queue_high_water_;
+    }
+    s.worker_busy_ns.reserve(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      s.worker_busy_ns.push_back(busy_ns_[i].load(std::memory_order_relaxed));
+    }
+    return s;
+  }
+
   /// Enqueue a task; it runs on some worker eventually. Tasks must not throw.
   void submit(std::function<void()> task) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       tasks_.push(std::move(task));
+      if (tasks_.size() > queue_high_water_) queue_high_water_ = tasks_.size();
     }
     cv_.notify_one();
   }
@@ -80,6 +116,8 @@ class ThreadPool {
       std::exception_ptr error;  ///< first failure; guarded by mutex
       std::size_t count = 0;
       std::function<void(std::size_t)> body;
+      std::atomic<std::uint64_t>* executed_sink = nullptr;
+      std::atomic<std::uint64_t>* abandoned_sink = nullptr;
 
       void account(std::size_t n) {
         if (accounted.fetch_add(n, std::memory_order_acq_rel) + n == count) {
@@ -91,7 +129,7 @@ class ThreadPool {
       void run_shard() {
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= count) return;
+          if (i >= count) break;
           try {
             body(i);
           } catch (...) {
@@ -101,12 +139,22 @@ class ThreadPool {
             }
             // Stop handing out new indices; everything not yet handed out is
             // abandoned and retired here in one step. In-flight indices on
-            // sibling shards retire themselves.
+            // sibling shards retire themselves. Sinks are bumped BEFORE the
+            // retiring account() so that once the caller's wait finishes,
+            // the pool's stats already satisfy
+            // indices_executed + indices_abandoned == sum of loop counts.
             const std::size_t handed =
                 next.exchange(count, std::memory_order_relaxed);
-            account(1 + (handed < count ? count - handed : 0));
+            const std::size_t abandoned =
+                handed < count ? count - handed : 0;
+            if (abandoned_sink != nullptr && abandoned > 0) {
+              abandoned_sink->fetch_add(abandoned, std::memory_order_relaxed);
+            }
+            executed_sink->fetch_add(1, std::memory_order_relaxed);
+            account(1 + abandoned);
             return;
           }
+          executed_sink->fetch_add(1, std::memory_order_relaxed);
           account(1);
         }
       }
@@ -114,6 +162,9 @@ class ThreadPool {
     auto state = std::make_shared<ForState>();
     state->count = count;
     state->body = std::move(body);
+    state->executed_sink = &indices_executed_;
+    state->abandoned_sink = &indices_abandoned_;
+    loops_.fetch_add(1, std::memory_order_relaxed);
 
     // The calling thread is a shard too, so at most count - 1 helpers are
     // useful.
@@ -135,7 +186,7 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop() {
+  void worker_loop(std::size_t worker_index) {
     for (;;) {
       std::function<void()> task;
       {
@@ -145,15 +196,29 @@ class ThreadPool {
         task = std::move(tasks_.front());
         tasks_.pop();
       }
+      const auto start = std::chrono::steady_clock::now();
       task();
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      busy_ns_[worker_index].fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()),
+          std::memory_order_relaxed);
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::size_t queue_high_water_ = 0;  ///< guarded by mutex_
+  std::unique_ptr<std::atomic<std::uint64_t>[]> busy_ns_;
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> loops_{0};
+  std::atomic<std::uint64_t> indices_executed_{0};
+  std::atomic<std::uint64_t> indices_abandoned_{0};
 };
 
 /// Run body(i) for i in [0, count): on `pool` when one is provided, inline

@@ -1,0 +1,387 @@
+// Tests for the instrumentation layer (src/obs) and its engine integration:
+// registry aggregation across threads, snapshot determinism for a fixed
+// system at threads = 1, trace-event schema guarantees, and the referee for
+// the whole layer -- instrumented and uninstrumented analyses are
+// bit-identical for every thread count.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "analysis/iterative.hpp"
+#include "model/priority.hpp"
+#include "obs/kernel_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "workload/jobshop.hpp"
+
+namespace rta {
+namespace {
+
+System make_system(SchedulerKind kind, std::uint64_t seed = 7,
+                   std::size_t jobs = 5) {
+  JobShopConfig cfg;
+  cfg.stages = 3;
+  cfg.processors_per_stage = 2;
+  cfg.jobs = jobs;
+  cfg.pattern = ArrivalPattern::kPeriodic;
+  cfg.utilization = 0.55;
+  cfg.scheduler = kind;
+  Rng rng(seed);
+  System sys = generate_jobshop(cfg, rng);
+  assign_proportional_deadline_monotonic(sys);
+  return sys;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(Metrics, CountersAggregateAcrossThreads) {
+  obs::MetricsRegistry registry;
+  const obs::Counter counter = registry.counter("test.count");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("test.count"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, HistogramBucketsCountAndSum) {
+  obs::MetricsRegistry registry;
+  const obs::Histogram h = registry.histogram("test.hist", {1.0, 10.0});
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0 (boundary inclusive)
+  h.observe(5.0);   // bucket 1 (<= 10)
+  h.observe(99.0);  // overflow bucket
+  const obs::HistogramSnapshot snap =
+      registry.snapshot().histograms.at("test.hist");
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 105.5);
+  EXPECT_DOUBLE_EQ(snap.max, 99.0);
+}
+
+TEST(Metrics, HistogramAggregatesAcrossThreads) {
+  obs::MetricsRegistry registry;
+  const obs::Histogram h =
+      registry.histogram("test.hist", obs::MetricsRegistry::knot_buckets());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::HistogramSnapshot snap =
+      registry.snapshot().histograms.at("test.hist");
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.sum, 1000.0 * (1 + 2 + 3 + 4));
+  EXPECT_DOUBLE_EQ(snap.max, 4.0);
+}
+
+TEST(Metrics, GaugeSetAndRecordMax) {
+  obs::MetricsRegistry registry;
+  const obs::Gauge g = registry.gauge("test.gauge");
+  g.set(3.0);
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauges.at("test.gauge"), 1.5);
+  g.record_max(4.0);
+  g.record_max(2.0);  // below the max: ignored
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauges.at("test.gauge"), 4.0);
+}
+
+TEST(Metrics, ReResolvingANameYieldsTheSameMetric) {
+  obs::MetricsRegistry registry;
+  registry.counter("test.shared").add(2);
+  registry.counter("test.shared").add(3);
+  EXPECT_EQ(registry.snapshot().counters.at("test.shared"), 5u);
+}
+
+TEST(Metrics, SnapshotJsonRoundTripsStructurally) {
+  obs::MetricsRegistry registry;
+  registry.counter("c.one").add(7);
+  registry.gauge("g.one").set(2.5);
+  registry.histogram("h.one", {1.0, 2.0}).observe(1.5);
+  const std::string json = registry.snapshot().to_json();
+  // Spot checks; full schema validation lives in scripts/check_trace.py
+  // (exercised by the cli_observability_check ctest entry).
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"h.one\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(Trace, SpansProduceBalancedStrictlyIncreasingEvents) {
+  obs::Tracer tracer;
+  {
+    obs::Tracer::Span outer = tracer.span("outer");
+    {
+      obs::Tracer::Span inner = tracer.span("inner", "{\"k\": 1}");
+      tracer.instant("tick");
+    }
+    outer.annotate("{\"result\": 42}");
+  }
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 5u);
+
+  std::map<int, double> last_ts;
+  std::map<int, std::vector<std::string>> open;
+  for (const obs::TraceEvent& ev : events) {
+    const auto it = last_ts.find(ev.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GT(ev.ts_us, it->second) << "ts not strictly increasing";
+    }
+    last_ts[ev.tid] = ev.ts_us;
+    if (ev.phase == 'B') {
+      open[ev.tid].push_back(ev.name);
+    } else if (ev.phase == 'E') {
+      ASSERT_FALSE(open[ev.tid].empty()) << "E without B";
+      EXPECT_EQ(open[ev.tid].back(), ev.name) << "spans must nest";
+      open[ev.tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  // annotate() lands on the closing event of the right span.
+  EXPECT_EQ(events.back().name, "outer");
+  EXPECT_EQ(events.back().phase, 'E');
+  EXPECT_EQ(events.back().args, "{\"result\": 42}");
+}
+
+TEST(Trace, NullTracerHelpersAreInert) {
+  obs::Tracer::Span span = obs::Tracer::span_if(nullptr, "nothing");
+  span.annotate("{}");
+  span.finish();
+  obs::Tracer::instant_if(nullptr, "nothing");  // must not crash
+}
+
+TEST(Trace, ChromeJsonHasTraceEventsArray) {
+  obs::Tracer tracer;
+  { obs::Tracer::Span s = tracer.span("phase"); }
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+}
+
+TEST(Trace, EventsFromWorkerThreadsGetDistinctTids) {
+  obs::Tracer tracer;
+  tracer.instant("main");
+  std::thread worker([&] { tracer.instant("worker"); });
+  worker.join();
+  std::set<int> tids;
+  for (const obs::TraceEvent& ev : tracer.events()) tids.insert(ev.tid);
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel sink plumbing
+
+TEST(KernelSink, ScopeInstallsAndRestores) {
+  obs::MetricsRegistry registry;
+  obs::KernelSink outer_sink(registry);
+  obs::KernelSink inner_sink(registry);
+  EXPECT_EQ(obs::kernel_sink(), nullptr);
+  {
+    obs::KernelSinkScope outer(&outer_sink);
+    EXPECT_EQ(obs::kernel_sink(), &outer_sink);
+    {
+      obs::KernelSinkScope inner(&inner_sink);
+      EXPECT_EQ(obs::kernel_sink(), &inner_sink);
+    }
+    EXPECT_EQ(obs::kernel_sink(), &outer_sink);
+  }
+  EXPECT_EQ(obs::kernel_sink(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration
+
+/// All engine-relevant numbers of one analysis, for bitwise comparison.
+std::vector<double> result_fingerprint(const AnalysisResult& r) {
+  std::vector<double> out;
+  out.push_back(r.ok ? 1.0 : 0.0);
+  out.push_back(r.horizon);
+  for (const JobReport& j : r.jobs) {
+    out.push_back(j.wcrt);
+    out.push_back(j.schedulable ? 1.0 : 0.0);
+    for (const SubjobReport& hop : j.hops) out.push_back(hop.local_bound);
+  }
+  return out;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bitwise, not approximate: NaN-safe and catches sign/rounding drift.
+    EXPECT_TRUE(std::memcmp(&a[i], &b[i], sizeof(double)) == 0)
+        << label << " value " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+std::vector<int> engine_thread_counts() {
+  std::vector<int> counts = {1, 2};
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 2) counts.push_back(static_cast<int>(hw));
+  return counts;
+}
+
+TEST(ObservedAnalysis, BoundsBitIdenticalWithObserverOnAcrossThreadCounts) {
+  const System sys = make_system(SchedulerKind::kSpnp);
+  AnalysisConfig plain;
+  const std::vector<double> reference =
+      result_fingerprint(BoundsAnalyzer(plain).analyze(sys));
+  for (const int threads : engine_thread_counts()) {
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer;
+    AnalysisConfig cfg;
+    cfg.threads = threads;
+    cfg.observer.metrics = &registry;
+    cfg.observer.tracer = &tracer;
+    const std::vector<double> observed =
+        result_fingerprint(BoundsAnalyzer(cfg).analyze(sys));
+    expect_bitwise_equal(reference, observed,
+                         "bounds threads=" + std::to_string(threads));
+    EXPECT_GT(registry.snapshot().counters.at("bounds.units"), 0u);
+  }
+}
+
+TEST(ObservedAnalysis, IterativeBitIdenticalWithObserverOnAcrossThreadCounts) {
+  const System sys = make_system(SchedulerKind::kSpp);
+  AnalysisConfig plain;
+  const std::vector<double> reference =
+      result_fingerprint(IterativeBoundsAnalyzer(plain).analyze(sys));
+  for (const int threads : engine_thread_counts()) {
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer;
+    AnalysisConfig cfg;
+    cfg.threads = threads;
+    cfg.observer.metrics = &registry;
+    cfg.observer.tracer = &tracer;
+    const std::vector<double> observed =
+        result_fingerprint(IterativeBoundsAnalyzer(cfg).analyze(sys));
+    expect_bitwise_equal(reference, observed,
+                         "iterative threads=" + std::to_string(threads));
+    EXPECT_GT(registry.snapshot().counters.at("iterative.rounds"), 0u);
+  }
+}
+
+/// Deterministic subset of a snapshot: everything except wall-clock-derived
+/// metrics (the "_us"/"_ns" suffix convention of obs/metrics.hpp).
+struct DeterministicView {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, obs::HistogramSnapshot> histograms;
+
+  bool operator==(const DeterministicView&) const = default;
+};
+
+bool is_time_metric(const std::string& name) {
+  const auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return name.size() >= s.size() &&
+           name.compare(name.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with("_us") || ends_with("_ns");
+}
+
+DeterministicView deterministic_view(const obs::MetricsSnapshot& snap) {
+  DeterministicView v;
+  for (const auto& [name, value] : snap.counters) {
+    if (!is_time_metric(name)) v.counters.emplace(name, value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (!is_time_metric(name)) v.gauges.emplace(name, value);
+  }
+  v.histograms = snap.histograms;  // knot counts: never time-derived
+  return v;
+}
+
+TEST(ObservedAnalysis, MetricsSnapshotDeterministicAtOneThread) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kSpp, SchedulerKind::kSpnp, SchedulerKind::kFcfs}) {
+    const System sys = make_system(kind, /*seed=*/11);
+    DeterministicView first;
+    for (int run = 0; run < 3; ++run) {
+      obs::MetricsRegistry registry;
+      AnalysisConfig cfg;
+      cfg.threads = 1;
+      cfg.observer.metrics = &registry;
+      (void)IterativeBoundsAnalyzer(cfg).analyze(sys);
+      const DeterministicView view = deterministic_view(registry.snapshot());
+      EXPECT_FALSE(view.counters.empty());
+      if (run == 0) {
+        first = view;
+      } else {
+        EXPECT_EQ(view, first) << "scheduler " << to_string(kind)
+                               << " run " << run;
+      }
+    }
+  }
+}
+
+TEST(ObservedAnalysis, KernelAndCacheCountersArePopulated) {
+  const System sys = make_system(SchedulerKind::kSpnp);
+  obs::MetricsRegistry registry;
+  AnalysisConfig cfg;
+  cfg.observer.metrics = &registry;
+  (void)BoundsAnalyzer(cfg).analyze(sys);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_GT(snap.counters.at("kernel.pointwise_ops"), 0u);
+  EXPECT_GT(snap.counters.at("kernel.pinv_ops"), 0u);
+  EXPECT_GT(snap.counters.at("curve_cache.pinv_misses"), 0u);
+  // Hit verification happens whenever a lookup finds a candidate.
+  EXPECT_GT(snap.counters.at("curve_cache.verifies"), 0u);
+  const obs::HistogramSnapshot& knots =
+      snap.histograms.at("kernel.pointwise_result_knots");
+  EXPECT_GT(knots.count, 0u);
+  EXPECT_GT(knots.max, 0.0);
+}
+
+TEST(ObservedAnalysis, TraceCoversWavefrontAndRounds) {
+  const System sys = make_system(SchedulerKind::kSpp);
+  obs::Tracer tracer;
+  AnalysisConfig cfg;
+  cfg.observer.tracer = &tracer;
+  (void)IterativeBoundsAnalyzer(cfg).analyze(sys);
+  std::set<std::string> names;
+  for (const obs::TraceEvent& ev : tracer.events()) names.insert(ev.name);
+  EXPECT_TRUE(names.count("iterative.analyze"));
+  EXPECT_TRUE(names.count("iterative.round"));
+  EXPECT_TRUE(names.count("iterative.pass_phase"));
+  EXPECT_TRUE(names.count("iterative.propagate"));
+  EXPECT_TRUE(names.count("iterative.final_pass"));
+}
+
+}  // namespace
+}  // namespace rta

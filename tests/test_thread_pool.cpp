@@ -134,6 +134,61 @@ TEST(ThreadPool, ZeroCountIsANoOp) {
   EXPECT_FALSE(ran);
 }
 
+TEST(ThreadPool, StatsCountCleanLoops) {
+  ThreadPool pool(2);
+  const ThreadPool::Stats before = pool.stats();
+  EXPECT_EQ(before.loops, 0u);
+  EXPECT_EQ(before.indices_executed, 0u);
+  EXPECT_EQ(before.worker_busy_ns.size(), 2u);
+
+  pool.parallel_for_index(64, [](std::size_t) {});
+  pool.parallel_for_index(10, [](std::size_t) {});
+  const ThreadPool::Stats after = pool.stats();
+  EXPECT_EQ(after.loops, 2u);
+  EXPECT_EQ(after.indices_executed, 74u);
+  EXPECT_EQ(after.indices_abandoned, 0u);
+}
+
+// The exception path must keep the books balanced: every index of the loop
+// is either executed (ran to completion or threw) or abandoned, and the
+// counts are final by the time parallel_for_index returns.
+TEST(ThreadPool, StatsAccountForEveryIndexAfterAnException) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    const ThreadPool::Stats before = pool.stats();
+    EXPECT_THROW(pool.parallel_for_index(
+                     200,
+                     [](std::size_t i) {
+                       if (i == 50) throw std::runtime_error("boom at 50");
+                     }),
+                 std::runtime_error);
+    const ThreadPool::Stats after = pool.stats();
+    EXPECT_EQ(after.loops, before.loops + 1);
+    const std::uint64_t executed =
+        after.indices_executed - before.indices_executed;
+    const std::uint64_t abandoned =
+        after.indices_abandoned - before.indices_abandoned;
+    EXPECT_EQ(executed + abandoned, 200u);
+    EXPECT_GE(executed, 1u);  // the throwing index itself ran
+  }
+}
+
+TEST(ThreadPool, StatsQueueHighWaterAndBusyTimeAdvance) {
+  ThreadPool pool(2);
+  std::atomic<int> sink{0};
+  pool.parallel_for_index(256, [&](std::size_t) {
+    // Enough work per index for the workers to pick up tasks.
+    for (int i = 0; i < 1000; ++i) {
+      sink.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  const ThreadPool::Stats s = pool.stats();
+  EXPECT_EQ(s.indices_executed, 256u);
+  // The loop submits one helper task per worker at most.
+  EXPECT_LE(s.queue_high_water, 2u);
+  EXPECT_LE(s.tasks_executed, 2u);
+}
+
 TEST(ForEachIndex, NullPoolRunsInlineInOrder) {
   std::vector<std::size_t> order;
   for_each_index(nullptr, 5, [&](std::size_t i) { order.push_back(i); });

@@ -9,15 +9,22 @@
 //   generate [--stages N --procs N --jobs N --util U --seed S --aperiodic]
 //            [--out FILE]                       emit a random job shop
 //
+// analyze/validate/curves additionally accept the observability flags
+// (docs/observability.md): --metrics-json FILE, --trace-json FILE, --stats.
+//
 // Exit status: 0 = ok / schedulable, 1 = not schedulable, 2 = usage or
 // input error.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "io/curve_csv.hpp"
 #include "io/trace_csv.hpp"
 #include "io/system_text.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rta/rta.hpp"
 #include "util/options.hpp"
 
@@ -42,9 +49,115 @@ int usage() {
       "  --threads N: bounds-engine worker threads (1 = serial, 0 = all\n"
       "               hardware threads); results are identical for every N.\n"
       "  --no-cache:  disable curve-operation memoization (same results,\n"
-      "               slower fixed-point rounds).\n");
+      "               slower fixed-point rounds).\n"
+      "  analyze/validate/curves also accept (see docs/observability.md):\n"
+      "  --metrics-json FILE: write aggregated engine metrics as JSON.\n"
+      "  --trace-json FILE:   write a Chrome trace_event JSON timeline\n"
+      "                       (open in chrome://tracing or Perfetto).\n"
+      "  --stats:             print cache/kernel/pool statistics; never\n"
+      "                       changes the computed bounds.\n");
   return 2;
 }
+
+/// Writes `content` to `path`, replacing any existing file.
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+/// Sinks and export paths behind --metrics-json / --trace-json / --stats.
+/// The registry also backs --stats on its own (no file needed): the
+/// analyzers flush their cache/pool/kernel counters into it per analyze().
+struct ObsSession {
+  std::string metrics_path;
+  std::string trace_path;
+  bool stats = false;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::Tracer> tracer;
+
+  static ObsSession from_options(const Options& opts) {
+    ObsSession s;
+    s.metrics_path = opts.get("metrics-json", "");
+    s.trace_path = opts.get("trace-json", "");
+    s.stats = opts.get_bool("stats", false);
+    if (!s.metrics_path.empty() || s.stats) {
+      s.metrics = std::make_unique<obs::MetricsRegistry>();
+    }
+    if (!s.trace_path.empty()) s.tracer = std::make_unique<obs::Tracer>();
+    return s;
+  }
+
+  [[nodiscard]] obs::Observer observer() const {
+    return obs::Observer{metrics.get(), tracer.get()};
+  }
+
+  void print_stats() const {
+    if (!stats || metrics == nullptr) return;
+    const obs::MetricsSnapshot snap = metrics->snapshot();
+    auto c = [&](const char* name) -> unsigned long long {
+      const auto it = snap.counters.find(name);
+      return it == snap.counters.end() ? 0ULL : it->second;
+    };
+    auto g = [&](const char* name) -> double {
+      const auto it = snap.gauges.find(name);
+      return it == snap.gauges.end() ? 0.0 : it->second;
+    };
+    std::printf("-- stats --\n");
+    std::printf(
+        "curve cache: conv %llu hits / %llu misses, pinv %llu hits / %llu "
+        "misses, collisions %llu, verifies %llu\n",
+        c("curve_cache.conv_hits"), c("curve_cache.conv_misses"),
+        c("curve_cache.pinv_hits"), c("curve_cache.pinv_misses"),
+        c("curve_cache.collisions"), c("curve_cache.verifies"));
+    std::printf(
+        "kernel ops: conv %llu, deconv %llu, pointwise %llu, pinv %llu\n",
+        c("kernel.conv_ops"), c("kernel.deconv_ops"), c("kernel.pointwise_ops"),
+        c("kernel.pinv_ops"));
+    if (c("bounds.units") > 0) {
+      std::printf("wavefront: %llu waves, %llu units\n", c("bounds.waves"),
+                  c("bounds.units"));
+    }
+    if (c("iterative.rounds") > 0) {
+      std::printf(
+          "iterative: %d iterations, %llu passes run, %llu skipped, %llu job "
+          "refinements\n",
+          static_cast<int>(g("iterative.iterations")),
+          c("iterative.passes_run"), c("iterative.passes_skipped"),
+          c("iterative.jobs_refined"));
+    }
+    std::printf(
+        "analysis time by scheduler: spp %llu us, spnp %llu us, fcfs %llu "
+        "us\n",
+        c("analysis.unit_time_spp_us"), c("analysis.unit_time_spnp_us"),
+        c("analysis.unit_time_fcfs_us"));
+    std::printf(
+        "pool: %llu tasks, %llu indices (%llu abandoned), queue high water "
+        "%d, busy %llu us\n",
+        c("pool.tasks_executed"), c("pool.indices_executed"),
+        c("pool.indices_abandoned"),
+        static_cast<int>(g("pool.queue_high_water")),
+        c("pool.worker_busy_us"));
+  }
+
+  /// Write the requested export files; false (with a message) on failure.
+  [[nodiscard]] bool write_exports() const {
+    if (metrics != nullptr && !metrics_path.empty() &&
+        !write_text_file(metrics_path, metrics->snapshot().to_json())) {
+      std::fprintf(stderr, "cannot write '%s'\n", metrics_path.c_str());
+      return false;
+    }
+    if (tracer != nullptr && !trace_path.empty() &&
+        !write_text_file(trace_path, tracer->to_chrome_json())) {
+      std::fprintf(stderr, "cannot write '%s'\n", trace_path.c_str());
+      return false;
+    }
+    return true;
+  }
+};
 
 /// Analysis knobs shared by the analyze/validate/curves subcommands.
 AnalysisConfig analysis_config(const Options& opts) {
@@ -117,9 +230,16 @@ AnalysisResult run_method(const std::string& method, const System& system,
 
 int cmd_analyze(const Options& opts, System system) {
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
+  ObsSession session = ObsSession::from_options(opts);
+  AnalysisConfig cfg = analysis_config(opts);
+  cfg.observer = session.observer();
   std::string used;
-  const AnalysisResult r = run_method(opts.get("method", "auto"), system,
-                                      analysis_config(opts), &used);
+  AnalysisResult r;
+  {
+    obs::Tracer::Span span =
+        obs::Tracer::span_if(session.tracer.get(), "cli.analyze");
+    r = run_method(opts.get("method", "auto"), system, cfg, &used);
+  }
   if (!r.ok) {
     std::fprintf(stderr, "analysis failed: %s\n", r.error.c_str());
     return 2;
@@ -138,6 +258,8 @@ int cmd_analyze(const Options& opts, System system) {
     }
   }
   std::printf("schedulable: %s\n", r.all_schedulable() ? "yes" : "no");
+  session.print_stats();
+  if (!session.write_exports()) return 2;
   return r.all_schedulable() ? 0 : 1;
 }
 
@@ -163,16 +285,32 @@ int cmd_simulate(const Options& opts, System system) {
 
 int cmd_validate(const Options& opts, System system) {
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
+  ObsSession session = ObsSession::from_options(opts);
+  AnalysisConfig cfg = analysis_config(opts);
+  cfg.observer = session.observer();
+  using Clock = std::chrono::steady_clock;
   std::string used;
-  const AnalysisResult r = run_method(opts.get("method", "auto"), system,
-                                      analysis_config(opts), &used);
+  AnalysisResult r;
+  const Clock::time_point t0 = Clock::now();
+  {
+    obs::Tracer::Span span =
+        obs::Tracer::span_if(session.tracer.get(), "cli.analyze");
+    r = run_method(opts.get("method", "auto"), system, cfg, &used);
+  }
+  const Clock::time_point t1 = Clock::now();
   if (!r.ok) {
     std::fprintf(stderr, "analysis failed: %s\n", r.error.c_str());
     return 2;
   }
   const Time horizon =
       r.horizon > 0.0 ? r.horizon : default_horizon(system, AnalysisConfig{});
-  const SimResult s = simulate(system, horizon);
+  SimResult s;
+  {
+    obs::Tracer::Span span =
+        obs::Tracer::span_if(session.tracer.get(), "cli.simulate");
+    s = simulate(system, horizon);
+  }
+  const Clock::time_point t2 = Clock::now();
   std::printf("method: %s\n", used.c_str());
   std::printf("%-16s %12s %12s %10s\n", "job", "bound", "simulated",
               "slack");
@@ -184,6 +322,12 @@ int cmd_validate(const Options& opts, System system) {
                 r.jobs[k].wcrt, s.worst_response[k], slack);
   }
   std::printf("bounds dominate simulation: %s\n", sound ? "yes" : "NO");
+  const std::chrono::duration<double, std::milli> analysis_ms = t1 - t0;
+  const std::chrono::duration<double, std::milli> sim_ms = t2 - t1;
+  std::printf("analysis wall time: %.3f ms; simulation wall time: %.3f ms\n",
+              analysis_ms.count(), sim_ms.count());
+  session.print_stats();
+  if (!session.write_exports()) return 2;
   return sound ? 0 : 1;
 }
 
@@ -194,11 +338,17 @@ int cmd_curves(const Options& opts, System system) {
     std::fprintf(stderr, "curves: --out DIR is required\n");
     return 2;
   }
+  ObsSession session = ObsSession::from_options(opts);
   AnalysisConfig cfg = analysis_config(opts);
   cfg.record_curves = true;
+  cfg.observer = session.observer();
   std::string used;
-  const AnalysisResult r = run_method(opts.get("method", "auto"), system,
-                                      cfg, &used);
+  AnalysisResult r;
+  {
+    obs::Tracer::Span span =
+        obs::Tracer::span_if(session.tracer.get(), "cli.analyze");
+    r = run_method(opts.get("method", "auto"), system, cfg, &used);
+  }
   if (!r.ok) {
     std::fprintf(stderr, "analysis failed: %s\n", r.error.c_str());
     return 2;
@@ -223,6 +373,8 @@ int cmd_curves(const Options& opts, System system) {
   }
   std::printf("wrote %d curve CSVs under %s (method: %s)\n", written,
               dir.c_str(), used.c_str());
+  session.print_stats();
+  if (!session.write_exports()) return 2;
   return 0;
 }
 
