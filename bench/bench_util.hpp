@@ -6,7 +6,8 @@
 #include <string>
 #include <vector>
 
-#include "eval/admission.hpp"
+#include "analysis/analyzer.hpp"
+#include "eval/admission.hpp"  // AdmissionPoint
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 

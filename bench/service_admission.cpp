@@ -1,0 +1,284 @@
+// Single-job admission latency: incremental AdmissionSession vs. full
+// re-analysis, on the Fig. 3 periodic job shop (stages 4, 2 processors per
+// stage, 8 jobs, utilization 0.7, SPP with PDM priorities -- the same
+// configuration as parallel_scaling.cpp).
+//
+// The baseline is what a naive admission controller does: rebuild the
+// candidate system and run a fresh full BoundsAnalyzer pass per request --
+// with a long-lived analyzer, so its ThreadPool and CurveCache amortize
+// (a generous baseline). The service answers the same requests through one
+// AdmissionSession with a pinned horizon, recomputing only the dirty
+// closure of the candidate job.
+//
+// Every candidate's bounds are checked bit-identical between the two paths
+// before any timing is reported; a mismatch aborts the bench (the service's
+// determinism contract, tests/test_service.cpp).
+//
+// Output: a per-candidate latency table on stdout and BENCH_service.json
+// with median/p90/max latencies per path and the median speedup. The
+// acceptance bar is a >= 2x median speedup for single-job admits.
+//
+// Flags: --candidates N (default 40)  --repeats N (default 5)
+//        --stages N (default 4)       --procs N (default 2, per stage)
+//        --jobs N (default 8)         --util U (default 0.7)
+//        --seed S (default 42)        --threads N (default 1)
+//        --out FILE (default BENCH_service.json)
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "model/priority.hpp"
+#include "service/admission_session.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "workload/jobshop.hpp"
+
+using namespace rta;
+
+namespace {
+
+System make_base(const Options& opts, std::uint64_t seed) {
+  JobShopConfig cfg;
+  cfg.stages = static_cast<std::size_t>(opts.get_int("stages", 4));
+  cfg.processors_per_stage =
+      static_cast<std::size_t>(opts.get_int("procs", 2));
+  cfg.jobs = static_cast<std::size_t>(opts.get_int("jobs", 8));
+  cfg.pattern = ArrivalPattern::kPeriodic;
+  cfg.utilization = opts.get_double("util", 0.7);
+  cfg.window_periods = 4.0;
+  cfg.deadline.period_multiple = 4.0;
+  cfg.scheduler = SchedulerKind::kSpp;
+  Rng rng(seed);
+  System system = generate_jobshop(cfg, rng);
+  assign_proportional_deadline_monotonic(system);
+  return system;
+}
+
+/// Candidate jobs in the style of online admission requests: short chains,
+/// modest demand, lowest priority on every processor they visit.
+std::vector<Job> make_candidates(const System& base, std::size_t count,
+                                 std::uint64_t seed) {
+  const RngFactory factory(seed ^ 0xAD317ull);
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng = factory.stream(static_cast<std::uint64_t>(i));
+    Job job;
+    job.name = "cand" + std::to_string(i);
+    const int hops = rng.uniform_int(1, 3);
+    double exec_total = 0.0;
+    for (int h = 0; h < hops; ++h) {
+      Subjob s;
+      s.processor = rng.uniform_int(0, base.processor_count() - 1);
+      s.exec_time = rng.uniform(0.02, 0.12);
+      exec_total += s.exec_time;
+      job.chain.push_back(s);
+    }
+    const Time period = rng.uniform(2.0, 6.0);
+    const Time window = std::max<Time>(base.last_release(), 4.0 * period);
+    job.arrivals = ArrivalSequence::periodic(period, window);
+    job.deadline = exec_total * rng.uniform(6.0, 20.0) + period;
+    service::assign_lowest_priorities(base, job);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::uint64_t result_digest(const AnalysisResult& r) {
+  std::uint64_t h = 0xC0FFEEull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  mix(r.ok ? 1u : 0u);
+  for (const JobReport& j : r.jobs) {
+    mix(std::bit_cast<std::uint64_t>(j.wcrt));
+    for (const SubjobReport& hop : j.hops) {
+      mix(std::bit_cast<std::uint64_t>(hop.local_bound));
+    }
+  }
+  return h;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+struct PathStats {
+  double median_us = 0.0;
+  double p90_us = 0.0;
+  double max_us = 0.0;
+};
+
+PathStats summarize(const std::vector<double>& per_candidate_us) {
+  PathStats s;
+  s.median_us = percentile(per_candidate_us, 0.5);
+  s.p90_us = percentile(per_candidate_us, 0.9);
+  s.max_us = *std::max_element(per_candidate_us.begin(),
+                               per_candidate_us.end());
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const std::size_t candidate_count =
+      static_cast<std::size_t>(opts.get_int("candidates", 40));
+  const int repeats = static_cast<int>(opts.get_int("repeats", 5));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  const int threads = static_cast<int>(opts.get_int("threads", 1));
+  const std::string out = opts.get("out", "BENCH_service.json");
+
+  const System base = make_base(opts, seed);
+  const std::vector<Job> candidates =
+      make_candidates(base, candidate_count, seed);
+
+  // Both paths pin the same horizon, so the comparison (and the bit-identity
+  // check) is horizon-for-horizon.
+  AnalysisConfig analysis;
+  analysis.threads = threads;
+  analysis.use_curve_cache = true;
+  analysis.horizon = default_horizon(base, AnalysisConfig{});
+
+  service::SessionConfig session_cfg;
+  session_cfg.analysis = analysis;
+  service::AdmissionSession session(base, session_cfg);
+  if (!session.last().ok) {
+    std::fprintf(stderr, "base analysis failed: %s\n",
+                 session.last().error.c_str());
+    return 1;
+  }
+  BoundsAnalyzer full(analysis);  // long-lived: pool and cache amortize
+
+  std::printf("Single-job admission latency on the Fig. 3 job shop "
+              "(%d jobs, %d processors, util %.2f, threads %d), "
+              "%zu candidates, best of %d repeats\n",
+              base.job_count(), base.processor_count(),
+              opts.get_double("util", 0.7), threads, candidate_count,
+              repeats);
+
+  std::vector<double> full_us(candidate_count, -1.0);
+  std::vector<double> incr_us(candidate_count, -1.0);
+  std::vector<int> dirty(candidate_count, 0);
+  int total_subjobs = 0;
+  int incremental_hits = 0;
+
+  using Clock = std::chrono::steady_clock;
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      System candidate_system = base;  // rebuild outside the timer: generous
+      candidate_system.add_job(candidates[i]);
+
+      const Clock::time_point f0 = Clock::now();
+      const AnalysisResult full_result = full.analyze(candidate_system);
+      const std::chrono::duration<double, std::micro> f_us =
+          Clock::now() - f0;
+
+      const Clock::time_point s0 = Clock::now();
+      const service::Decision d = session.what_if(candidates[i]);
+      const std::chrono::duration<double, std::micro> s_us =
+          Clock::now() - s0;
+
+      if (!d.ok || !full_result.ok ||
+          result_digest(full_result) != result_digest(d.analysis)) {
+        std::fprintf(stderr,
+                     "FATAL: candidate %zu diverges from full re-analysis "
+                     "-- determinism contract violated\n",
+                     i);
+        return 1;
+      }
+      if (full_us[i] < 0.0 || f_us.count() < full_us[i]) {
+        full_us[i] = f_us.count();
+      }
+      if (incr_us[i] < 0.0 || s_us.count() < incr_us[i]) {
+        incr_us[i] = s_us.count();
+      }
+      if (rep == 0) {
+        dirty[i] = d.dirty_subjobs;
+        total_subjobs = d.total_subjobs;
+        if (d.incremental) ++incremental_hits;
+      }
+    }
+  }
+
+  const PathStats fs = summarize(full_us);
+  const PathStats is = summarize(incr_us);
+  const double median_speedup =
+      is.median_us > 0.0 ? fs.median_us / is.median_us : 0.0;
+
+  std::vector<double> per_candidate_speedup(candidate_count, 0.0);
+  std::printf("\n%10s %6s %12s %12s %9s\n", "candidate", "dirty", "full_us",
+              "session_us", "speedup");
+  for (std::size_t i = 0; i < candidate_count; ++i) {
+    per_candidate_speedup[i] =
+        incr_us[i] > 0.0 ? full_us[i] / incr_us[i] : 0.0;
+    std::printf("%10zu %6d %12.1f %12.1f %8.1fx\n", i, dirty[i], full_us[i],
+                incr_us[i], per_candidate_speedup[i]);
+  }
+  std::printf("\nfull re-analysis:  median %.1f us, p90 %.1f us, max %.1f us\n",
+              fs.median_us, fs.p90_us, fs.max_us);
+  std::printf("admission session: median %.1f us, p90 %.1f us, max %.1f us\n",
+              is.median_us, is.p90_us, is.max_us);
+  std::printf("median speedup: %.2fx (%d/%zu candidates incremental)\n",
+              median_speedup, incremental_hits, candidate_count);
+  if (median_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "WARNING: median speedup %.2fx below the 2x acceptance "
+                 "bar\n",
+                 median_speedup);
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"service_admission\",\n");
+  std::fprintf(f,
+               "  \"scenario\": \"fig3_periodic_jobshop\",\n"
+               "  \"baseline\": \"fresh full BoundsAnalyzer pass per "
+               "candidate (long-lived analyzer, pinned horizon)\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f,
+               "  \"stages\": %lld, \"processors_per_stage\": %lld, "
+               "\"jobs\": %lld, \"utilization\": %g, \"threads\": %d,\n",
+               opts.get_int("stages", 4), opts.get_int("procs", 2),
+               opts.get_int("jobs", 8), opts.get_double("util", 0.7),
+               threads);
+  std::fprintf(f, "  \"candidates\": %zu, \"repeats\": %d,\n",
+               candidate_count, repeats);
+  std::fprintf(f, "  \"total_subjobs\": %d,\n", total_subjobs);
+  std::fprintf(f, "  \"incremental_candidates\": %d,\n", incremental_hits);
+  std::fprintf(f,
+               "  \"full_us\": {\"median\": %.3f, \"p90\": %.3f, "
+               "\"max\": %.3f},\n",
+               fs.median_us, fs.p90_us, fs.max_us);
+  std::fprintf(f,
+               "  \"session_us\": {\"median\": %.3f, \"p90\": %.3f, "
+               "\"max\": %.3f},\n",
+               is.median_us, is.p90_us, is.max_us);
+  std::fprintf(f, "  \"median_speedup\": %.3f,\n", median_speedup);
+  std::fprintf(f, "  \"p90_speedup\": %.3f,\n",
+               percentile(per_candidate_speedup, 0.9));
+  std::fprintf(f,
+               "  \"determinism\": \"every candidate's bounds bit-identical "
+               "between paths (digest-checked)\"\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Validate `rta_cli serve` JSONL responses (stdlib only).
+
+Usage:
+    check_service.py --responses out.jsonl [--requests in.jsonl]
+
+Checks, per response line:
+  * valid JSON object with request (1-based, consecutive), line, op;
+  * ok is a bool; ok=false responses carry a non-empty error string;
+  * admit/what_if/remove responses with ok=true carry admitted/committed/
+    incremental bools, integer job_id/dirty_subjobs/total_subjobs, and
+    numeric schedulable/max_wcrt/horizon fields ("inf" allowed for wcrt);
+  * what_if never commits; admit commits iff admitted;
+  * query responses carry jobs/schedulable/max_wcrt/horizon;
+  * latency_us is a non-negative number.
+
+With --requests, additionally checks that the number of responses equals
+the number of request lines (blank and '#' lines skipped) and that the ops
+match line by line.
+
+Exit status: 0 when everything validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_OPS = {"admit", "what_if", "remove", "query"}
+
+
+def load_jsonl(path):
+    """Yield (line_number, parsed_or_None, raw) for non-comment lines."""
+    with open(path, "r", encoding="utf-8") as f:
+        for n, raw in enumerate(f, start=1):
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                yield n, json.loads(stripped), stripped
+            except json.JSONDecodeError:
+                yield n, None, stripped
+
+
+def is_time(value):
+    return isinstance(value, (int, float)) or value == "inf"
+
+
+def check_decision_fields(resp, where, errors):
+    for key in ("admitted", "committed", "incremental"):
+        if not isinstance(resp.get(key), bool):
+            errors.append(f"{where}: missing bool '{key}'")
+    for key in ("job_id", "dirty_subjobs", "total_subjobs"):
+        if not isinstance(resp.get(key), (int, float)):
+            errors.append(f"{where}: missing numeric '{key}'")
+    if not isinstance(resp.get("schedulable"), bool):
+        errors.append(f"{where}: missing bool 'schedulable'")
+    if not is_time(resp.get("max_wcrt")):
+        errors.append(f"{where}: missing time 'max_wcrt'")
+    if not isinstance(resp.get("horizon"), (int, float)):
+        errors.append(f"{where}: missing numeric 'horizon'")
+    op = resp.get("op")
+    if op == "what_if" and resp.get("committed"):
+        errors.append(f"{where}: what_if must never commit")
+    if op == "admit" and resp.get("committed") != resp.get("admitted"):
+        errors.append(f"{where}: admit must commit iff admitted")
+
+
+def check_responses(path, expected_ops):
+    errors = []
+    seen = 0
+    for n, resp, raw in load_jsonl(path):
+        where = f"{path}:{n}"
+        if resp is None:
+            errors.append(f"{where}: invalid JSON: {raw[:60]}")
+            continue
+        if not isinstance(resp, dict):
+            errors.append(f"{where}: response is not an object")
+            continue
+        seen += 1
+        if resp.get("request") != seen:
+            errors.append(
+                f"{where}: request index {resp.get('request')!r}, "
+                f"expected {seen}")
+        if not isinstance(resp.get("line"), int):
+            errors.append(f"{where}: missing integer 'line'")
+        op = resp.get("op")
+        ok = resp.get("ok")
+        if not isinstance(ok, bool):
+            errors.append(f"{where}: missing bool 'ok'")
+            continue
+        if not isinstance(op, str):
+            # op is omitted only for requests too malformed to echo one.
+            if ok:
+                errors.append(f"{where}: ok=true without 'op'")
+            elif not (isinstance(resp.get("error"), str) and resp["error"]):
+                errors.append(f"{where}: ok=false without an error string")
+            continue
+        latency = resp.get("latency_us")
+        if op is not None and (
+                not isinstance(latency, (int, float)) or latency < 0):
+            errors.append(f"{where}: bad latency_us {latency!r}")
+        if expected_ops is not None:
+            if seen > len(expected_ops):
+                errors.append(f"{where}: more responses than requests")
+            elif expected_ops[seen - 1] != "?" and op != expected_ops[seen - 1]:
+                errors.append(
+                    f"{where}: op {op!r}, request file says "
+                    f"{expected_ops[seen - 1]!r}")
+        if not ok:
+            if not (isinstance(resp.get("error"), str) and resp["error"]):
+                errors.append(f"{where}: ok=false without an error string")
+            continue
+        if op not in KNOWN_OPS:
+            errors.append(f"{where}: ok=true for unknown op {op!r}")
+        elif op == "query":
+            if not isinstance(resp.get("jobs"), int):
+                errors.append(f"{where}: query missing integer 'jobs'")
+            if not isinstance(resp.get("schedulable"), bool):
+                errors.append(f"{where}: query missing bool 'schedulable'")
+            if not is_time(resp.get("max_wcrt")):
+                errors.append(f"{where}: query missing time 'max_wcrt'")
+        else:
+            check_decision_fields(resp, where, errors)
+    if seen == 0:
+        errors.append(f"{path}: no responses found")
+    if expected_ops is not None and seen < len(expected_ops):
+        errors.append(
+            f"{path}: {seen} responses for {len(expected_ops)} requests")
+    return errors
+
+
+def request_ops(path):
+    ops = []
+    for n, req, raw in load_jsonl(path):
+        if isinstance(req, dict) and isinstance(req.get("op"), str):
+            ops.append(req["op"])
+        else:
+            ops.append("?")  # malformed request still yields one response
+    return ops
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--responses", required=True,
+                        help="JSONL written by `rta_cli serve --out`")
+    parser.add_argument("--requests",
+                        help="the request JSONL that produced the responses")
+    args = parser.parse_args()
+
+    expected = request_ops(args.requests) if args.requests else None
+    try:
+        errors = check_responses(args.responses, expected)
+    except OSError as exc:
+        errors = [str(exc)]
+    if errors:
+        print(f"service responses {args.responses}: INVALID", file=sys.stderr)
+        for e in errors[:20]:
+            print(f"  - {e}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more", file=sys.stderr)
+        return 1
+    print(f"service responses {args.responses}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -314,6 +314,194 @@ void compute_processor_bounds(const System& system, int p, Time horizon,
   }
 }
 
+void run_bounds_wavefront(const System& system, Time horizon,
+                          BoundsVariant variant, ThreadPool* pool,
+                          CurveCache* cache, const EngineObs* eo,
+                          const std::vector<char>* dirty,
+                          BoundStateMap& states) {
+  // Ensure every subjob has a state entry; retained (clean) entries are left
+  // untouched so a partial run reuses their curves.
+  for (int k = 0; k < system.job_count(); ++k) {
+    for (int h = 0; h < static_cast<int>(system.job(k).chain.size()); ++h) {
+      states.try_emplace({k, h});
+    }
+  }
+
+  // Resolve one subjob's arrival bounds from its (already computed)
+  // predecessor hop.
+  auto fill_arrivals = [&](SubjobRef r) {
+    BoundState& s = states.at({r.job, r.hop});
+    if (r.hop == 0) {
+      const PwlCurve exact = system.job(r.job).arrivals.to_curve(horizon);
+      s.arr_upper = exact;
+      s.arr_lower = exact;
+    } else {
+      const BoundState& pred = states.at({r.job, r.hop - 1});
+      assert(pred.computed);
+      s.arr_upper = pred.next_arr_upper;
+      s.arr_lower = pred.dep_lower;  // Lemma 1 feeding the DS identity
+    }
+  };
+
+  // Wavefront schedule over the computation-dependency graph. A unit is one
+  // subjob on a priority processor, or a whole FCFS processor (Theorem 7
+  // couples its subjobs through the shared utilization function). Unit depth
+  // = longest dependency chain feeding it, so all inputs of a depth-d unit
+  // are produced at depths < d: the units of one depth are independent and
+  // run concurrently, each writing only its own subjobs' states. With a
+  // dirty filter, clean units are simply absent from the waves (their
+  // retained states already equal what the unit would recompute).
+  const DependencyGraph graph = build_dependency_graph(system);
+  const int n = graph.node_count();
+  std::vector<int> depth(n, 0);
+  {
+    std::vector<int> indeg(n, 0);
+    for (const auto& edges : graph.succ) {
+      for (int v : edges) ++indeg[v];
+    }
+    std::vector<int> ready;
+    for (int v = 0; v < n; ++v) {
+      if (indeg[v] == 0) ready.push_back(v);
+    }
+    int processed = 0;
+    while (!ready.empty()) {
+      const int v = ready.back();
+      ready.pop_back();
+      ++processed;
+      for (int w : graph.succ[v]) {
+        depth[w] = std::max(depth[w], depth[v] + 1);
+        if (--indeg[w] == 0) ready.push_back(w);
+      }
+    }
+    assert(processed == n);  // acyclic: checked by analyze()
+    (void)processed;
+  }
+
+  auto is_dirty = [&](SubjobRef r) {
+    return dirty == nullptr || (*dirty)[graph.node(r)] != 0;
+  };
+
+  struct Unit {
+    int processor = -1;    ///< FCFS: whole processor; else unused
+    SubjobRef ref;         ///< priority processors: the one subjob
+    bool whole_fcfs = false;
+  };
+  int max_depth = 0;
+  for (int v = 0; v < n; ++v) max_depth = std::max(max_depth, depth[v]);
+  std::vector<std::vector<Unit>> waves(max_depth + 1);
+  for (int p = 0; p < system.processor_count(); ++p) {
+    const std::vector<SubjobRef> on_p = system.subjobs_on(p);
+    if (system.scheduler(p) == SchedulerKind::kFcfs) {
+      if (on_p.empty()) continue;
+      bool any_dirty = false;
+      int d = 0;
+      for (const SubjobRef& r : on_p) {
+        d = std::max(d, depth[graph.node(r)]);
+        any_dirty = any_dirty || is_dirty(r);
+      }
+      if (any_dirty) waves[d].push_back({p, {}, true});
+    } else {
+      for (const SubjobRef& r : on_p) {
+        if (is_dirty(r)) {
+          waves[depth[graph.node(r)]].push_back({p, r, false});
+        }
+      }
+    }
+  }
+
+  obs::Tracer* tracer = eo != nullptr ? eo->tracer() : nullptr;
+  obs::Counter waves_counter, units_counter;
+  if (eo != nullptr && eo->metrics() != nullptr) {
+    waves_counter = eo->metrics()->counter("bounds.waves");
+    units_counter = eo->metrics()->counter("bounds.units");
+  }
+
+  auto run_unit = [&](const Unit& unit) {
+    if (unit.whole_fcfs) {
+      for (const SubjobRef& r : system.subjobs_on(unit.processor)) {
+        fill_arrivals(r);
+      }
+      compute_processor_bounds(system, unit.processor, horizon, states,
+                               variant, cache);
+    } else {
+      fill_arrivals(unit.ref);
+      compute_single_priority_subjob(system, unit.ref, horizon, states,
+                                     variant, cache);
+    }
+  };
+  auto unit_label = [&](const Unit& unit) {
+    if (unit.whole_fcfs) {
+      return "bounds.unit fcfs P" + std::to_string(unit.processor);
+    }
+    return "bounds.unit P" + std::to_string(unit.processor) + " " +
+           system.job(unit.ref.job).name + ".h" + std::to_string(unit.ref.hop);
+  };
+
+  for (std::size_t d = 0; d < waves.size(); ++d) {
+    const std::vector<Unit>& wave = waves[d];
+    if (wave.empty()) continue;
+    waves_counter.inc();
+    units_counter.add(wave.size());
+    obs::Tracer::Span wave_span = obs::Tracer::span_if(
+        tracer, "bounds.wave",
+        tracer != nullptr ? "{\"depth\": " + std::to_string(d) +
+                                ", \"units\": " + std::to_string(wave.size()) +
+                                "}"
+                          : std::string());
+    for_each_index(pool, wave.size(), [&](std::size_t i) {
+      const Unit& unit = wave[i];
+      if (eo == nullptr) {
+        run_unit(unit);
+        return;
+      }
+      // Worker threads inherit no sink; install this analyzer's for the
+      // duration of the unit so the curve kernels it calls report here.
+      obs::KernelSinkScope sink_scope(eo->kernel_sink());
+      obs::Tracer::Span unit_span = obs::Tracer::span_if(
+          tracer, unit_label(unit));
+      const auto start = std::chrono::steady_clock::now();
+      run_unit(unit);
+      const std::chrono::duration<double, std::micro> us =
+          std::chrono::steady_clock::now() - start;
+      eo->add_unit_time(system.scheduler(unit.processor), us.count());
+    });
+  }
+}
+
+AnalysisResult bounds_result_from_states(const System& system, Time horizon,
+                                         bool record_curves,
+                                         const BoundStateMap& states) {
+  AnalysisResult result;
+  result.ok = true;
+  result.horizon = horizon;
+  result.jobs.resize(system.job_count());
+
+  for (int k = 0; k < system.job_count(); ++k) {
+    const Job& job = system.job(k);
+    JobReport& report = result.jobs[k];
+    report.hops.resize(job.chain.size());
+    Time total = 0.0;
+    for (int h = 0; h < static_cast<int>(job.chain.size()); ++h) {
+      const BoundState& st = states.at({k, h});
+      report.hops[h].ref = {k, h};
+      report.hops[h].local_bound = st.local_bound;
+      total += st.local_bound;  // Eq. 11
+      if (record_curves) {
+        SubjobCurves curves;
+        curves.arrival_upper = st.arr_upper;
+        curves.arrival_lower = st.arr_lower;
+        curves.service_upper = st.svc_upper;
+        curves.service_lower = st.svc_lower;
+        curves.departure_lower = st.dep_lower;
+        report.hops[h].curves.push_back(std::move(curves));
+      }
+    }
+    report.wcrt = total;
+    report.schedulable = time_le(total, job.deadline);
+  }
+  return result;
+}
+
 }  // namespace detail
 
 std::size_t analysis_worker_count(int threads) {
@@ -368,174 +556,11 @@ AnalysisResult BoundsAnalyzer::analyze(const System& system) const {
 AnalysisResult BoundsAnalyzer::analyze_at(const System& system,
                                           Time horizon) const {
   detail::BoundStateMap states;
-  // Pre-create all states so processor-level passes can write into them and
-  // the parallel waves never mutate the map structure.
-  for (int k = 0; k < system.job_count(); ++k) {
-    for (int h = 0; h < static_cast<int>(system.job(k).chain.size()); ++h) {
-      states[{k, h}] = detail::BoundState{};
-    }
-  }
-
-  // Resolve one subjob's arrival bounds from its (already computed)
-  // predecessor hop.
-  auto fill_arrivals = [&](SubjobRef r) {
-    detail::BoundState& s = states.at({r.job, r.hop});
-    if (r.hop == 0) {
-      const PwlCurve exact = system.job(r.job).arrivals.to_curve(horizon);
-      s.arr_upper = exact;
-      s.arr_lower = exact;
-    } else {
-      const detail::BoundState& pred = states.at({r.job, r.hop - 1});
-      assert(pred.computed);
-      s.arr_upper = pred.next_arr_upper;
-      s.arr_lower = pred.dep_lower;  // Lemma 1 feeding the DS identity
-    }
-  };
-
-  // Wavefront schedule over the computation-dependency graph. A unit is one
-  // subjob on a priority processor, or a whole FCFS processor (Theorem 7
-  // couples its subjobs through the shared utilization function). Unit depth
-  // = longest dependency chain feeding it, so all inputs of a depth-d unit
-  // are produced at depths < d: the units of one depth are independent and
-  // run concurrently, each writing only its own subjobs' states.
-  const DependencyGraph graph = build_dependency_graph(system);
-  const int n = graph.node_count();
-  std::vector<int> depth(n, 0);
-  {
-    std::vector<int> indeg(n, 0);
-    for (const auto& edges : graph.succ) {
-      for (int v : edges) ++indeg[v];
-    }
-    std::vector<int> ready;
-    for (int v = 0; v < n; ++v) {
-      if (indeg[v] == 0) ready.push_back(v);
-    }
-    int processed = 0;
-    while (!ready.empty()) {
-      const int v = ready.back();
-      ready.pop_back();
-      ++processed;
-      for (int w : graph.succ[v]) {
-        depth[w] = std::max(depth[w], depth[v] + 1);
-        if (--indeg[w] == 0) ready.push_back(w);
-      }
-    }
-    assert(processed == n);  // acyclic: checked by analyze()
-    (void)processed;
-  }
-
-  struct Unit {
-    int processor = -1;    ///< FCFS: whole processor; else unused
-    SubjobRef ref;         ///< priority processors: the one subjob
-    bool whole_fcfs = false;
-  };
-  int max_depth = 0;
-  for (int v = 0; v < n; ++v) max_depth = std::max(max_depth, depth[v]);
-  std::vector<std::vector<Unit>> waves(max_depth + 1);
-  for (int p = 0; p < system.processor_count(); ++p) {
-    const std::vector<SubjobRef> on_p = system.subjobs_on(p);
-    if (system.scheduler(p) == SchedulerKind::kFcfs) {
-      if (on_p.empty()) continue;
-      int d = 0;
-      for (const SubjobRef& r : on_p) d = std::max(d, depth[graph.node(r)]);
-      waves[d].push_back({p, {}, true});
-    } else {
-      for (const SubjobRef& r : on_p) {
-        waves[depth[graph.node(r)]].push_back({p, r, false});
-      }
-    }
-  }
-
-  const detail::EngineObs* eo = eobs_.get();
-  obs::Tracer* tracer = eo != nullptr ? eo->tracer() : nullptr;
-  obs::Counter waves_counter, units_counter;
-  if (eo != nullptr && eo->metrics() != nullptr) {
-    waves_counter = eo->metrics()->counter("bounds.waves");
-    units_counter = eo->metrics()->counter("bounds.units");
-  }
-
-  auto run_unit = [&](const Unit& unit) {
-    if (unit.whole_fcfs) {
-      for (const SubjobRef& r : system.subjobs_on(unit.processor)) {
-        fill_arrivals(r);
-      }
-      detail::compute_processor_bounds(system, unit.processor, horizon,
-                                       states, config_.bounds_variant,
-                                       cache_.get());
-    } else {
-      fill_arrivals(unit.ref);
-      detail::compute_single_priority_subjob(system, unit.ref, horizon,
-                                             states, config_.bounds_variant,
-                                             cache_.get());
-    }
-  };
-  auto unit_label = [&](const Unit& unit) {
-    if (unit.whole_fcfs) {
-      return "bounds.unit fcfs P" + std::to_string(unit.processor);
-    }
-    return "bounds.unit P" + std::to_string(unit.processor) + " " +
-           system.job(unit.ref.job).name + ".h" + std::to_string(unit.ref.hop);
-  };
-
-  for (std::size_t d = 0; d < waves.size(); ++d) {
-    const std::vector<Unit>& wave = waves[d];
-    if (wave.empty()) continue;
-    waves_counter.inc();
-    units_counter.add(wave.size());
-    obs::Tracer::Span wave_span = obs::Tracer::span_if(
-        tracer, "bounds.wave",
-        tracer != nullptr ? "{\"depth\": " + std::to_string(d) +
-                                ", \"units\": " + std::to_string(wave.size()) +
-                                "}"
-                          : std::string());
-    for_each_index(pool_.get(), wave.size(), [&](std::size_t i) {
-      const Unit& unit = wave[i];
-      if (eo == nullptr) {
-        run_unit(unit);
-        return;
-      }
-      // Worker threads inherit no sink; install this analyzer's for the
-      // duration of the unit so the curve kernels it calls report here.
-      obs::KernelSinkScope sink_scope(eo->kernel_sink());
-      obs::Tracer::Span unit_span = obs::Tracer::span_if(
-          tracer, unit_label(unit));
-      const auto start = std::chrono::steady_clock::now();
-      run_unit(unit);
-      const std::chrono::duration<double, std::micro> us =
-          std::chrono::steady_clock::now() - start;
-      eo->add_unit_time(system.scheduler(unit.processor), us.count());
-    });
-  }
-
-  AnalysisResult result;
-  result.ok = true;
-  result.horizon = horizon;
-  result.jobs.resize(system.job_count());
-
-  for (int k = 0; k < system.job_count(); ++k) {
-    const Job& job = system.job(k);
-    JobReport& report = result.jobs[k];
-    report.hops.resize(job.chain.size());
-    Time total = 0.0;
-    for (int h = 0; h < static_cast<int>(job.chain.size()); ++h) {
-      const detail::BoundState& st = states.at({k, h});
-      report.hops[h].ref = {k, h};
-      report.hops[h].local_bound = st.local_bound;
-      total += st.local_bound;  // Eq. 11
-      if (config_.record_curves) {
-        SubjobCurves curves;
-        curves.arrival_upper = st.arr_upper;
-        curves.arrival_lower = st.arr_lower;
-        curves.service_upper = st.svc_upper;
-        curves.service_lower = st.svc_lower;
-        curves.departure_lower = st.dep_lower;
-        report.hops[h].curves.push_back(std::move(curves));
-      }
-    }
-    report.wcrt = total;
-    report.schedulable = time_le(total, job.deadline);
-  }
-  return result;
+  detail::run_bounds_wavefront(system, horizon, config_.bounds_variant,
+                               pool_.get(), cache_.get(), eobs_.get(),
+                               /*dirty=*/nullptr, states);
+  return detail::bounds_result_from_states(system, horizon,
+                                           config_.record_curves, states);
 }
 
 }  // namespace rta

@@ -102,6 +102,33 @@ void compute_single_priority_subjob(const System& system, SubjobRef ref,
                                      const PwlCurve& arr_upper,
                                      CurveCache* cache = nullptr);
 
+/// The resumable core of BoundsAnalyzer: one wavefront over `system`'s
+/// dependency graph at `horizon`, (re)computing exactly the subjobs whose
+/// flag in `dirty` is nonzero (indexed by job-major DependencyGraph node id;
+/// nullptr recomputes everything). Requirements for a partial run:
+///
+///   * `states` holds a computed BoundState for every non-dirty subjob,
+///     produced by a previous wavefront at the SAME horizon;
+///   * the dirty set is closed under dependency-graph successors and, per
+///     touched processor, under the scheduler's coupling (all subjobs on a
+///     touched FCFS processor; blocking-affected subjobs under SPNP) --
+///     see service::AdmissionSession for the closure construction.
+///
+/// Under those conditions the resulting states are bit-identical to a full
+/// from-scratch wavefront on `system` (the incremental-analysis contract,
+/// tests/test_service.cpp). Missing state entries are created; retained
+/// clean entries are left untouched.
+void run_bounds_wavefront(const System& system, Time horizon,
+                          BoundsVariant variant, ThreadPool* pool,
+                          CurveCache* cache, const EngineObs* eobs,
+                          const std::vector<char>* dirty,
+                          BoundStateMap& states);
+
+/// Assemble the per-job report (Eq. 11/12) from computed states.
+[[nodiscard]] AnalysisResult bounds_result_from_states(
+    const System& system, Time horizon, bool record_curves,
+    const BoundStateMap& states);
+
 }  // namespace detail
 
 /// The approximate analyzer (SPNP/App, FCFS/App, SPP/App and mixes thereof,

@@ -3,53 +3,11 @@
 #include <atomic>
 #include <thread>
 
-#include "analysis/bounds.hpp"
-#include "analysis/holistic.hpp"
-#include "analysis/spp_exact.hpp"
+#include "analysis/analyzer.hpp"
 #include "model/priority.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rta {
-
-const char* method_name(Method m) {
-  switch (m) {
-    case Method::kSppExact: return "SPP/Exact";
-    case Method::kSppSL: return "SPP/S&L";
-    case Method::kSpnpApp: return "SPNP/App";
-    case Method::kFcfsApp: return "FCFS/App";
-    case Method::kSppApp: return "SPP/App";
-  }
-  return "?";
-}
-
-SchedulerKind method_scheduler(Method m) {
-  switch (m) {
-    case Method::kSppExact:
-    case Method::kSppSL:
-    case Method::kSppApp:
-      return SchedulerKind::kSpp;
-    case Method::kSpnpApp:
-      return SchedulerKind::kSpnp;
-    case Method::kFcfsApp:
-      return SchedulerKind::kFcfs;
-  }
-  return SchedulerKind::kSpp;
-}
-
-AnalysisResult analyze_with(Method method, const System& system,
-                            const AnalysisConfig& config) {
-  switch (method) {
-    case Method::kSppExact:
-      return ExactSppAnalyzer(config).analyze(system);
-    case Method::kSppSL:
-      return HolisticAnalyzer(config).analyze(system);
-    case Method::kSpnpApp:
-    case Method::kFcfsApp:
-    case Method::kSppApp:
-      return BoundsAnalyzer(config).analyze(system);
-  }
-  return {};
-}
 
 std::vector<AdmissionPoint> run_admission_experiment(
     const AdmissionConfig& config) {

@@ -11,29 +11,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/analyzer.hpp"  // Method, method_name, analyze_with
 #include "analysis/result.hpp"
 #include "workload/jobshop.hpp"
 
 namespace rta {
 
-/// The analysis methods of §5.1 (plus SPP/App, our ablation of the bounds
-/// machinery on preemptive processors).
-enum class Method {
-  kSppExact,  ///< §4.1 exact analysis, SPP scheduling
-  kSppSL,     ///< Sun & Liu holistic baseline, SPP scheduling
-  kSpnpApp,   ///< §4.2.2 bounds, SPNP scheduling
-  kFcfsApp,   ///< §4.2.3 bounds, FCFS scheduling
-  kSppApp,    ///< §4.2.2 bounds with b = 0, SPP scheduling (ablation)
-};
-
-[[nodiscard]] const char* method_name(Method m);
-[[nodiscard]] SchedulerKind method_scheduler(Method m);
-
-/// Analyze `system` (schedulers already set, priorities already assigned)
-/// with `method`. For kSppSL on non-periodic arrivals the result has
-/// ok == false (the baseline does not apply, §5.2).
-[[nodiscard]] AnalysisResult analyze_with(Method method, const System& system,
-                                          const AnalysisConfig& config);
+// DEPRECATED location: Method, method_name, method_scheduler and
+// analyze_with moved to analysis/analyzer.hpp (the rta::Analyzer facade).
+// They are re-exported here -- same names, same namespace -- so existing
+// call sites keep compiling; new code should include the facade directly.
 
 /// One cell of an admission-probability table.
 struct AdmissionPoint {

@@ -9,8 +9,8 @@
 
 #include <cstdint>
 
+#include "analysis/analyzer.hpp"
 #include "analysis/result.hpp"
-#include "eval/admission.hpp"
 #include "workload/jobshop.hpp"
 
 namespace rta {

@@ -9,8 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "analysis/result.hpp"
-#include "eval/admission.hpp"
 #include "model/system.hpp"
 
 namespace rta {

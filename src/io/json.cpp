@@ -1,0 +1,336 @@
+#include "io/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rta::json {
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  // %.17g round-trips IEEE doubles bit-exactly; integral values still print
+  // without an exponent or trailing zeros ("4" not "4.0000000000000000").
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+/// Recursive-descent parser over a flat byte buffer.
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  explicit Parser(const std::string& t) : text(t) {}
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      error = "offset " + std::to_string(pos) + ": " + msg;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text.compare(pos, len, word) != 0) return false;
+    pos += len;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad hex digit in \\u escape");
+            }
+            // Encode as UTF-8 (surrogate pairs unsupported; the serializers
+            // only emit \u00xx control escapes).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail(std::string("bad escape '\\") + esc + "'");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos;
+    if (consume('-')) {}
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    const std::string tok = text.substr(start, pos - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') {
+      pos = start;
+      return fail("bad number '" + tok + "'");
+    }
+    out = Value(v);
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > 128) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == 'n') {
+      if (!literal("null", 4)) return fail("bad literal");
+      out = Value(nullptr);
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true", 4)) return fail("bad literal");
+      out = Value(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false", 5)) return fail("bad literal");
+      out = Value(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Value(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      Value::Array arr;
+      skip_ws();
+      if (consume(']')) {
+        out = Value(std::move(arr));
+        return true;
+      }
+      while (true) {
+        Value elem;
+        if (!parse_value(elem, depth + 1)) return false;
+        arr.push_back(std::move(elem));
+        skip_ws();
+        if (consume(']')) break;
+        if (!consume(',')) return fail("expected ',' or ']' in array");
+      }
+      out = Value(std::move(arr));
+      return true;
+    }
+    if (c == '{') {
+      ++pos;
+      Value::Object obj;
+      skip_ws();
+      if (consume('}')) {
+        out = Value(std::move(obj));
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        for (const auto& [k, unused] : obj) {
+          (void)unused;
+          if (k == key) return fail("duplicate key \"" + key + "\"");
+        }
+        skip_ws();
+        if (!consume(':')) return fail("expected ':' after key");
+        Value member;
+        if (!parse_value(member, depth + 1)) return false;
+        obj.emplace_back(std::move(key), std::move(member));
+        skip_ws();
+        if (consume('}')) break;
+        if (!consume(',')) return fail("expected ',' or '}' in object");
+      }
+      out = Value(std::move(obj));
+      return true;
+    }
+    return parse_number(out);
+  }
+};
+
+}  // namespace
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::set(const std::string& key, Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  assert(kind_ == Kind::kObject);
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+void Value::dump_into(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      append_number(out, num_);
+      return;
+    case Kind::kString:
+      out += '"';
+      escape_into(out, str_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        arr_[i].dump_into(out, indent, depth + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        out += '"';
+        escape_into(out, k);
+        out += "\":";
+        if (indent >= 0) out += ' ';
+        v.dump_into(out, indent, depth + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_into(out, indent, 0);
+  return out;
+}
+
+ParseResult parse(const std::string& text) {
+  ParseResult result;
+  Parser p(text);
+  Value v;
+  if (!p.parse_value(v, 0)) {
+    result.error = p.error;
+    return result;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    p.fail("trailing characters after document");
+    result.error = p.error;
+    return result;
+  }
+  result.ok = true;
+  result.value = std::move(v);
+  return result;
+}
+
+}  // namespace rta::json

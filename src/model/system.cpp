@@ -18,8 +18,33 @@ const char* to_string(SchedulerKind kind) {
 }
 
 int System::add_job(Job job) {
+  if (job.id == 0) {
+    job.id = next_job_id_++;
+  } else if (job.id >= next_job_id_) {
+    next_job_id_ = job.id + 1;
+  }
   jobs_.push_back(std::move(job));
   return static_cast<int>(jobs_.size()) - 1;
+}
+
+bool System::remove_job(int index) {
+  if (index < 0 || index >= job_count()) return false;
+  jobs_.erase(jobs_.begin() + index);
+  return true;
+}
+
+int System::job_index_by_id(std::uint64_t id) const {
+  for (int k = 0; k < job_count(); ++k) {
+    if (jobs_[k].id == id) return k;
+  }
+  return -1;
+}
+
+int System::job_index_by_name(const std::string& name) const {
+  for (int k = 0; k < job_count(); ++k) {
+    if (jobs_[k].name == name) return k;
+  }
+  return -1;
 }
 
 std::vector<SubjobRef> System::subjobs_on(int processor) const {

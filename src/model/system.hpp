@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,10 @@ struct Job {
   Time deadline = 0.0;
   std::vector<Subjob> chain;
   ArrivalSequence arrivals;
+  /// Stable identity for delta-based services: assigned by System::add_job
+  /// when 0 and never reused within one System, so it survives removals that
+  /// shift job *indices* (serializers may carry explicit ids across I/O).
+  std::uint64_t id = 0;
 };
 
 /// Reference to subjob T_{job+1, hop+1} (0-based indices internally).
@@ -58,8 +63,20 @@ class System {
       : schedulers_(static_cast<std::size_t>(processor_count),
                     default_scheduler) {}
 
-  /// Append a job; returns its index.
+  /// Append a job; returns its index. A zero Job::id is replaced by a fresh
+  /// id unique within this System; explicit nonzero ids are kept (and bump
+  /// the internal counter past them).
   int add_job(Job job);
+
+  /// Remove the job at `index`; later jobs shift down by one index but keep
+  /// their stable ids. Returns false when the index is out of range.
+  bool remove_job(int index);
+
+  /// Index of the job with the given stable id, or -1.
+  [[nodiscard]] int job_index_by_id(std::uint64_t id) const;
+
+  /// Index of the first job with the given name, or -1.
+  [[nodiscard]] int job_index_by_name(const std::string& name) const;
 
   [[nodiscard]] int job_count() const { return static_cast<int>(jobs_.size()); }
   [[nodiscard]] int processor_count() const {
@@ -118,6 +135,7 @@ class System {
  private:
   std::vector<Job> jobs_;
   std::vector<SchedulerKind> schedulers_;
+  std::uint64_t next_job_id_ = 1;
 };
 
 }  // namespace rta

@@ -15,7 +15,9 @@
 #include "model/priority.hpp"
 #include "model/system.hpp"
 
-// Analyzers (§4) and the classical baselines.
+// Analyzers (§4) and the classical baselines. analysis/analyzer.hpp is the
+// unified facade (engine + paper-method dispatch); see docs/api.md.
+#include "analysis/analyzer.hpp"
 #include "analysis/bounds.hpp"
 #include "analysis/holistic.hpp"
 #include "analysis/iterative.hpp"
@@ -29,12 +31,18 @@
 #include "envelope/envelope.hpp"
 #include "envelope/envelope_analysis.hpp"
 
-// Text system format and curve CSV export.
+// Text and versioned JSON system formats, curve CSV export.
 #include "io/curve_csv.hpp"
+#include "io/system_json.hpp"
 #include "io/system_text.hpp"
 
 // Discrete-event simulator (ground truth for validation).
 #include "sim/simulator.hpp"
+
+// Incremental admission service (docs/api.md): long-lived sessions answering
+// admit / remove / what-if by dirty-set propagation over retained curves.
+#include "service/admission_session.hpp"
+#include "service/request_runner.hpp"
 
 // Workload generation (§5.1) and evaluation harness (§5.2).
 #include "eval/admission.hpp"

@@ -1,0 +1,426 @@
+#include "service/admission_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "analysis/order.hpp"
+#include "obs/metrics.hpp"
+
+namespace rta::service {
+
+namespace {
+
+using detail::BoundStateMap;
+
+bool any_unbounded(const AnalysisResult& r) {
+  for (const JobReport& j : r.jobs) {
+    if (std::isinf(j.wcrt)) return true;
+  }
+  return false;
+}
+
+int total_subjobs(const System& system) {
+  int n = 0;
+  for (int k = 0; k < system.job_count(); ++k) {
+    n += static_cast<int>(system.job(k).chain.size());
+  }
+  return n;
+}
+
+/// Node-indexed dirty flags over a candidate's dependency graph.
+struct DirtySet {
+  std::vector<char> flags;
+  int count = 0;
+};
+
+/// Close `seeds` under dependency-graph successors: a recomputed subjob's
+/// changed curves feed exactly its successors' computations.
+DirtySet close_over_successors(const DependencyGraph& graph,
+                               std::vector<int> seeds) {
+  DirtySet dirty;
+  dirty.flags.assign(graph.node_count(), 0);
+  while (!seeds.empty()) {
+    const int v = seeds.back();
+    seeds.pop_back();
+    if (dirty.flags[v] != 0) continue;
+    dirty.flags[v] = 1;
+    ++dirty.count;
+    for (int w : graph.succ[v]) {
+      if (dirty.flags[w] == 0) seeds.push_back(w);
+    }
+  }
+  return dirty;
+}
+
+/// Largest execution time among subjobs on `p` with priority strictly lower
+/// than `priority`, skipping job `exclude_job`: Eq. 15's blocking term as it
+/// was before that job existed.
+double blocking_excluding(const System& system, int p, int priority,
+                          int exclude_job) {
+  double b = 0.0;
+  for (const SubjobRef& r : system.subjobs_on(p)) {
+    if (r.job == exclude_job) continue;
+    const Subjob& s = system.subjob(r);
+    if (s.priority > priority) b = std::max(b, s.exec_time);
+  }
+  return b;
+}
+
+std::vector<int> touched_processors(const std::vector<Subjob>& chain) {
+  std::vector<int> procs;
+  for (const Subjob& s : chain) procs.push_back(s.processor);
+  std::sort(procs.begin(), procs.end());
+  procs.erase(std::unique(procs.begin(), procs.end()), procs.end());
+  return procs;
+}
+
+/// Dirty closure for "job `k_new` was appended". The graph's interference
+/// edges (higher-priority -> lower-priority) propagate the new subjobs'
+/// effect on SPP/SPNP processors; what they cannot express is seeded
+/// explicitly: whole FCFS processors (the new arrivals enter Theorem 7's
+/// shared utilization function) and SPNP subjobs whose blocking term grew.
+DirtySet dirty_for_added_job(const System& system,
+                             const DependencyGraph& graph, int k_new) {
+  std::vector<int> seeds;
+  const Job& added = system.job(k_new);
+  for (int h = 0; h < static_cast<int>(added.chain.size()); ++h) {
+    seeds.push_back(graph.node({k_new, h}));
+  }
+  for (int p : touched_processors(added.chain)) {
+    const SchedulerKind kind = system.scheduler(p);
+    if (kind == SchedulerKind::kFcfs) {
+      for (const SubjobRef& r : system.subjobs_on(p)) {
+        seeds.push_back(graph.node(r));
+      }
+    } else if (kind == SchedulerKind::kSpnp) {
+      for (const SubjobRef& r : system.subjobs_on(p)) {
+        if (r.job == k_new) continue;
+        const double before =
+            blocking_excluding(system, p, system.subjob(r).priority, k_new);
+        if (system.blocking_time(r) != before) seeds.push_back(graph.node(r));
+      }
+    }
+  }
+  return close_over_successors(graph, std::move(seeds));
+}
+
+/// Dirty closure for "a job whose hops were `removed_chain` is gone".
+/// `system` is the post-removal candidate. `old_blocking` carries each
+/// surviving SPNP subjob's pre-removal Eq. 15 blocking, keyed by stable job
+/// id (indices shifted). The removed subjobs' interference victims --
+/// strictly lower-priority subjobs, whole FCFS processors -- are seeded
+/// directly since the removed graph nodes no longer exist to propagate it.
+DirtySet dirty_for_removed_job(
+    const System& system, const DependencyGraph& graph,
+    const std::vector<Subjob>& removed_chain,
+    const std::map<std::pair<std::uint64_t, int>, double>& old_blocking) {
+  std::vector<int> seeds;
+  for (int p : touched_processors(removed_chain)) {
+    const SchedulerKind kind = system.scheduler(p);
+    if (kind == SchedulerKind::kFcfs) {
+      for (const SubjobRef& r : system.subjobs_on(p)) {
+        seeds.push_back(graph.node(r));
+      }
+      continue;
+    }
+    for (const SubjobRef& r : system.subjobs_on(p)) {
+      const Subjob& s = system.subjob(r);
+      bool affected = false;
+      for (const Subjob& gone : removed_chain) {
+        if (gone.processor == p && gone.priority < s.priority) {
+          affected = true;  // lost an interferer
+        }
+      }
+      if (!affected && kind == SchedulerKind::kSpnp) {
+        const auto it = old_blocking.find({system.job(r.job).id, r.hop});
+        if (it != old_blocking.end() && it->second != system.blocking_time(r)) {
+          affected = true;  // lost the blocking maximizer
+        }
+      }
+      if (affected) seeds.push_back(graph.node(r));
+    }
+  }
+  return close_over_successors(graph, std::move(seeds));
+}
+
+}  // namespace
+
+AdmissionSession::AdmissionSession(System base, SessionConfig config)
+    : system_(std::move(base)), config_(config) {
+  const std::size_t workers = analysis_worker_count(config_.analysis.threads);
+  if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers);
+  if (config_.analysis.use_curve_cache) cache_ = std::make_unique<CurveCache>();
+  eobs_ = detail::EngineObs::make_if(config_.analysis.observer, "service");
+
+  Decision d;
+  if (structural_check(d)) {
+    detail::EngineObs::AnalyzeScope scope(eobs_.get(), pool_.get(),
+                                          cache_.get());
+    const Time h = default_horizon(system_, config_.analysis);
+    full_pass(d, h, states_);
+    horizon_ = h;
+    have_states_ = true;
+  }
+  last_ = std::move(d.analysis);
+}
+
+AdmissionSession::~AdmissionSession() = default;
+
+bool AdmissionSession::structural_check(Decision& d) const {
+  // Mirrors BoundsAnalyzer::analyze so error Decisions match it verbatim.
+  const auto problems = system_.validate();
+  if (!problems.empty()) {
+    d.analysis = AnalysisResult{};
+    d.analysis.error = "invalid system: " + problems.front();
+    d.error = d.analysis.error;
+    return false;
+  }
+  if (!topological_order(system_)) {
+    d.analysis = AnalysisResult{};
+    d.analysis.error =
+        "subjob dependency graph has a cycle; use IterativeBoundsAnalyzer";
+    d.error = d.analysis.error;
+    return false;
+  }
+  return true;
+}
+
+void AdmissionSession::full_pass(Decision& d, Time base_horizon,
+                                 detail::BoundStateMap& states) const {
+  detail::run_bounds_wavefront(system_, base_horizon,
+                               config_.analysis.bounds_variant, pool_.get(),
+                               cache_.get(), eobs_.get(), /*dirty=*/nullptr,
+                               states);
+  d.analysis = detail::bounds_result_from_states(
+      system_, base_horizon, config_.analysis.record_curves, states);
+  d.ok = true;
+  double_horizon_if_unbounded(d, base_horizon);
+}
+
+void AdmissionSession::double_horizon_if_unbounded(Decision& d,
+                                                   Time base_horizon) const {
+  // Same loop as BoundsAnalyzer::analyze. The doubled passes use throwaway
+  // state maps: the retained curves stay at the base horizon, where the
+  // committed (schedulable, hence bounded) system keeps them reusable.
+  Time h = base_horizon;
+  for (int round = 0; round < config_.analysis.max_horizon_doublings;
+       ++round) {
+    if (!d.analysis.ok || !any_unbounded(d.analysis)) break;
+    h *= 2.0;
+    detail::BoundStateMap scratch;
+    detail::run_bounds_wavefront(system_, h, config_.analysis.bounds_variant,
+                                 pool_.get(), cache_.get(), eobs_.get(),
+                                 /*dirty=*/nullptr, scratch);
+    d.analysis = detail::bounds_result_from_states(
+        system_, h, config_.analysis.record_curves, scratch);
+  }
+}
+
+Decision AdmissionSession::admit(Job job) {
+  if (eobs_ != nullptr && eobs_->metrics() != nullptr) {
+    eobs_->metrics()->counter("service.admit").inc();
+  }
+  return run_candidate(std::move(job), /*commit_on_admit=*/true);
+}
+
+Decision AdmissionSession::what_if(Job job) {
+  if (eobs_ != nullptr && eobs_->metrics() != nullptr) {
+    eobs_->metrics()->counter("service.what_if").inc();
+  }
+  return run_candidate(std::move(job), /*commit_on_admit=*/false);
+}
+
+Decision AdmissionSession::run_candidate(Job job, bool commit_on_admit) {
+  Decision d;
+  if (job.id != 0 && system_.job_index_by_id(job.id) >= 0) {
+    d.error = "duplicate job id " + std::to_string(job.id);
+    return d;
+  }
+  detail::EngineObs::AnalyzeScope scope(eobs_.get(), pool_.get(),
+                                        cache_.get());
+  const int k_new = system_.add_job(std::move(job));
+  d.job_id = system_.job(k_new).id;
+  d.total_subjobs = total_subjobs(system_);
+
+  if (!structural_check(d)) {
+    system_.remove_job(k_new);
+    return d;
+  }
+
+  const Time h = default_horizon(system_, config_.analysis);
+  obs::Counter incremental_counter, full_counter, dirty_counter;
+  if (eobs_ != nullptr && eobs_->metrics() != nullptr) {
+    incremental_counter = eobs_->metrics()->counter("service.incremental");
+    full_counter = eobs_->metrics()->counter("service.full");
+    dirty_counter = eobs_->metrics()->counter("service.dirty_subjobs");
+  }
+
+  if (have_states_ && h == horizon_) {
+    const DependencyGraph graph = build_dependency_graph(system_);
+    const DirtySet dirty = dirty_for_added_job(system_, graph, k_new);
+    if (dirty.count <=
+        config_.full_analysis_threshold * graph.node_count()) {
+      // Save the dirty existing states so a rejected candidate (or a
+      // what-if) can be rolled back without recomputation.
+      std::map<std::pair<int, int>, detail::BoundState> saved;
+      for (int k = 0; k < system_.job_count(); ++k) {
+        if (k == k_new) continue;
+        for (int hop = 0;
+             hop < static_cast<int>(system_.job(k).chain.size()); ++hop) {
+          if (dirty.flags[graph.node({k, hop})] != 0) {
+            saved[{k, hop}] = states_.at({k, hop});
+          }
+        }
+      }
+
+      detail::run_bounds_wavefront(system_, h, config_.analysis.bounds_variant,
+                                   pool_.get(), cache_.get(), eobs_.get(),
+                                   &dirty.flags, states_);
+      d.analysis = detail::bounds_result_from_states(
+          system_, h, config_.analysis.record_curves, states_);
+      d.ok = true;
+      d.incremental = true;
+      d.dirty_subjobs = dirty.count;
+      incremental_counter.inc();
+      dirty_counter.add(static_cast<std::uint64_t>(dirty.count));
+      double_horizon_if_unbounded(d, h);
+
+      d.admitted = d.analysis.all_schedulable();
+      if (commit_on_admit && d.admitted) {
+        d.committed = true;
+        last_ = d.analysis;
+      } else {
+        for (auto& [key, state] : saved) states_[key] = std::move(state);
+        for (int hop = 0;
+             hop < static_cast<int>(system_.job(k_new).chain.size()); ++hop) {
+          states_.erase({k_new, hop});
+        }
+        system_.remove_job(k_new);
+      }
+      return d;
+    }
+  }
+
+  // Full fallback: fresh horizon, oversized dirty closure, or no retained
+  // state yet.
+  full_counter.inc();
+  detail::BoundStateMap fresh;
+  full_pass(d, h, fresh);
+  d.admitted = d.analysis.all_schedulable();
+  if (commit_on_admit && d.admitted) {
+    d.committed = true;
+    states_ = std::move(fresh);
+    horizon_ = h;
+    have_states_ = true;
+    last_ = d.analysis;
+  } else {
+    system_.remove_job(k_new);
+  }
+  return d;
+}
+
+Decision AdmissionSession::remove(std::uint64_t job_id) {
+  Decision d;
+  d.job_id = job_id;
+  const int k = system_.job_index_by_id(job_id);
+  if (k < 0) {
+    d.error = "no job with id " + std::to_string(job_id);
+    return d;
+  }
+  if (eobs_ != nullptr && eobs_->metrics() != nullptr) {
+    eobs_->metrics()->counter("service.remove").inc();
+  }
+  detail::EngineObs::AnalyzeScope scope(eobs_.get(), pool_.get(),
+                                        cache_.get());
+
+  // Capture what the dirty computation needs before indices shift.
+  const std::vector<Subjob> removed_chain = system_.job(k).chain;
+  std::map<std::pair<std::uint64_t, int>, double> old_blocking;
+  for (int p : touched_processors(removed_chain)) {
+    if (system_.scheduler(p) != SchedulerKind::kSpnp) continue;
+    for (const SubjobRef& r : system_.subjobs_on(p)) {
+      if (r.job == k) continue;
+      old_blocking[{system_.job(r.job).id, r.hop}] = system_.blocking_time(r);
+    }
+  }
+
+  system_.remove_job(k);
+  d.committed = true;  // removal always takes effect
+  d.total_subjobs = total_subjobs(system_);
+
+  // Remap retained states: keys are job *indices*; jobs above k shifted.
+  if (have_states_) {
+    detail::BoundStateMap remapped;
+    for (auto& [key, state] : states_) {
+      if (key.first == k) continue;
+      const int job = key.first > k ? key.first - 1 : key.first;
+      remapped[{job, key.second}] = std::move(state);
+    }
+    states_ = std::move(remapped);
+  }
+
+  if (!structural_check(d)) {
+    have_states_ = false;
+    last_ = d.analysis;
+    return d;
+  }
+
+  const Time h = default_horizon(system_, config_.analysis);
+  obs::Counter incremental_counter, full_counter, dirty_counter;
+  if (eobs_ != nullptr && eobs_->metrics() != nullptr) {
+    incremental_counter = eobs_->metrics()->counter("service.incremental");
+    full_counter = eobs_->metrics()->counter("service.full");
+    dirty_counter = eobs_->metrics()->counter("service.dirty_subjobs");
+  }
+
+  if (have_states_ && h == horizon_) {
+    const DependencyGraph graph = build_dependency_graph(system_);
+    const DirtySet dirty =
+        dirty_for_removed_job(system_, graph, removed_chain, old_blocking);
+    if (dirty.count <=
+        config_.full_analysis_threshold * graph.node_count()) {
+      detail::run_bounds_wavefront(system_, h, config_.analysis.bounds_variant,
+                                   pool_.get(), cache_.get(), eobs_.get(),
+                                   &dirty.flags, states_);
+      d.analysis = detail::bounds_result_from_states(
+          system_, h, config_.analysis.record_curves, states_);
+      d.ok = true;
+      d.incremental = true;
+      d.dirty_subjobs = dirty.count;
+      incremental_counter.inc();
+      dirty_counter.add(static_cast<std::uint64_t>(dirty.count));
+      double_horizon_if_unbounded(d, h);
+      d.admitted = d.analysis.all_schedulable();
+      last_ = d.analysis;
+      return d;
+    }
+  }
+
+  full_counter.inc();
+  states_.clear();
+  full_pass(d, h, states_);
+  horizon_ = h;
+  have_states_ = true;
+  d.admitted = d.analysis.all_schedulable();
+  last_ = d.analysis;
+  return d;
+}
+
+void assign_lowest_priorities(const System& system, Job& job) {
+  std::map<int, int> next_priority;
+  for (Subjob& s : job.chain) {
+    auto it = next_priority.find(s.processor);
+    if (it == next_priority.end()) {
+      int lowest = 0;
+      for (const SubjobRef& r : system.subjobs_on(s.processor)) {
+        lowest = std::max(lowest, system.subjob(r).priority + 1);
+      }
+      it = next_priority.emplace(s.processor, lowest).first;
+    }
+    s.priority = it->second++;
+  }
+}
+
+}  // namespace rta::service

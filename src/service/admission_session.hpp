@@ -1,0 +1,125 @@
+// Incremental admission control: a long-lived analysis session that answers
+// admit / remove / what-if queries by recomputing only the part of the
+// system a change can influence.
+//
+// The session keeps the per-subjob curve state (detail::BoundStateMap) of
+// the last analysis of the committed system. A candidate change dirties a
+// seed set of subjobs -- the changed job's own hops, plus the co-located
+// subjobs its presence influences (strictly lower-priority subjobs under
+// SPP/SPNP via the interference edges of the dependency graph, subjobs whose
+// Eq. 15 blocking term changes under SPNP, every subjob on a touched FCFS
+// processor since Theorem 7's utilization function sums the whole
+// processor). The seed is closed under dependency-graph successors and only
+// that closure is re-run through the bounds wavefront; everything else is
+// served from the retained curves.
+//
+// Determinism contract: every Decision::analysis is bit-identical to
+// BoundsAnalyzer(config.analysis).analyze(candidate system) -- same bounds,
+// same verdicts, at any thread count (tests/test_service.cpp drives random
+// operation sequences against fresh full analyses). The incremental path is
+// purely a latency optimization; it is taken only when the analysis horizon
+// is unchanged by the edit (pin AnalysisConfig::horizon for stable online
+// behavior) and the dirty closure is small enough
+// (SessionConfig::full_analysis_threshold), and falls back to a full
+// wavefront otherwise.
+//
+// Like BoundsAnalyzer, the session handles acyclic dependency graphs
+// (heterogeneous SPP/SPNP/FCFS mixes included); a candidate that creates a
+// cycle is rejected with the analyzer's error. The ThreadPool and CurveCache
+// are owned by the session and reused across requests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/instrument.hpp"
+#include "analysis/result.hpp"
+#include "curve/curve_cache.hpp"
+#include "model/system.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rta::service {
+
+/// Tuning knobs for an AdmissionSession.
+struct SessionConfig {
+  AnalysisConfig analysis;
+  /// When the dirty closure exceeds this fraction of all subjobs, run a full
+  /// wavefront instead (recomputing everything outruns the bookkeeping).
+  double full_analysis_threshold = 0.75;
+};
+
+/// Outcome of one admit / what_if / remove call.
+struct Decision {
+  bool ok = false;           ///< analysis ran (candidate structurally valid)
+  std::string error;         ///< reason when !ok
+  bool admitted = false;     ///< candidate system fully schedulable
+  bool committed = false;    ///< the session state now includes the change
+  bool incremental = false;  ///< answered from retained curves
+  std::uint64_t job_id = 0;  ///< stable id of the affected job
+  int dirty_subjobs = 0;     ///< recomputed closure size (0 on full runs)
+  int total_subjobs = 0;     ///< subjobs in the candidate system
+  AnalysisResult analysis;   ///< bit-identical to a fresh full analysis
+};
+
+class AdmissionSession {
+ public:
+  /// Takes ownership of the base system and analyzes it in full. Metrics
+  /// (when config.analysis.observer.metrics is set): counters
+  /// service.{admit,what_if,remove,incremental,full,dirty_subjobs}.
+  explicit AdmissionSession(System base, SessionConfig config = {});
+
+  ~AdmissionSession();
+  AdmissionSession(const AdmissionSession&) = delete;
+  AdmissionSession& operator=(const AdmissionSession&) = delete;
+
+  [[nodiscard]] const System& system() const { return system_; }
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+
+  /// Analysis of the committed system (updated by every committing call).
+  [[nodiscard]] const AnalysisResult& last() const { return last_; }
+
+  /// Add `job` if the resulting system stays fully schedulable; otherwise
+  /// leave the session untouched (committed == admitted). A zero job.id is
+  /// assigned; a duplicate explicit id is an error.
+  Decision admit(Job job);
+
+  /// admit() without ever committing: evaluates the candidate and restores
+  /// the session state regardless of the verdict.
+  Decision what_if(Job job);
+
+  /// Remove the job with the given stable id and re-analyze. Always commits
+  /// when the id exists (removals cannot make a system less schedulable).
+  Decision remove(std::uint64_t job_id);
+
+ private:
+  struct DirtyPlan;
+
+  Decision run_candidate(Job job, bool commit_on_admit);
+  void full_pass(Decision& d, Time base_horizon,
+                 detail::BoundStateMap& states) const;
+  void double_horizon_if_unbounded(Decision& d, Time base_horizon) const;
+  [[nodiscard]] bool structural_check(Decision& d) const;
+
+  System system_;
+  SessionConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<CurveCache> cache_;
+  std::unique_ptr<detail::EngineObs> eobs_;
+
+  detail::BoundStateMap states_;  ///< committed system's curves at horizon_
+  Time horizon_ = 0.0;
+  bool have_states_ = false;  ///< false until a full pass succeeds
+  AnalysisResult last_;
+};
+
+/// Assign each hop of `job` the lowest priority (largest phi) on its
+/// processor: max existing priority + 1, counting earlier hops of this job.
+/// The natural online policy -- a newcomer must not disturb admitted jobs --
+/// and the fastest for the session (under SPP nothing but the new job's own
+/// subjobs needs recomputing).
+void assign_lowest_priorities(const System& system, Job& job);
+
+}  // namespace rta::service

@@ -1,0 +1,40 @@
+// JSONL request stream for an AdmissionSession: one JSON object per input
+// line, one JSON response object per output line (same order).
+//
+// Requests (docs/api.md has the full reference):
+//
+//   {"op": "admit",   "job": { ...job object... }}
+//   {"op": "what_if", "job": { ...job object... }}
+//   {"op": "remove",  "job_id": 3}          // or "name": "telemetry"
+//   {"op": "query"}                          // committed-system summary
+//
+// Job objects follow io/system_json.hpp ("name", "deadline", "chain",
+// "arrivals"). When no hop carries an explicit "priority", the service
+// assigns lowest priorities (service::assign_lowest_priorities) -- the
+// newcomer-must-not-disturb policy.
+//
+// Responses echo the request index and op, the session Decision fields, and
+// the request's wall-clock latency in microseconds. Blank lines and lines
+// starting with '#' are skipped. A malformed request produces an
+// {"ok": false, "error": ...} response and processing continues.
+#pragma once
+
+#include <iosfwd>
+
+#include "service/admission_session.hpp"
+
+namespace rta::service {
+
+struct RunnerStats {
+  int requests = 0;  ///< responses emitted (malformed lines included)
+  int errors = 0;    ///< responses with ok == false
+};
+
+/// Drive `session` with the JSONL stream `in`, writing responses to `out`.
+/// Per-request latency is also recorded in the histogram
+/// "service.request_us" when the session was configured with a
+/// MetricsRegistry.
+RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
+                               std::ostream& out);
+
+}  // namespace rta::service

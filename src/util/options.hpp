@@ -71,6 +71,17 @@ class Options {
     return values_.count(key) != 0;
   }
 
+  /// All flag names present, sorted (map order); for unknown-flag checks.
+  [[nodiscard]] std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& [key, value] : values_) {
+      (void)value;
+      out.push_back(key);
+    }
+    return out;
+  }
+
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }

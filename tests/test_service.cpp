@@ -1,0 +1,327 @@
+// Differential harness for the incremental admission service: long random
+// admit / remove / what-if sequences through one AdmissionSession must
+// produce decisions BIT-IDENTICAL to a fresh, serial, uncached full analysis
+// of the candidate system at every step -- the session's retained curves and
+// dirty-set propagation are a latency optimization, never a result change
+// (admission_session.hpp states the contract). Exact double equality, as in
+// test_differential_engine.cpp.
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "model/priority.hpp"
+#include "service/admission_session.hpp"
+#include "util/rng.hpp"
+#include "workload/jobshop.hpp"
+
+namespace rta {
+namespace {
+
+using service::AdmissionSession;
+using service::Decision;
+using service::SessionConfig;
+
+std::vector<int> thread_counts() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<int> counts = {1};
+  if (hw > 1) counts.push_back(static_cast<int>(hw));
+  return counts;
+}
+
+System random_base(Rng& rng, SchedulerKind scheduler, bool mixed) {
+  JobShopConfig cfg;
+  cfg.stages = static_cast<std::size_t>(rng.uniform_int(1, 2));
+  cfg.processors_per_stage = static_cast<std::size_t>(rng.uniform_int(1, 2));
+  cfg.jobs = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  cfg.pattern = rng.uniform_int(0, 1) == 0 ? ArrivalPattern::kPeriodic
+                                           : ArrivalPattern::kAperiodic;
+  cfg.utilization = rng.uniform(0.3, 0.7);
+  cfg.window_periods = 4.0;
+  cfg.deadline.period_multiple = rng.uniform(2.0, 4.0);
+  cfg.scheduler = scheduler;
+  System system = generate_jobshop(cfg, rng);
+  if (mixed) {
+    // Heterogeneous mix: cycle the three schedulers across processors so
+    // the dirty-set logic sees SPP, SPNP and FCFS coupling in one system.
+    const SchedulerKind kinds[] = {SchedulerKind::kSpp, SchedulerKind::kSpnp,
+                                   SchedulerKind::kFcfs};
+    for (int p = 0; p < system.processor_count(); ++p) {
+      system.set_scheduler(p, kinds[p % 3]);
+    }
+  }
+  assign_proportional_deadline_monotonic(system);
+  return system;
+}
+
+/// A light candidate job with 1-3 hops on random processors; priorities are
+/// filled in by the session's lowest-priority policy.
+Job random_job(Rng& rng, const System& base, int serial) {
+  Job job;
+  job.name = "cand" + std::to_string(serial);
+  const int hops = rng.uniform_int(1, 3);
+  double exec_total = 0.0;
+  for (int h = 0; h < hops; ++h) {
+    Subjob s;
+    s.processor = rng.uniform_int(0, base.processor_count() - 1);
+    s.exec_time = rng.uniform(0.02, 0.15);
+    exec_total += s.exec_time;
+    job.chain.push_back(s);
+  }
+  const Time period = rng.uniform(1.0, 4.0);
+  const Time window = std::max<Time>(base.last_release(), 4.0 * period);
+  job.arrivals =
+      rng.uniform_int(0, 1) == 0
+          ? ArrivalSequence::periodic(period, window)
+          : ArrivalSequence::burst_then_periodic(2, 0.25 * period, period,
+                                                 window);
+  job.deadline = exec_total * rng.uniform(4.0, 20.0) + period;
+  service::assign_lowest_priorities(base, job);
+  return job;
+}
+
+void expect_bit_identical(const AnalysisResult& fresh,
+                          const AnalysisResult& session,
+                          const std::string& label) {
+  ASSERT_EQ(fresh.ok, session.ok) << label;
+  if (!fresh.ok) {
+    EXPECT_EQ(fresh.error, session.error) << label;
+    return;
+  }
+  ASSERT_EQ(fresh.jobs.size(), session.jobs.size()) << label;
+  EXPECT_EQ(fresh.horizon, session.horizon) << label;
+  for (std::size_t k = 0; k < fresh.jobs.size(); ++k) {
+    const JobReport& a = fresh.jobs[k];
+    const JobReport& b = session.jobs[k];
+    EXPECT_EQ(a.wcrt, b.wcrt) << label << " job " << k;
+    EXPECT_EQ(a.schedulable, b.schedulable) << label << " job " << k;
+    ASSERT_EQ(a.hops.size(), b.hops.size()) << label << " job " << k;
+    for (std::size_t h = 0; h < a.hops.size(); ++h) {
+      EXPECT_EQ(a.hops[h].local_bound, b.hops[h].local_bound)
+          << label << " job " << k << " hop " << h;
+    }
+  }
+}
+
+/// One random operation sequence against one session; every step is checked
+/// against BoundsAnalyzer on the candidate system built independently.
+/// `performed` counts the operations run (ASSERT macros force void return).
+void run_sequence(Rng& rng, SchedulerKind scheduler, bool mixed, int threads,
+                  bool pin_horizon, int ops, const std::string& label,
+                  int& performed) {
+  const System base = random_base(rng, scheduler, mixed);
+
+  SessionConfig cfg;
+  cfg.analysis.threads = threads;
+  cfg.analysis.use_curve_cache = true;
+  if (pin_horizon) {
+    cfg.analysis.horizon = 4.0 * default_horizon(base, AnalysisConfig{});
+  }
+
+  // The reference config: serial, uncached, same horizon policy. The engine
+  // differential tests prove threads/cache are invisible, so this checks the
+  // session against the strictest baseline in one comparison.
+  AnalysisConfig ref_cfg;
+  ref_cfg.horizon = cfg.analysis.horizon;
+
+  AdmissionSession session(base, cfg);
+  expect_bit_identical(BoundsAnalyzer(ref_cfg).analyze(base), session.last(),
+                       label + " base");
+
+  System shadow = base;  // independently maintained committed system
+  std::vector<std::uint64_t> admitted_ids;
+  for (int op = 0; op < ops; ++op) {
+    const std::string op_label = label + " op " + std::to_string(op);
+    const int kind = rng.uniform_int(0, 9);
+    if (kind < 3 && !admitted_ids.empty()) {  // remove a previously added job
+      const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(admitted_ids.size()) - 1));
+      const std::uint64_t id = admitted_ids[pick];
+      System candidate = shadow;
+      ASSERT_TRUE(candidate.remove_job(candidate.job_index_by_id(id)));
+      const Decision d = session.remove(id);
+      ASSERT_TRUE(d.ok) << op_label;
+      EXPECT_TRUE(d.committed) << op_label;
+      expect_bit_identical(BoundsAnalyzer(ref_cfg).analyze(candidate),
+                           d.analysis, op_label + " remove");
+      shadow = candidate;
+      admitted_ids.erase(admitted_ids.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const bool query_only = kind >= 8;
+      Job job = random_job(rng, shadow, op);
+      System candidate = shadow;
+      candidate.add_job(job);
+      const AnalysisResult fresh = BoundsAnalyzer(ref_cfg).analyze(candidate);
+      const Decision d =
+          query_only ? session.what_if(job) : session.admit(job);
+      // A structurally rejected candidate (e.g. an FCFS coupling cycle) must
+      // fail with the analyzer's own error -- and agree with the fresh run.
+      expect_bit_identical(fresh, d.analysis,
+                           op_label + (query_only ? " what_if" : " admit"));
+      EXPECT_EQ(d.ok, fresh.ok) << op_label << ": " << d.error;
+      EXPECT_EQ(d.admitted, d.ok && fresh.all_schedulable()) << op_label;
+      EXPECT_EQ(d.committed, !query_only && d.admitted) << op_label;
+      if (d.committed) {
+        // The session assigns ids even for rolled-back candidates, so the
+        // shadow must adopt the session's id rather than auto-assign one.
+        Job committed = job;
+        committed.id = d.job_id;
+        shadow.add_job(std::move(committed));
+        admitted_ids.push_back(d.job_id);
+      }
+    }
+    // The session's committed state must always match the shadow system.
+    ASSERT_EQ(session.system().job_count(), shadow.job_count()) << op_label;
+    ++performed;
+  }
+  // Final consistency: the retained committed analysis equals a fresh run.
+  expect_bit_identical(BoundsAnalyzer(ref_cfg).analyze(shadow), session.last(),
+                       label + " final");
+}
+
+/// >= 200 operations per thread count, spread over schedulers, horizon
+/// policies and heterogeneous systems (the ISSUE acceptance bar).
+TEST(ServiceDifferential, RandomSequencesMatchFreshAnalysis) {
+  const RngFactory factory(0x5E55104E);
+  const struct {
+    SchedulerKind scheduler;
+    bool mixed;
+  } batches[] = {
+      {SchedulerKind::kSpp, false},
+      {SchedulerKind::kSpnp, false},
+      {SchedulerKind::kFcfs, false},
+      {SchedulerKind::kSpp, true},
+  };
+  for (const int threads : thread_counts()) {
+    int total_ops = 0;
+    std::uint64_t stream = threads == 1 ? 0 : 1000;
+    for (const auto& batch : batches) {
+      for (int trial = 0; trial < 4; ++trial) {
+        Rng rng = factory.stream(stream++);
+        const bool pin = trial % 2 == 0;
+        const std::string label =
+            std::string(to_string(batch.scheduler)) +
+            (batch.mixed ? "+mixed" : "") + " trial " + std::to_string(trial) +
+            " threads " + std::to_string(threads);
+        run_sequence(rng, batch.scheduler, batch.mixed, threads, pin,
+                     /*ops=*/13, label, total_ops);
+        if (HasFatalFailure()) return;
+      }
+    }
+    EXPECT_GE(total_ops, 200) << "threads " << threads;
+  }
+}
+
+// A session with a pinned horizon must actually exercise the incremental
+// path (otherwise the differential test above only covers the fallback).
+TEST(ServiceDifferential, PinnedHorizonTakesIncrementalPath) {
+  Rng rng(42);
+  const System base = random_base(rng, SchedulerKind::kSpp, false);
+  SessionConfig cfg;
+  cfg.analysis.horizon = 4.0 * default_horizon(base, AnalysisConfig{});
+  AdmissionSession session(base, cfg);
+  int incremental = 0;
+  for (int i = 0; i < 6; ++i) {
+    const Decision d = session.what_if(random_job(rng, base, i));
+    ASSERT_TRUE(d.ok) << d.error;
+    if (d.incremental) ++incremental;
+  }
+  EXPECT_GT(incremental, 0);
+}
+
+TEST(Service, WhatIfNeverCommits) {
+  Rng rng(7);
+  const System base = random_base(rng, SchedulerKind::kSpp, false);
+  AdmissionSession session(base, SessionConfig{});
+  const AnalysisResult before = session.last();
+  const Decision d = session.what_if(random_job(rng, base, 0));
+  ASSERT_TRUE(d.ok) << d.error;
+  EXPECT_FALSE(d.committed);
+  EXPECT_EQ(session.system().job_count(), base.job_count());
+  expect_bit_identical(before, session.last(), "what_if state");
+}
+
+TEST(Service, RejectedAdmitLeavesSessionUntouched) {
+  Rng rng(11);
+  const System base = random_base(rng, SchedulerKind::kSpp, false);
+  AdmissionSession session(base, SessionConfig{});
+  const AnalysisResult before = session.last();
+  // A job that saturates processor 0 cannot be schedulable.
+  Job hog;
+  hog.name = "hog";
+  hog.deadline = 0.5;
+  hog.chain.push_back(Subjob{0, 0.9, 0});
+  hog.arrivals = ArrivalSequence::periodic(1.0, 20.0);
+  service::assign_lowest_priorities(base, hog);
+  const Decision d = session.admit(hog);
+  ASSERT_TRUE(d.ok) << d.error;
+  EXPECT_FALSE(d.admitted);
+  EXPECT_FALSE(d.committed);
+  EXPECT_EQ(session.system().job_count(), base.job_count());
+  expect_bit_identical(before, session.last(), "rejected admit state");
+}
+
+TEST(Service, StructurallyInvalidJobIsRejectedWithAnalyzerError) {
+  Rng rng(13);
+  const System base = random_base(rng, SchedulerKind::kSpp, false);
+  AdmissionSession session(base, SessionConfig{});
+  Job bad;
+  bad.name = "bad";
+  bad.deadline = 1.0;
+  bad.chain.push_back(Subjob{base.processor_count() + 5, 0.1, 99});
+  bad.arrivals = ArrivalSequence::periodic(1.0, 10.0);
+  const Decision d = session.admit(bad);
+  EXPECT_FALSE(d.ok);
+  EXPECT_NE(d.error.find("invalid system"), std::string::npos) << d.error;
+  EXPECT_EQ(session.system().job_count(), base.job_count());
+}
+
+TEST(Service, RemoveUnknownIdFails) {
+  Rng rng(17);
+  AdmissionSession session(random_base(rng, SchedulerKind::kSpp, false),
+                           SessionConfig{});
+  const Decision d = session.remove(987654);
+  EXPECT_FALSE(d.ok);
+  EXPECT_FALSE(d.committed);
+}
+
+TEST(Service, DuplicateExplicitIdFails) {
+  Rng rng(19);
+  const System base = random_base(rng, SchedulerKind::kSpp, false);
+  AdmissionSession session(base, SessionConfig{});
+  Job job = random_job(rng, base, 0);
+  job.id = base.job(0).id;  // collides with an existing job
+  const Decision d = session.admit(job);
+  EXPECT_FALSE(d.ok);
+  EXPECT_EQ(session.system().job_count(), base.job_count());
+}
+
+TEST(Service, AssignLowestPrioritiesPicksMaxPlusOnePerProcessor) {
+  System system(2);
+  Job a;
+  a.name = "a";
+  a.deadline = 10.0;
+  a.chain.push_back(Subjob{0, 0.1, 3});
+  a.chain.push_back(Subjob{1, 0.1, 7});
+  a.arrivals = ArrivalSequence::periodic(5.0, 20.0);
+  system.add_job(a);
+
+  Job fresh;
+  fresh.name = "b";
+  fresh.deadline = 10.0;
+  fresh.chain.push_back(Subjob{0, 0.1, 0});
+  fresh.chain.push_back(Subjob{0, 0.1, 0});  // two hops on one processor
+  fresh.chain.push_back(Subjob{1, 0.1, 0});
+  fresh.arrivals = ArrivalSequence::periodic(5.0, 20.0);
+  service::assign_lowest_priorities(system, fresh);
+  EXPECT_EQ(fresh.chain[0].priority, 4);
+  EXPECT_EQ(fresh.chain[1].priority, 5);  // counts its own earlier hop
+  EXPECT_EQ(fresh.chain[2].priority, 8);
+}
+
+}  // namespace
+}  // namespace rta

@@ -6,19 +6,29 @@
 //   simulate <system.rts> [--horizon H] [--priorities ...]
 //   validate <system.rts> [--method ...]       analysis vs simulation
 //   curves   <system.rts> --out DIR            per-subjob service-bound CSVs
+//   serve    <system.rts> --requests FILE      incremental admission service
+//            [--out FILE] [--horizon H] [--threshold F]
 //   generate [--stages N --procs N --jobs N --util U --seed S --aperiodic]
 //            [--out FILE]                       emit a random job shop
 //
-// analyze/validate/curves additionally accept the observability flags
-// (docs/observability.md): --metrics-json FILE, --trace-json FILE, --stats.
+// System files ending in ".json" load through the versioned JSON format
+// (io/system_json.hpp); everything else through the text format.
 //
-// Exit status: 0 = ok / schedulable, 1 = not schedulable, 2 = usage or
-// input error.
+// The analysis subcommands (analyze, validate, curves, serve) share one flag
+// table: --threads, --no-cache, --stats, --metrics-json, --trace-json (see
+// docs/observability.md). Unknown flags are rejected with the valid set.
+//
+// Exit status: 0 = ok / schedulable, 1 = not schedulable (serve: some
+// request failed), 2 = usage or input error.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "io/curve_csv.hpp"
 #include "io/trace_csv.hpp"
@@ -35,28 +45,66 @@ using namespace rta;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: rta_cli <analyze|simulate|validate|curves|trace|generate> ...\n"
+      "usage: rta_cli <analyze|simulate|validate|curves|trace|serve|generate>"
+      " ...\n"
       "  analyze  FILE [--method auto|spp-exact|bounds|iterative|holistic]\n"
       "                [--priorities keep|pdm|dm|rm] [--verbose]\n"
-      "                [--threads N] [--no-cache]\n"
       "  simulate FILE [--horizon H] [--priorities ...]\n"
-      "  validate FILE [--method ...] [--priorities ...] [--threads N]\n"
-      "           [--no-cache]\n"
-      "  curves   FILE --out DIR [--priorities ...] [--threads N] [--no-cache]\n"
+      "  validate FILE [--method ...] [--priorities ...]\n"
+      "  curves   FILE --out DIR [--method ...] [--priorities ...]\n"
       "  trace    FILE --out PREFIX [--horizon H] [--priorities ...]\n"
+      "  serve    FILE --requests FILE [--out FILE] [--priorities ...]\n"
+      "           [--horizon H] [--threshold F]   JSONL admit/remove/what_if\n"
+      "           stream against an incremental session (docs/api.md)\n"
       "  generate [--stages N --procs N --jobs N --util U --seed S\n"
       "            --aperiodic --scheduler SPP|SPNP|FCFS] [--out FILE]\n"
+      "  FILEs ending in .json use the JSON system format (docs/api.md).\n"
+      "  analyze/validate/curves/serve share these flags:\n"
       "  --threads N: bounds-engine worker threads (1 = serial, 0 = all\n"
       "               hardware threads); results are identical for every N.\n"
       "  --no-cache:  disable curve-operation memoization (same results,\n"
       "               slower fixed-point rounds).\n"
-      "  analyze/validate/curves also accept (see docs/observability.md):\n"
       "  --metrics-json FILE: write aggregated engine metrics as JSON.\n"
       "  --trace-json FILE:   write a Chrome trace_event JSON timeline\n"
       "                       (open in chrome://tracing or Perfetto).\n"
       "  --stats:             print cache/kernel/pool statistics; never\n"
       "                       changes the computed bounds.\n");
   return 2;
+}
+
+/// The flag table shared by every analysis subcommand.
+constexpr const char* kSharedAnalysisFlags[] = {
+    "threads", "no-cache", "stats", "metrics-json", "trace-json",
+};
+
+/// Reject flags outside `specific` (+ the shared table when `with_shared`).
+/// Prints every offender and the valid set; true when all flags are known.
+bool check_flags(const char* cmd, const Options& opts,
+                 std::vector<const char*> specific, bool with_shared = true) {
+  std::vector<std::string> allowed;
+  if (with_shared) {
+    allowed.insert(allowed.end(), std::begin(kSharedAnalysisFlags),
+                   std::end(kSharedAnalysisFlags));
+  }
+  allowed.insert(allowed.end(), specific.begin(), specific.end());
+  std::sort(allowed.begin(), allowed.end());
+  bool ok = true;
+  for (const std::string& key : opts.keys()) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      std::fprintf(stderr, "rta_cli %s: unknown flag --%s\n", cmd,
+                   key.c_str());
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::string list;
+    for (const std::string& name : allowed) {
+      if (!list.empty()) list += ", ";
+      list += "--" + name;
+    }
+    std::fprintf(stderr, "valid flags for '%s': %s\n", cmd, list.c_str());
+  }
+  return ok;
 }
 
 /// Writes `content` to `path`, replacing any existing file.
@@ -95,7 +143,8 @@ struct ObsSession {
     return obs::Observer{metrics.get(), tracer.get()};
   }
 
-  void print_stats() const {
+  /// `f` lets serve keep stdout clean for JSONL responses (stats -> stderr).
+  void print_stats(std::FILE* f = stdout) const {
     if (!stats || metrics == nullptr) return;
     const obs::MetricsSnapshot snap = metrics->snapshot();
     auto c = [&](const char* name) -> unsigned long long {
@@ -106,35 +155,48 @@ struct ObsSession {
       const auto it = snap.gauges.find(name);
       return it == snap.gauges.end() ? 0.0 : it->second;
     };
-    std::printf("-- stats --\n");
-    std::printf(
+    std::fprintf(f, "-- stats --\n");
+    std::fprintf(
+        f,
         "curve cache: conv %llu hits / %llu misses, pinv %llu hits / %llu "
         "misses, collisions %llu, verifies %llu\n",
         c("curve_cache.conv_hits"), c("curve_cache.conv_misses"),
         c("curve_cache.pinv_hits"), c("curve_cache.pinv_misses"),
         c("curve_cache.collisions"), c("curve_cache.verifies"));
-    std::printf(
-        "kernel ops: conv %llu, deconv %llu, pointwise %llu, pinv %llu\n",
+    std::fprintf(
+        f, "kernel ops: conv %llu, deconv %llu, pointwise %llu, pinv %llu\n",
         c("kernel.conv_ops"), c("kernel.deconv_ops"), c("kernel.pointwise_ops"),
         c("kernel.pinv_ops"));
     if (c("bounds.units") > 0) {
-      std::printf("wavefront: %llu waves, %llu units\n", c("bounds.waves"),
-                  c("bounds.units"));
+      std::fprintf(f, "wavefront: %llu waves, %llu units\n", c("bounds.waves"),
+                   c("bounds.units"));
     }
     if (c("iterative.rounds") > 0) {
-      std::printf(
+      std::fprintf(
+          f,
           "iterative: %d iterations, %llu passes run, %llu skipped, %llu job "
           "refinements\n",
           static_cast<int>(g("iterative.iterations")),
           c("iterative.passes_run"), c("iterative.passes_skipped"),
           c("iterative.jobs_refined"));
     }
-    std::printf(
+    if (c("service.admit") + c("service.what_if") + c("service.remove") > 0) {
+      std::fprintf(
+          f,
+          "service: %llu admits, %llu what-ifs, %llu removes; %llu "
+          "incremental passes (%llu dirty subjobs), %llu full passes\n",
+          c("service.admit"), c("service.what_if"), c("service.remove"),
+          c("service.incremental"), c("service.dirty_subjobs"),
+          c("service.full"));
+    }
+    std::fprintf(
+        f,
         "analysis time by scheduler: spp %llu us, spnp %llu us, fcfs %llu "
         "us\n",
         c("analysis.unit_time_spp_us"), c("analysis.unit_time_spnp_us"),
         c("analysis.unit_time_fcfs_us"));
-    std::printf(
+    std::fprintf(
+        f,
         "pool: %llu tasks, %llu indices (%llu abandoned), queue high water "
         "%d, busy %llu us\n",
         c("pool.tasks_executed"), c("pool.indices_executed"),
@@ -185,50 +247,23 @@ bool apply_priorities(System& system, const std::string& policy) {
   return false;
 }
 
-/// Pick an analyzer for the system: exact where possible, otherwise bounds,
-/// otherwise the iterative fixed point.
+/// Resolve --method through the rta::Analyzer facade (engine dispatch and
+/// kAuto selection live there; docs/api.md).
 AnalysisResult run_method(const std::string& method, const System& system,
                           const AnalysisConfig& cfg, std::string* used) {
-  auto all_spp = [&] {
-    for (int pr = 0; pr < system.processor_count(); ++pr) {
-      if (system.scheduler(pr) != SchedulerKind::kSpp) return false;
-    }
-    return true;
-  };
-  if (method == "spp-exact") {
-    *used = ExactSppAnalyzer::name();
-    return ExactSppAnalyzer(cfg).analyze(system);
+  const std::optional<EngineKind> kind = parse_engine_kind(method);
+  if (!kind) {
+    AnalysisResult r;
+    r.error = "unknown method '" + method + "'";
+    return r;
   }
-  if (method == "bounds") {
-    *used = BoundsAnalyzer::name();
-    return BoundsAnalyzer(cfg).analyze(system);
-  }
-  if (method == "iterative") {
-    *used = IterativeBoundsAnalyzer::name();
-    return IterativeBoundsAnalyzer(cfg).analyze(system);
-  }
-  if (method == "holistic") {
-    *used = HolisticAnalyzer::name();
-    return HolisticAnalyzer(cfg).analyze(system);
-  }
-  if (method == "auto") {
-    if (all_spp() && system.dependency_graph_is_acyclic()) {
-      *used = ExactSppAnalyzer::name();
-      return ExactSppAnalyzer(cfg).analyze(system);
-    }
-    if (system.dependency_graph_is_acyclic()) {
-      *used = BoundsAnalyzer::name();
-      return BoundsAnalyzer(cfg).analyze(system);
-    }
-    *used = IterativeBoundsAnalyzer::name();
-    return IterativeBoundsAnalyzer(cfg).analyze(system);
-  }
-  AnalysisResult r;
-  r.error = "unknown method '" + method + "'";
-  return r;
+  return Analyzer(cfg).analyze(system, *kind, used);
 }
 
 int cmd_analyze(const Options& opts, System system) {
+  if (!check_flags("analyze", opts, {"method", "priorities", "verbose"})) {
+    return 2;
+  }
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   ObsSession session = ObsSession::from_options(opts);
   AnalysisConfig cfg = analysis_config(opts);
@@ -264,6 +299,10 @@ int cmd_analyze(const Options& opts, System system) {
 }
 
 int cmd_simulate(const Options& opts, System system) {
+  if (!check_flags("simulate", opts, {"horizon", "priorities"},
+                   /*with_shared=*/false)) {
+    return 2;
+  }
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   const Time horizon = opts.get_double(
       "horizon", default_horizon(system, AnalysisConfig{}));
@@ -284,6 +323,7 @@ int cmd_simulate(const Options& opts, System system) {
 }
 
 int cmd_validate(const Options& opts, System system) {
+  if (!check_flags("validate", opts, {"method", "priorities"})) return 2;
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   ObsSession session = ObsSession::from_options(opts);
   AnalysisConfig cfg = analysis_config(opts);
@@ -332,6 +372,7 @@ int cmd_validate(const Options& opts, System system) {
 }
 
 int cmd_curves(const Options& opts, System system) {
+  if (!check_flags("curves", opts, {"out", "method", "priorities"})) return 2;
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   const std::string dir = opts.get("out", "");
   if (dir.empty()) {
@@ -379,6 +420,10 @@ int cmd_curves(const Options& opts, System system) {
 }
 
 int cmd_trace(const Options& opts, System system) {
+  if (!check_flags("trace", opts, {"out", "horizon", "priorities"},
+                   /*with_shared=*/false)) {
+    return 2;
+  }
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   const std::string prefix = opts.get("out", "");
   if (prefix.empty()) {
@@ -397,7 +442,87 @@ int cmd_trace(const Options& opts, System system) {
   return 0;
 }
 
+int cmd_serve(const Options& opts, System system) {
+  if (!check_flags("serve", opts,
+                   {"requests", "out", "horizon", "threshold", "priorities"})) {
+    return 2;
+  }
+  if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
+  const std::string requests_path = opts.get("requests", "");
+  if (requests_path.empty()) {
+    std::fprintf(stderr, "serve: --requests FILE is required\n");
+    return 2;
+  }
+  std::ifstream in(requests_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", requests_path.c_str());
+    return 2;
+  }
+
+  ObsSession session = ObsSession::from_options(opts);
+  service::SessionConfig cfg;
+  cfg.analysis = analysis_config(opts);
+  cfg.analysis.observer = session.observer();
+  // Pin the horizon so edits never shift it and every request can take the
+  // incremental path (see admission_session.hpp).
+  cfg.analysis.horizon =
+      opts.get_double("horizon", default_horizon(system, cfg.analysis));
+  cfg.full_analysis_threshold =
+      opts.get_double("threshold", cfg.full_analysis_threshold);
+
+  service::AdmissionSession admission(std::move(system), cfg);
+  if (!admission.last().ok) {
+    std::fprintf(stderr, "base system analysis failed: %s\n",
+                 admission.last().error.c_str());
+    return 2;
+  }
+
+  const std::string out_path = opts.get("out", "");
+  service::RunnerStats stats;
+  if (out_path.empty()) {
+    stats = service::run_request_stream(admission, in, std::cout);
+    std::cout.flush();
+    if (!std::cout) {
+      std::fprintf(stderr, "write to stdout failed\n");
+      return 2;
+    }
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+      return 2;
+    }
+    stats = service::run_request_stream(admission, in, out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "write to '%s' failed\n", out_path.c_str());
+      return 2;
+    }
+  }
+
+  // Responses own stdout (JSONL); the human-facing summary goes to stderr.
+  std::fprintf(stderr, "served %d requests (%d failed); %d jobs admitted\n",
+               stats.requests, stats.errors,
+               admission.system().job_count());
+  session.print_stats(stderr);
+  if (!session.write_exports()) return 2;
+  return stats.errors == 0 ? 0 : 1;
+}
+
+/// Whether a system path selects the JSON on-disk format (docs/api.md).
+bool json_path(const std::string& path) {
+  const std::string ext = ".json";
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
 int cmd_generate(const Options& opts) {
+  if (!check_flags("generate", opts,
+                   {"stages", "procs", "jobs", "util", "seed", "aperiodic",
+                    "scheduler", "out"},
+                   /*with_shared=*/false)) {
+    return 2;
+  }
   JobShopConfig cfg;
   cfg.stages = opts.get_int("stages", 4);
   cfg.processors_per_stage = opts.get_int("procs", 2);
@@ -420,13 +545,20 @@ int cmd_generate(const Options& opts) {
   const std::string out = opts.get("out", "");
   if (out.empty()) {
     std::printf("%s", to_system_text(system).c_str());
-  } else if (!save_system_file(system, out)) {
+  } else if (json_path(out) ? !save_system_json_file(system, out)
+                            : !save_system_file(system, out)) {
     std::fprintf(stderr, "cannot write '%s'\n", out.c_str());
     return 2;
   } else {
     std::printf("wrote %s\n", out.c_str());
   }
   return 0;
+}
+
+/// Load a system in either on-disk format, chosen by extension.
+ParsedSystem load_any_system(const std::string& path) {
+  return json_path(path) ? load_system_json_file(path)
+                         : load_system_file(path);
 }
 
 }  // namespace
@@ -439,7 +571,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return cmd_generate(opts);
 
   if (opts.positional().empty()) return usage();
-  const ParsedSystem parsed = load_system_file(opts.positional().front());
+  const ParsedSystem parsed = load_any_system(opts.positional().front());
   if (!parsed.ok) {
     std::fprintf(stderr, "%s\n", parsed.error.c_str());
     return 2;
@@ -450,5 +582,6 @@ int main(int argc, char** argv) {
   if (cmd == "validate") return cmd_validate(opts, parsed.system);
   if (cmd == "curves") return cmd_curves(opts, parsed.system);
   if (cmd == "trace") return cmd_trace(opts, parsed.system);
+  if (cmd == "serve") return cmd_serve(opts, parsed.system);
   return usage();
 }
