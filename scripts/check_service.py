@@ -12,7 +12,10 @@ Checks, per response line:
     numeric schedulable/max_wcrt/horizon fields ("inf" allowed for wcrt);
   * what_if never commits; admit commits iff admitted;
   * query responses carry jobs/schedulable/max_wcrt/horizon;
-  * latency_us is a non-negative number.
+  * latency_us is a non-negative number on EVERY response (parse errors
+    included);
+  * the backpressure/timeout markers 'retry' and 'timeout' only appear on
+    ok=false responses, and only with value true (docs/api.md schema).
 
 With --requests, additionally checks that the number of responses equals
 the number of request lines (blank and '#' lines skipped) and that the ops
@@ -88,6 +91,15 @@ def check_responses(path, expected_ops):
         if not isinstance(ok, bool):
             errors.append(f"{where}: missing bool 'ok'")
             continue
+        latency = resp.get("latency_us")
+        if not isinstance(latency, (int, float)) or latency < 0:
+            errors.append(f"{where}: bad latency_us {latency!r}")
+        for marker in ("retry", "timeout"):
+            if marker in resp:
+                if resp[marker] is not True:
+                    errors.append(f"{where}: '{marker}' must be true")
+                if ok:
+                    errors.append(f"{where}: '{marker}' on an ok response")
         if not isinstance(op, str):
             # op is omitted only for requests too malformed to echo one.
             if ok:
@@ -95,10 +107,6 @@ def check_responses(path, expected_ops):
             elif not (isinstance(resp.get("error"), str) and resp["error"]):
                 errors.append(f"{where}: ok=false without an error string")
             continue
-        latency = resp.get("latency_us")
-        if op is not None and (
-                not isinstance(latency, (int, float)) or latency < 0):
-            errors.append(f"{where}: bad latency_us {latency!r}")
         if expected_ops is not None:
             if seen > len(expected_ops):
                 errors.append(f"{where}: more responses than requests")

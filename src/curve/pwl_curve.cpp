@@ -154,7 +154,12 @@ Time PwlCurve::pseudo_inverse(double y) const {
   auto it = std::lower_bound(
       knots_.begin(), knots_.end(), y,
       [](const Knot& k, double value) { return k.right < value - kValueEps; });
-  assert(it != knots_.end());
+  if (it == knots_.end()) {
+    // Only reachable for y inside the epsilon band just above the final
+    // value (the y > back + eps case returned above): per Def. 5 no time
+    // within the horizon reaches y, so min{s : f(s) >= y} is unbounded.
+    return kTimeInfinity;
+  }
   const std::size_t i = static_cast<std::size_t>(it - knots_.begin());
   if (i == 0) return 0.0;
   const Knot& a = knots_[i - 1];

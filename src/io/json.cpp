@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cctype>
+#include <cerrno>
+#include <clocale>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -137,18 +140,75 @@ struct Parser {
   bool parse_number(Value& out) {
     const std::size_t start = pos;
     if (consume('-')) {}
+    // Greedily take every char a malformed number could contain, so the
+    // error message shows the whole offending token (e.g. "12abc" inside an
+    // array) instead of stopping at the first bad char.
     while (pos < text.size() &&
-           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
-            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
-            text[pos] == '+' || text[pos] == '-')) {
+           (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == '+' || text[pos] == '-')) {
       ++pos;
     }
     const std::string tok = text.substr(start, pos - start);
-    char* end = nullptr;
-    const double v = std::strtod(tok.c_str(), &end);
-    if (end == tok.c_str() || *end != '\0') {
+    // Validate the exact JSON grammar before converting:
+    //   -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // strtod alone is too permissive ("0x10", "inf", "nan", leading '+')
+    // and, worse, locale-dependent: in a comma-decimal locale it rejects
+    // "1.5". The grammar check makes acceptance locale-independent; the
+    // conversion below normalizes the decimal separator for strtod.
+    std::size_t i = 0;
+    auto digit = [&](std::size_t j) {
+      return j < tok.size() &&
+             std::isdigit(static_cast<unsigned char>(tok[j])) != 0;
+    };
+    std::size_t frac_start = std::string::npos;
+    bool grammar_ok = [&] {
+      if (i < tok.size() && tok[i] == '-') ++i;
+      if (!digit(i)) return false;
+      if (tok[i] == '0') {
+        ++i;  // a leading zero stands alone ("01" is not JSON)
+      } else {
+        while (digit(i)) ++i;
+      }
+      if (i < tok.size() && tok[i] == '.') {
+        frac_start = i;
+        ++i;
+        if (!digit(i)) return false;
+        while (digit(i)) ++i;
+      }
+      if (i < tok.size() && (tok[i] == 'e' || tok[i] == 'E')) {
+        ++i;
+        if (i < tok.size() && (tok[i] == '+' || tok[i] == '-')) ++i;
+        if (!digit(i)) return false;
+        while (digit(i)) ++i;
+      }
+      return i == tok.size();
+    }();
+    if (!grammar_ok) {
       pos = start;
       return fail("bad number '" + tok + "'");
+    }
+    // strtod honors the C locale's decimal separator; rewrite the validated
+    // '.' to whatever the current locale expects so parsing succeeds (and
+    // means the same number) everywhere.
+    std::string conv = tok;
+    if (frac_start != std::string::npos) {
+      const char* lc_point = std::localeconv()->decimal_point;
+      if (lc_point != nullptr && std::string(lc_point) != ".") {
+        conv = tok.substr(0, frac_start) + lc_point + tok.substr(frac_start + 1);
+      }
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(conv.c_str(), &end);
+    if (end != conv.c_str() + conv.size()) {
+      pos = start;
+      return fail("bad number '" + tok + "'");
+    }
+    if (errno == ERANGE && std::isinf(v)) {
+      // JSON has no Infinity; accepting an overflowed literal would produce
+      // a value dump() cannot round-trip. (Underflow to 0 is fine.)
+      pos = start;
+      return fail("number out of range '" + tok + "'");
     }
     out = Value(v);
     return true;

@@ -75,6 +75,14 @@ class System {
   /// Index of the job with the given stable id, or -1.
   [[nodiscard]] int job_index_by_id(std::uint64_t id) const;
 
+  /// The id the next zero-id add_job would assign. Together with
+  /// set_next_job_id this lets callers running speculative add_job +
+  /// remove_job sequences (service what-ifs) leave id assignment exactly as
+  /// if the speculation had not happened, and lets snapshot replicas hand
+  /// out the same ids the original would.
+  [[nodiscard]] std::uint64_t next_job_id() const { return next_job_id_; }
+  void set_next_job_id(std::uint64_t next) { next_job_id_ = next; }
+
   /// Index of the first job with the given name, or -1.
   [[nodiscard]] int job_index_by_name(const std::string& name) const;
 

@@ -172,6 +172,18 @@ const std::vector<double>& MetricsRegistry::knot_buckets() {
   return buckets;
 }
 
+const std::vector<double>& MetricsRegistry::latency_buckets_us() {
+  // 10us .. ~40ms, exponential. One shared layout for every service latency
+  // histogram (request/read/mutate) so their snapshots compare bucket by
+  // bucket.
+  static const std::vector<double> buckets = [] {
+    std::vector<double> b;
+    for (double edge = 10.0; edge <= 50000.0; edge *= 2.0) b.push_back(edge);
+    return b;
+  }();
+  return buckets;
+}
+
 void MetricsRegistry::add_to_slot(std::uint32_t slot, std::uint64_t n) {
   Slab* slab = impl_->local_slab(slot + 1);
   slab->cells[slot].fetch_add(n, std::memory_order_relaxed);

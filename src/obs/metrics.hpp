@@ -36,6 +36,11 @@ class Counter {
  public:
   Counter() = default;
 
+  /// True when resolved from a registry: add/inc land in that registry.
+  /// Default-constructed handles are inert (every write is dropped) -- call
+  /// sites that must not lose data can assert on this.
+  [[nodiscard]] bool bound() const { return registry_ != nullptr; }
+
   void add(std::uint64_t n = 1) const;
   void inc() const { add(1); }
 
@@ -53,6 +58,9 @@ class Gauge {
  public:
   Gauge() = default;
 
+  /// True when resolved from a registry (see Counter::bound).
+  [[nodiscard]] bool bound() const { return cell_ != nullptr; }
+
   void set(double v) const;         ///< last write wins
   void record_max(double v) const;  ///< keep the maximum seen
 
@@ -66,6 +74,9 @@ class Gauge {
 class Histogram {
  public:
   Histogram() = default;
+
+  /// True when resolved from a registry (see Counter::bound).
+  [[nodiscard]] bool bound() const { return registry_ != nullptr; }
 
   void observe(double v) const;
 
@@ -121,6 +132,10 @@ class MetricsRegistry {
   /// Canonical exponential bucket layout for knot counts (1, 2, 4, ...,
   /// 4096); shared by every kernel histogram so their snapshots compare.
   [[nodiscard]] static const std::vector<double>& knot_buckets();
+
+  /// Canonical exponential latency layout in microseconds (10us .. ~40ms);
+  /// shared by the service's request/read/mutate histograms.
+  [[nodiscard]] static const std::vector<double>& latency_buckets_us();
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <utility>
 
 #include "analysis/order.hpp"
+#include "obs/kernel_sink.hpp"
 #include "obs/metrics.hpp"
 
 namespace rta::service {
@@ -168,6 +170,217 @@ AdmissionSession::AdmissionSession(System base, SessionConfig config)
 
 AdmissionSession::~AdmissionSession() = default;
 
+/// Per-committed-state aggregates backing the fast what-if path. Everything
+/// here is derivable from (system_, last_) in one O(subjobs) sweep; caching
+/// it once per committed state makes each fast what-if O(candidate hops).
+struct AdmissionSession::ReadCache {
+  std::vector<int> max_priority;  ///< per processor; INT_MIN when unused
+  std::vector<char> is_spp;       ///< per processor
+  double max_deadline = 0.0;      ///< over committed jobs
+  Time last_release = 0.0;        ///< System::last_release of the committed set
+  Time committed_max_wcrt = 0.0;
+  bool committed_all_schedulable = false;
+  bool committed_any_unbounded = false;
+  int committed_subjobs = 0;
+};
+
+const AdmissionSession::ReadCache& AdmissionSession::read_cache() {
+  if (read_cache_ != nullptr) return *read_cache_;
+  auto rc = std::make_unique<ReadCache>();
+  const int m = system_.processor_count();
+  rc->max_priority.assign(m, std::numeric_limits<int>::min());
+  rc->is_spp.assign(m, 0);
+  for (int p = 0; p < m; ++p) {
+    rc->is_spp[p] = system_.scheduler(p) == SchedulerKind::kSpp ? 1 : 0;
+  }
+  for (int k = 0; k < system_.job_count(); ++k) {
+    const Job& j = system_.job(k);
+    rc->max_deadline = std::max(rc->max_deadline, j.deadline);
+    rc->committed_subjobs += static_cast<int>(j.chain.size());
+    for (const Subjob& s : j.chain) {
+      if (s.processor >= 0 && s.processor < m) {
+        rc->max_priority[s.processor] =
+            std::max(rc->max_priority[s.processor], s.priority);
+      }
+    }
+  }
+  rc->last_release = system_.last_release();
+  rc->committed_max_wcrt = last_.max_wcrt();
+  rc->committed_all_schedulable = last_.all_schedulable();
+  rc->committed_any_unbounded = any_unbounded(last_);
+  read_cache_ = std::move(rc);
+  return *read_cache_;
+}
+
+AdmissionSession::AdmissionSession(const SessionConfig& config)
+    : config_(config) {
+  // Worker-replica shell: clone_committed fills in the state. Replicas run
+  // serial with their own cache -- pure go-faster knobs, answers identical.
+  config_.analysis.threads = 1;
+  if (config_.analysis.use_curve_cache) cache_ = std::make_unique<CurveCache>();
+  eobs_ = detail::EngineObs::make_if(config_.analysis.observer, "service");
+}
+
+std::unique_ptr<AdmissionSession> AdmissionSession::clone_committed() const {
+  auto clone = std::unique_ptr<AdmissionSession>(new AdmissionSession(config_));
+  clone->system_ = system_;
+  clone->states_ = states_;
+  clone->horizon_ = horizon_;
+  clone->have_states_ = have_states_;
+  clone->last_ = last_;
+  return clone;
+}
+
+ReadDecision AdmissionSession::summarize(const Decision& d) {
+  ReadDecision rd;
+  rd.ok = d.ok;
+  rd.error = d.error;
+  rd.admitted = d.admitted;
+  rd.committed = d.committed;
+  rd.incremental = d.incremental;
+  rd.job_id = d.job_id;
+  rd.dirty_subjobs = d.dirty_subjobs;
+  rd.total_subjobs = d.total_subjobs;
+  rd.schedulable = d.analysis.all_schedulable();
+  rd.max_wcrt = d.analysis.max_wcrt();
+  rd.horizon = d.analysis.horizon;
+  return rd;
+}
+
+ReadDecision AdmissionSession::read_what_if(Job job) {
+  if (eobs_ != nullptr && eobs_->metrics() != nullptr) {
+    eobs_->metrics()->counter("service.what_if").inc();
+  }
+  ReadDecision rd;
+  if (try_fast_what_if(job, rd)) return rd;
+  return summarize(run_candidate(std::move(job), /*commit_on_admit=*/false));
+}
+
+bool AdmissionSession::try_fast_what_if(const Job& job, ReadDecision& rd) {
+  // The fast path reproduces the sequential incremental what_if for the
+  // common online candidate -- every hop on an SPP processor at
+  // strictly-lowest priority -- where the dirty closure is provably the
+  // candidate's own hops: no existing subjob has an interference edge from
+  // a new one (nothing existing is strictly lower priority on a touched
+  // processor), no SPNP blocking term can change, no FCFS utilization
+  // function gains a term, and no dependency cycle is possible (all new
+  // edges point at the new nodes or forward along the chain). Anything
+  // outside that case falls back to the general path, which re-derives the
+  // answer from scratch -- so a condition here may be conservative, but
+  // never unsound.
+  if (!have_states_ || !last_.ok) return false;
+  const ReadCache& rc = read_cache();
+  // An unbounded committed WCRT would re-trigger horizon doubling on every
+  // request; the general path owns that loop.
+  if (rc.committed_any_unbounded) return false;
+
+  const int hops = static_cast<int>(job.chain.size());
+  // Candidate-local structural screen, mirroring System::validate's
+  // per-job checks: any failure routes through the general path so the
+  // error text matches the sequential runner verbatim.
+  if (hops == 0 || job.deadline <= 0.0 || job.arrivals.empty()) return false;
+  for (int h = 0; h < hops; ++h) {
+    const Subjob& s = job.chain[h];
+    if (s.processor < 0 || s.processor >= system_.processor_count()) {
+      return false;
+    }
+    if (s.exec_time <= 0.0) return false;
+    if (rc.is_spp[s.processor] == 0) return false;
+    if (s.priority <= rc.max_priority[s.processor]) return false;
+    // Same-processor hops must carry strictly increasing priorities in hop
+    // order: equal would be a duplicate-priority error, decreasing would
+    // add a backward interference edge (possible cycle).
+    for (int g = 0; g < h; ++g) {
+      if (job.chain[g].processor == s.processor &&
+          job.chain[g].priority >= s.priority) {
+        return false;
+      }
+    }
+  }
+  if (job.id != 0 && system_.job_index_by_id(job.id) >= 0) {
+    return false;  // duplicate explicit id: general path produces the error
+  }
+
+  // The incremental path requires the candidate to leave the analysis
+  // horizon unchanged; compute it from the cached ingredients (identical
+  // arithmetic to default_horizon over the candidate system).
+  Time h = config_.analysis.horizon;
+  if (h <= 0.0) {
+    const Time window = std::max(rc.last_release, job.arrivals.last_release());
+    const Time max_deadline = std::max(rc.max_deadline, job.deadline);
+    const Time padding =
+        std::max(config_.analysis.horizon_padding_deadlines * max_deadline,
+                 config_.analysis.horizon_padding_fraction * window);
+    h = std::max<Time>(window + padding, 1.0);
+  }
+  if (h != horizon_) return false;
+  // Mirror the dirty-closure threshold: past it the sequential path runs a
+  // full wavefront (and reports incremental = false).
+  const int nodes = rc.committed_subjobs + hops;
+  if (static_cast<double>(hops) > config_.full_analysis_threshold * nodes) {
+    return false;
+  }
+
+  // Speculative add + per-hop compute + rollback, exactly the units the
+  // sequential wavefront would run for this dirty set (each hop is its own
+  // wave, in chain order), minus the O(system) bookkeeping around them.
+  const std::uint64_t saved_next_id = system_.next_job_id();
+  const int k_new = system_.add_job(job);
+  Time candidate_wcrt = 0.0;
+  {
+    detail::EngineObs::AnalyzeScope scope(eobs_.get(), pool_.get(),
+                                          cache_.get());
+    obs::KernelSinkScope sink_scope(eobs_ != nullptr ? eobs_->kernel_sink()
+                                                     : nullptr);
+    for (int hh = 0; hh < hops; ++hh) {
+      detail::BoundState& st = states_[{k_new, hh}];
+      if (hh == 0) {
+        const PwlCurve exact = system_.job(k_new).arrivals.to_curve(horizon_);
+        st.arr_upper = exact;
+        st.arr_lower = exact;
+      } else {
+        const detail::BoundState& pred = states_.at({k_new, hh - 1});
+        st.arr_upper = pred.next_arr_upper;
+        st.arr_lower = pred.dep_lower;
+      }
+      detail::compute_single_priority_subjob(system_, {k_new, hh}, horizon_,
+                                             states_,
+                                             config_.analysis.bounds_variant,
+                                             cache_.get());
+      candidate_wcrt += states_.at({k_new, hh}).local_bound;  // Eq. 11
+    }
+  }
+  const std::uint64_t assigned_id = system_.job(k_new).id;
+  for (int hh = 0; hh < hops; ++hh) states_.erase({k_new, hh});
+  system_.remove_job(k_new);
+
+  if (std::isinf(candidate_wcrt)) {
+    // Sequential processing would enter the horizon-doubling loop; rewind
+    // the id counter so the general-path retry assigns the same id.
+    system_.set_next_job_id(saved_next_id);
+    return false;
+  }
+
+  rd.ok = true;
+  rd.incremental = true;
+  rd.committed = false;
+  rd.job_id = assigned_id;
+  rd.dirty_subjobs = hops;
+  rd.total_subjobs = nodes;
+  rd.schedulable =
+      rc.committed_all_schedulable && time_le(candidate_wcrt, job.deadline);
+  rd.admitted = rd.schedulable;
+  rd.max_wcrt = std::max(rc.committed_max_wcrt, candidate_wcrt);
+  rd.horizon = horizon_;
+  if (eobs_ != nullptr && eobs_->metrics() != nullptr) {
+    eobs_->metrics()->counter("service.incremental").inc();
+    eobs_->metrics()
+        ->counter("service.dirty_subjobs")
+        .add(static_cast<std::uint64_t>(hops));
+  }
+  return true;
+}
+
 bool AdmissionSession::structural_check(Decision& d) const {
   // Mirrors BoundsAnalyzer::analyze so error Decisions match it verbatim.
   const auto problems = system_.validate();
@@ -222,6 +435,9 @@ Decision AdmissionSession::admit(Job job) {
   if (eobs_ != nullptr && eobs_->metrics() != nullptr) {
     eobs_->metrics()->counter("service.admit").inc();
   }
+  // A committing call changes what the fast what-if path aggregates over;
+  // dropping the cache up front (even for rejected admits) is always safe.
+  read_cache_.reset();
   return run_candidate(std::move(job), /*commit_on_admit=*/true);
 }
 
@@ -322,6 +538,7 @@ Decision AdmissionSession::run_candidate(Job job, bool commit_on_admit) {
 }
 
 Decision AdmissionSession::remove(std::uint64_t job_id) {
+  read_cache_.reset();
   Decision d;
   d.job_id = job_id;
   const int k = system_.job_index_by_id(job_id);

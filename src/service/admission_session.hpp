@@ -64,6 +64,25 @@ struct Decision {
   AnalysisResult analysis;   ///< bit-identical to a fresh full analysis
 };
 
+/// Aggregate-only view of a Decision: exactly the fields the JSONL response
+/// protocol serializes. The fast what-if path produces these directly --
+/// skipping the O(jobs) report assembly a full Decision requires -- and the
+/// general path reduces to them via AdmissionSession::summarize, so a
+/// response is byte-identical whichever path computed it.
+struct ReadDecision {
+  bool ok = false;
+  std::string error;
+  bool admitted = false;
+  bool committed = false;
+  bool incremental = false;
+  std::uint64_t job_id = 0;
+  int dirty_subjobs = 0;
+  int total_subjobs = 0;
+  bool schedulable = false;  ///< analysis.all_schedulable()
+  Time max_wcrt = 0.0;       ///< analysis.max_wcrt()
+  Time horizon = 0.0;        ///< analysis.horizon
+};
+
 class AdmissionSession {
  public:
   /// Takes ownership of the base system and analyzes it in full. Metrics
@@ -94,10 +113,45 @@ class AdmissionSession {
   /// when the id exists (removals cannot make a system less schedulable).
   Decision remove(std::uint64_t job_id);
 
+  /// what_if() reduced to the serialized aggregates. Takes an O(candidate
+  /// hops) fast path -- no validate(), no graph build, no per-job report --
+  /// when the candidate provably dirties only its own subjobs (every hop on
+  /// an SPP processor at strictly-lowest priority, horizon unchanged, the
+  /// committed analysis bounded); falls back to the general what_if()
+  /// otherwise. The returned aggregates are byte-identical either way (the
+  /// service determinism contract extended to the read path;
+  /// tests/test_request_scheduler.cpp).
+  ReadDecision read_what_if(Job job);
+
+  /// Reduce a full Decision to the aggregate view (same bytes as the fast
+  /// path would produce for the same candidate).
+  [[nodiscard]] static ReadDecision summarize(const Decision& d);
+
+  /// Deep copy of the committed session state (retained curves included)
+  /// for snapshot-isolated read execution: the replica answers what_if /
+  /// query exactly like the original at its creation instant and is mutated
+  /// only by its single owning worker. Worker replicas are forced serial
+  /// (threads = 1) with a fresh cache -- pure go-faster knobs, so answers
+  /// stay bit-identical.
+  [[nodiscard]] std::unique_ptr<AdmissionSession> clone_committed() const;
+
+  /// Stable-id counter passthrough, so a scheduler fanning reads over
+  /// replicas can pre-assign the ids the sequential execution would have
+  /// handed out (System::next_job_id semantics).
+  [[nodiscard]] std::uint64_t peek_next_job_id() const {
+    return system_.next_job_id();
+  }
+  void set_next_job_id(std::uint64_t next) { system_.set_next_job_id(next); }
+
  private:
   struct DirtyPlan;
+  struct ReadCache;
+
+  explicit AdmissionSession(const SessionConfig& config);  ///< clone shell
 
   Decision run_candidate(Job job, bool commit_on_admit);
+  bool try_fast_what_if(const Job& job, ReadDecision& rd);
+  const ReadCache& read_cache();
   void full_pass(Decision& d, Time base_horizon,
                  detail::BoundStateMap& states) const;
   void double_horizon_if_unbounded(Decision& d, Time base_horizon) const;
@@ -113,6 +167,11 @@ class AdmissionSession {
   Time horizon_ = 0.0;
   bool have_states_ = false;  ///< false until a full pass succeeds
   AnalysisResult last_;
+
+  /// Lazily built per-committed-state aggregates backing try_fast_what_if
+  /// (per-processor priority tops, horizon ingredients, committed verdict
+  /// roll-ups); dropped whenever a call commits.
+  std::unique_ptr<ReadCache> read_cache_;
 };
 
 /// Assign each hop of `job` the lowest priority (largest phi) on its

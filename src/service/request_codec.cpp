@@ -1,0 +1,122 @@
+#include "service/request_codec.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "io/system_json.hpp"
+
+namespace rta::service::detail {
+
+json::Value time_value(Time t) {
+  if (std::isinf(t)) return json::Value("inf");
+  return json::Value(t);
+}
+
+ParsedRequest parse_request(const std::string& line) {
+  ParsedRequest req;
+  auto immediate = [&](std::string message) {
+    req.cls = RequestClass::kImmediate;
+    req.error = std::move(message);
+    return req;
+  };
+
+  const json::ParseResult doc = json::parse(line);
+  if (!doc.ok) return immediate("bad request json: " + doc.error);
+  const json::Value* op = doc.value.find("op");
+  if (op == nullptr || !op->is_string()) {
+    return immediate("missing string 'op'");
+  }
+  req.op = op->as_string();
+
+  if (req.op == "admit" || req.op == "what_if") {
+    const json::Value* jv = doc.value.find("job");
+    std::string error;
+    if (jv == nullptr) return immediate("missing 'job'");
+    if (!parse_job_json(*jv, req.job, error, &req.saw_priority)) {
+      return immediate("bad job: " + error);
+    }
+    req.cls =
+        req.op == "admit" ? RequestClass::kMutate : RequestClass::kRead;
+    return req;
+  }
+  if (req.op == "remove") {
+    const json::Value* id = doc.value.find("job_id");
+    const json::Value* name = doc.value.find("name");
+    if (id != nullptr && id->is_number() && id->as_number() >= 0.0) {
+      req.remove_by_id = true;
+      req.remove_id = static_cast<std::uint64_t>(id->as_number());
+    } else if (name != nullptr && name->is_string()) {
+      req.remove_name = name->as_string();
+    } else {
+      return immediate("remove needs 'job_id' or 'name'");
+    }
+    req.cls = RequestClass::kMutate;
+    return req;
+  }
+  if (req.op == "query") {
+    req.cls = RequestClass::kRead;
+    return req;
+  }
+  return immediate("unknown op '" + req.op +
+                   "' (admit, what_if, remove, query)");
+}
+
+void read_decision_into(json::Value& response, const ReadDecision& rd) {
+  response.set("ok", rd.ok);
+  if (!rd.error.empty()) response.set("error", rd.error);
+  response.set("admitted", rd.admitted);
+  response.set("committed", rd.committed);
+  response.set("incremental", rd.incremental);
+  response.set("job_id", static_cast<double>(rd.job_id));
+  response.set("dirty_subjobs", rd.dirty_subjobs);
+  response.set("total_subjobs", rd.total_subjobs);
+  if (rd.ok) {
+    response.set("schedulable", rd.schedulable);
+    response.set("max_wcrt", time_value(rd.max_wcrt));
+    response.set("horizon", time_value(rd.horizon));
+  }
+}
+
+bool execute_request(AdmissionSession& session, const ParsedRequest& req,
+                     json::Value& response, bool fast_reads) {
+  if (req.op == "admit" || req.op == "what_if") {
+    Job job = req.job;
+    if (!req.saw_priority) assign_lowest_priorities(session.system(), job);
+    ReadDecision rd;
+    if (req.op == "admit") {
+      rd = AdmissionSession::summarize(session.admit(std::move(job)));
+    } else if (fast_reads) {
+      rd = session.read_what_if(std::move(job));
+    } else {
+      rd = AdmissionSession::summarize(session.what_if(std::move(job)));
+    }
+    read_decision_into(response, rd);
+    return rd.ok;
+  }
+  if (req.op == "remove") {
+    std::uint64_t job_id = req.remove_id;
+    if (!req.remove_by_id) {
+      const int k = session.system().job_index_by_name(req.remove_name);
+      if (k < 0) {
+        response.set("ok", false);
+        response.set("error", "no job named '" + req.remove_name + "'");
+        return false;
+      }
+      job_id = session.system().job(k).id;
+    }
+    const ReadDecision rd = AdmissionSession::summarize(session.remove(job_id));
+    read_decision_into(response, rd);
+    return rd.ok;
+  }
+  // query: committed-system summary straight off the retained analysis.
+  const AnalysisResult& r = session.last();
+  response.set("ok", r.ok);
+  if (!r.error.empty()) response.set("error", r.error);
+  response.set("jobs", session.system().job_count());
+  response.set("schedulable", r.all_schedulable());
+  response.set("max_wcrt", time_value(r.max_wcrt()));
+  response.set("horizon", time_value(r.horizon));
+  return r.ok;
+}
+
+}  // namespace rta::service::detail

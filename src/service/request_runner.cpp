@@ -4,48 +4,12 @@
 #include <istream>
 #include <ostream>
 #include <string>
-#include <vector>
 
 #include "io/json.hpp"
-#include "io/system_json.hpp"
 #include "obs/metrics.hpp"
+#include "service/request_codec.hpp"
 
 namespace rta::service {
-
-namespace {
-
-json::Value time_value(Time t) {
-  if (std::isinf(t)) return json::Value("inf");
-  return json::Value(t);
-}
-
-/// Latency buckets in microseconds: 10us .. ~40ms, exponential.
-const std::vector<double>& latency_buckets() {
-  static const std::vector<double> buckets = [] {
-    std::vector<double> b;
-    for (double edge = 10.0; edge <= 50000.0; edge *= 2.0) b.push_back(edge);
-    return b;
-  }();
-  return buckets;
-}
-
-void decision_into(json::Value& response, const Decision& d) {
-  response.set("ok", d.ok);
-  if (!d.error.empty()) response.set("error", d.error);
-  response.set("admitted", d.admitted);
-  response.set("committed", d.committed);
-  response.set("incremental", d.incremental);
-  response.set("job_id", static_cast<double>(d.job_id));
-  response.set("dirty_subjobs", d.dirty_subjobs);
-  response.set("total_subjobs", d.total_subjobs);
-  if (d.ok) {
-    response.set("schedulable", d.analysis.all_schedulable());
-    response.set("max_wcrt", time_value(d.analysis.max_wcrt()));
-    response.set("horizon", time_value(d.analysis.horizon));
-  }
-}
-
-}  // namespace
 
 RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
                                std::ostream& out) {
@@ -53,7 +17,8 @@ RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
   obs::Histogram latency;
   obs::MetricsRegistry* metrics = session.config().analysis.observer.metrics;
   if (metrics != nullptr) {
-    latency = metrics->histogram("service.request_us", latency_buckets());
+    latency = metrics->histogram("service.request_us",
+                                 obs::MetricsRegistry::latency_buckets_us());
   }
 
   std::string line;
@@ -68,82 +33,30 @@ RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
     response.set("request", stats.requests + 1);
     response.set("line", line_no);
 
-    auto respond_error = [&](const std::string& message) {
-      response.set("ok", false);
-      response.set("error", message);
-      ++stats.errors;
-    };
-
-    const json::ParseResult doc = json::parse(line);
-    if (!doc.ok) {
-      respond_error("bad request json: " + doc.error);
-      out << response.dump() << "\n";
-      ++stats.requests;
-      continue;
-    }
-    const json::Value* op = doc.value.find("op");
-    if (op == nullptr || !op->is_string()) {
-      respond_error("missing string 'op'");
-      out << response.dump() << "\n";
-      ++stats.requests;
-      continue;
-    }
-    response.set("op", op->as_string());
-
     const auto start = std::chrono::steady_clock::now();
-    if (op->as_string() == "admit" || op->as_string() == "what_if") {
-      const json::Value* jv = doc.value.find("job");
-      Job job;
-      std::string error;
-      bool saw_priority = false;
-      if (jv == nullptr) {
-        respond_error("missing 'job'");
-      } else if (!parse_job_json(*jv, job, error, &saw_priority)) {
-        respond_error("bad job: " + error);
-      } else {
-        if (!saw_priority) assign_lowest_priorities(session.system(), job);
-        const Decision d = op->as_string() == "admit"
-                               ? session.admit(std::move(job))
-                               : session.what_if(std::move(job));
-        decision_into(response, d);
-        if (!d.ok) ++stats.errors;
-      }
-    } else if (op->as_string() == "remove") {
-      const json::Value* id = doc.value.find("job_id");
-      const json::Value* name = doc.value.find("name");
-      std::uint64_t job_id = 0;
-      bool have_id = false;
-      if (id != nullptr && id->is_number() && id->as_number() >= 0.0) {
-        job_id = static_cast<std::uint64_t>(id->as_number());
-        have_id = true;
-      } else if (name != nullptr && name->is_string()) {
-        const int k = session.system().job_index_by_name(name->as_string());
-        if (k >= 0) {
-          job_id = session.system().job(k).id;
-          have_id = true;
-        } else {
-          respond_error("no job named '" + name->as_string() + "'");
-        }
-      } else {
-        respond_error("remove needs 'job_id' or 'name'");
-      }
-      if (have_id) {
-        const Decision d = session.remove(job_id);
-        decision_into(response, d);
-        if (!d.ok) ++stats.errors;
-      }
-    } else if (op->as_string() == "query") {
-      const AnalysisResult& r = session.last();
-      response.set("ok", r.ok);
-      if (!r.error.empty()) response.set("error", r.error);
-      response.set("jobs", session.system().job_count());
-      response.set("schedulable", r.all_schedulable());
-      response.set("max_wcrt", time_value(r.max_wcrt()));
-      response.set("horizon", time_value(r.horizon));
-      if (!r.ok) ++stats.errors;
+    const detail::ParsedRequest req = detail::parse_request(line);
+    if (!req.op.empty()) response.set("op", req.op);
+    if (req.cls == detail::RequestClass::kImmediate) {
+      response.set("ok", false);
+      response.set("error", req.error);
+      ++stats.errors;
     } else {
-      respond_error("unknown op '" + op->as_string() +
-                    "' (admit, what_if, remove, query)");
+      // Fail-safe isolation: a throwing request yields an error response
+      // for its line, never a terminated stream.
+      bool ok = false;
+      try {
+        ok = detail::execute_request(session, req, response,
+                                     /*fast_reads=*/false);
+      } catch (const std::exception& e) {
+        response.set("ok", false);
+        response.set("error", std::string("request failed: ") + e.what());
+        ++stats.failures;
+      } catch (...) {
+        response.set("ok", false);
+        response.set("error", "request failed: unknown exception");
+        ++stats.failures;
+      }
+      if (!ok) ++stats.errors;
     }
     const std::chrono::duration<double, std::micro> us =
         std::chrono::steady_clock::now() - start;

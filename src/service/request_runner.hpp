@@ -15,8 +15,19 @@
 //
 // Responses echo the request index and op, the session Decision fields, and
 // the request's wall-clock latency in microseconds. Blank lines and lines
-// starting with '#' are skipped. A malformed request produces an
-// {"ok": false, "error": ...} response and processing continues.
+// starting with '#' are skipped. A malformed request, an unknown op, or a
+// request whose execution throws produces an {"ok": false, "error": ...}
+// response for that line and processing continues -- one bad request never
+// terminates the stream.
+//
+// Two drivers share this interface (and the request codec, so their
+// responses are byte-identical modulo latency_us):
+//   - run_request_stream(session, in, out): the sequential reference
+//     runner; every request executes one at a time on the primary session
+//     through the general analysis path.
+//   - run_request_stream(session, in, out, options): the batching
+//     RequestScheduler (request_scheduler.hpp) with read fan-out,
+//     backpressure, and per-request timeouts.
 #pragma once
 
 #include <iosfwd>
@@ -26,15 +37,46 @@
 namespace rta::service {
 
 struct RunnerStats {
-  int requests = 0;  ///< responses emitted (malformed lines included)
-  int errors = 0;    ///< responses with ok == false
+  int requests = 0;   ///< responses emitted (malformed lines included)
+  int errors = 0;     ///< responses with ok == false (supersets the below)
+  int failures = 0;   ///< requests whose execution threw (isolated per line)
+  int timeouts = 0;   ///< requests expired before execution (scheduler only)
+  int rejected = 0;   ///< requests shed by backpressure (scheduler only)
+  int coalesced = 0;  ///< identical reads answered from one execution
+                      ///< (scheduler only; responses unaffected)
 };
 
-/// Drive `session` with the JSONL stream `in`, writing responses to `out`.
-/// Per-request latency is also recorded in the histogram
-/// "service.request_us" when the session was configured with a
+/// Scheduler knobs for the 4-argument run_request_stream overload.
+struct StreamOptions {
+  /// Worker count for read batches: 1 = no fan-out (primary session only),
+  /// 0 = hardware concurrency, N = that many workers.
+  int parallel_reads = 1;
+  /// Upper bound on requests buffered in the current batch; a request
+  /// arriving at a full batch is rejected with {"ok":false,"retry":true}.
+  /// 0 disables backpressure.
+  int max_inflight = 0;
+  /// Requests older than this (arrival to execution start) are answered
+  /// {"ok":false,"timeout":true} without running. 0 disables timeouts.
+  /// Wall-clock based, so responses are not deterministic under timeouts.
+  double request_timeout_ms = 0.0;
+};
+
+/// Drive `session` with the JSONL stream `in`, writing responses to `out`,
+/// one request at a time. Per-request latency is recorded in the
+/// "service.request_us" histogram when the session was configured with a
 /// MetricsRegistry.
 RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
                                std::ostream& out);
+
+/// Scheduler-driven variant: classifies requests read-only vs mutating,
+/// fans consecutive reads across snapshot replicas, coalesces duplicate
+/// reads (singleflight) and consecutive mutations, and applies the
+/// backpressure / timeout policy in `options`.
+/// Responses are emitted in request order and are byte-identical (modulo
+/// latency_us) to the sequential runner for any stream when timeouts and
+/// backpressure are disabled. Defined in request_scheduler.cpp.
+RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
+                               std::ostream& out,
+                               const StreamOptions& options);
 
 }  // namespace rta::service

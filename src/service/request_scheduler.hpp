@@ -1,0 +1,144 @@
+// Batching request scheduler for the JSONL admission service.
+//
+// Requests are classified by concurrency class (request_codec.hpp):
+// read-only (what_if, query) vs mutating (admit, remove). The scheduler
+// buffers consecutive requests of one class and executes the buffer as a
+// batch at each class boundary (a barrier), at end of input, or when
+// backpressure sheds the overflow:
+//
+//   - A read batch fans out across up to `parallel_reads` workers. Chunk 0
+//     runs on the primary session (whose fast what-if path mutates and
+//     restores, so it must stay single-owner); the other chunks run against
+//     committed-state replica snapshots (AdmissionSession::clone_committed),
+//     rebuilt lazily after a mutation batch and only when a batch actually
+//     spans multiple chunks. With parallel_reads == 1 no replica is ever
+//     cloned.
+//   - A mutation batch executes serially on the primary session, in order;
+//     coalescing consecutive mutations means the committed state (and the
+//     replicas) are reconciled once per batch, not once per request.
+//   - Within a read batch, byte-identical request lines are coalesced
+//     (singleflight): the analysis runs once and every duplicate receives a
+//     copy of the answer, with its own request/line echo and -- for
+//     auto-assigned ids -- its own simulated job_id. Against one committed
+//     snapshot identical reads are pure-function calls, so this is exact,
+//     not approximate; it is what makes polling workloads (clients
+//     re-probing pending candidates between reconfigurations) cheap.
+//     Coalescing is disabled while request_timeout_ms is set, because each
+//     instance's expiry is wall-clock-specific.
+//
+// Ordering guarantees: responses are emitted in request order, and every
+// read observes the committed state as of the last preceding mutation (the
+// class barrier). That is exactly the sequential runner's data flow, so for
+// any stream -- with timeouts and backpressure disabled -- the scheduler's
+// responses are byte-identical to run_request_stream(session, in, out)
+// modulo the latency_us field (tests/test_request_scheduler.cpp drives
+// randomized differential streams at 1, 2, and hardware threads).
+//
+// Determinism under fan-out rests on two invariants. First, reads are
+// side-effect-free against a snapshot identical to the primary's committed
+// state. Second, the stable-id counter is simulated: a what_if consumes a
+// job id exactly like sequential execution would (auto ids are pre-assigned
+// in request order, explicit non-duplicate ids advance the counter,
+// duplicates consume nothing), and the primary's counter is set to the
+// simulated value after the batch -- so job_id fields and later admits match
+// the sequential runner bit for bit.
+//
+// Failure isolation: a request whose execution throws yields an
+// {"ok":false,"error":"request failed: ..."} response for its line; the
+// stream always continues. Backpressure (max_inflight) rejects with
+// {"ok":false,...,"retry":true}; per-request timeouts
+// (request_timeout_ms) answer {"ok":false,...,"timeout":true} without
+// executing. docs/api.md documents the full response schema.
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/admission_session.hpp"
+#include "service/request_codec.hpp"
+#include "service/request_runner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rta::service {
+
+class RequestScheduler {
+ public:
+  /// Binds to `session` (primary) and `out`. When the session carries a
+  /// MetricsRegistry, the scheduler records histograms service.request_us /
+  /// service.read_us / service.mutate_us, gauge service.queue_depth
+  /// (high-water batch depth), and counters service.rejected /
+  /// service.timeouts / service.failures / service.coalesced.
+  RequestScheduler(AdmissionSession& session, std::ostream& out,
+                   StreamOptions options = {});
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Feed one input line (blank and '#' lines are skipped). May trigger a
+  /// batch flush (class boundary) and emit buffered responses.
+  void submit_line(const std::string& line);
+
+  /// Execute and emit whatever is buffered, then flush the output stream.
+  void finish();
+
+  [[nodiscard]] const RunnerStats& stats() const { return stats_; }
+
+  /// Resolved read fan-out width (parallel_reads with 0 -> hardware).
+  [[nodiscard]] int read_workers() const { return read_workers_; }
+
+ private:
+  struct Pending {
+    detail::ParsedRequest req;
+    json::Value response;
+    std::string raw;  ///< the input line, the read-coalescing identity key
+    std::chrono::steady_clock::time_point arrival;
+    bool executable = false;  ///< false: response completed at submit time
+    bool auto_id = false;     ///< job_id was simulated, not client-supplied
+    // Outcome, written only by the one worker executing this entry.
+    bool ok = false;
+    bool failed = false;
+    bool timed_out = false;
+    double latency_us = 0.0;
+  };
+
+  void flush();
+  void execute_mutations();
+  void execute_reads();
+  void execute_one(AdmissionSession& session, Pending& p);
+  void complete_at_submit(Pending& p);
+
+  AdmissionSession& session_;
+  std::ostream& out_;
+  StreamOptions options_;
+  int read_workers_ = 1;
+
+  /// Fan-out helpers (read_workers_ - 1; the caller is chunk 0's worker).
+  std::unique_ptr<ThreadPool> pool_;
+  /// Committed-state snapshots for chunks 1..; stale after any mutation.
+  std::vector<std::unique_ptr<AdmissionSession>> replicas_;
+  bool replicas_fresh_ = false;
+
+  std::vector<Pending> pending_;  ///< current batch + interleaved immediates
+  int inflight_ = 0;              ///< executable entries in pending_
+  detail::RequestClass batch_class_ = detail::RequestClass::kRead;
+
+  int line_no_ = 0;
+  int submitted_ = 0;  ///< responses owed (skipped lines excluded)
+  RunnerStats stats_;
+
+  obs::Histogram request_us_;
+  obs::Histogram read_us_;
+  obs::Histogram mutate_us_;
+  obs::Gauge queue_depth_;
+  obs::Counter rejected_counter_;
+  obs::Counter timeout_counter_;
+  obs::Counter failure_counter_;
+  obs::Counter coalesced_counter_;
+};
+
+}  // namespace rta::service

@@ -69,6 +69,13 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker. A point-in-time
+  /// reading for queue-depth gauges; stale by the time the caller acts on it.
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.size();
+  }
+
   /// Point-in-time copy of the lifetime counters.
   [[nodiscard]] Stats stats() const {
     Stats s;

@@ -119,6 +119,48 @@ TEST(PwlCurve, PseudoInverseFlatSegmentReturnsFirstReach) {
   EXPECT_NEAR(c.pseudo_inverse(2.0 + 1e-3), 5.0 + 1e-3, 1e-6);
 }
 
+TEST(PwlCurve, PseudoInverseDefinitionFiveEdgeCases) {
+  // Def. 5: f^{-1}(y) = min{s : f(s) >= y}. Oracle derived by hand from the
+  // cumulative arrival count N(t) of releases {2, 2, 6}.
+  const PwlCurve f = PwlCurve::step(10.0, {2.0, 2.0, 6.0});
+  // y <= f(0): the minimum is time zero, also for y = 0 and negative y.
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(-3.0), 0.0);
+  // Exact-breakpoint y: the first instant reaching each count.
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(2.0), 2.0);  // double release at t = 2
+  EXPECT_DOUBLE_EQ(f.pseudo_inverse(3.0), 6.0);
+  // y above the final value: no time within the horizon reaches it.
+  EXPECT_TRUE(std::isinf(f.pseudo_inverse(3.0 + 1e-6)));
+  EXPECT_TRUE(std::isinf(f.pseudo_inverse(100.0)));
+}
+
+TEST(PwlCurve, PseudoInverseEpsilonBandAboveFinalValue) {
+  // y within the comparison tolerance of the final value still counts as
+  // reached -- at the final knot, never by reading past the last segment.
+  const PwlCurve c = PwlCurve::identity(4.0);
+  EXPECT_DOUBLE_EQ(c.pseudo_inverse(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(c.pseudo_inverse(4.0 + 1e-8), 4.0);
+  // Exactly at the tolerance boundary the comparisons may round either way;
+  // both outcomes are Def. 5-consistent, and neither may crash or read out
+  // of bounds.
+  const Time at_eps = c.pseudo_inverse(4.0 + 1e-7);
+  EXPECT_TRUE(at_eps == 4.0 || std::isinf(at_eps)) << at_eps;
+  EXPECT_TRUE(std::isinf(c.pseudo_inverse(4.0 + 2e-7)));
+}
+
+TEST(PwlCurve, PseudoInverseNearFinalValueNeverMisbehaves) {
+  // Sweep the epsilon band around the final value on a large-magnitude
+  // curve, where the boundary comparisons are most rounding-sensitive.
+  const PwlCurve c = PwlCurve::step(1e9, {1.0, 2.0, 1e9 - 1.0});
+  const double final_value = 3.0;
+  for (int i = -4; i <= 4; ++i) {
+    const double y = final_value + static_cast<double>(i) * 5e-8;
+    const Time t = c.pseudo_inverse(y);
+    EXPECT_TRUE((t >= 0.0 && t <= 1e9) || std::isinf(t)) << "y=" << y;
+  }
+}
+
 TEST(PwlCurve, NormalizationMergesDuplicateKnots) {
   const PwlCurve c({{0.0, 0.0, 0.0}, {1.0, 1.0, 2.0}, {1.0, 2.0, 3.0},
                     {4.0, 3.0, 3.0}});

@@ -138,6 +138,41 @@ TEST(Metrics, SnapshotJsonRoundTripsStructurally) {
 // ---------------------------------------------------------------------------
 // Tracer
 
+TEST(Metrics, DefaultConstructedHandlesAreInertAndUnbound) {
+  // The service's latency recording relies on bound(): an unbound handle
+  // silently drops writes, so call sites can audit their binding.
+  obs::Counter counter;
+  obs::Gauge gauge;
+  obs::Histogram histogram;
+  EXPECT_FALSE(counter.bound());
+  EXPECT_FALSE(gauge.bound());
+  EXPECT_FALSE(histogram.bound());
+  counter.inc();          // all dropped, no crash
+  gauge.record_max(3.0);
+  histogram.observe(1.0);
+
+  obs::MetricsRegistry registry;
+  EXPECT_TRUE(registry.counter("c").bound());
+  EXPECT_TRUE(registry.gauge("g").bound());
+  EXPECT_TRUE(
+      registry
+          .histogram("h", obs::MetricsRegistry::latency_buckets_us())
+          .bound());
+}
+
+TEST(Metrics, LatencyBucketsAreSharedAndExponential) {
+  const std::vector<double>& buckets =
+      obs::MetricsRegistry::latency_buckets_us();
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_DOUBLE_EQ(buckets.front(), 10.0);
+  EXPECT_GE(buckets.back(), 10000.0);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(buckets[i], 2.0 * buckets[i - 1]);
+  }
+  // Same object every call: histograms sharing the layout stay comparable.
+  EXPECT_EQ(&buckets, &obs::MetricsRegistry::latency_buckets_us());
+}
+
 TEST(Trace, SpansProduceBalancedStrictlyIncreasingEvents) {
   obs::Tracer tracer;
   {

@@ -1,0 +1,428 @@
+// Differential and policy tests for the batching RequestScheduler
+// (service/request_scheduler.hpp). The central contract: with timeouts and
+// backpressure disabled, the scheduler's response stream is byte-identical
+// (modulo the latency_us field) to the sequential reference runner for ANY
+// request stream -- including malformed lines, unknown ops, duplicate ids,
+// and invalid removals -- at every read fan-out width. On top of that, the
+// shedding and expiry policies themselves are exercised directly.
+//
+// Suites are named Service* so the CI thread-sanitizer job picks them up
+// (.github/workflows/ci.yml filters on the Service prefix).
+#include <chrono>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/json.hpp"
+#include "model/priority.hpp"
+#include "service/admission_session.hpp"
+#include "service/request_runner.hpp"
+#include "service/request_scheduler.hpp"
+#include "util/rng.hpp"
+#include "workload/jobshop.hpp"
+
+namespace rta {
+namespace {
+
+using service::AdmissionSession;
+using service::RequestScheduler;
+using service::RunnerStats;
+using service::SessionConfig;
+using service::StreamOptions;
+
+System make_base(std::uint64_t seed) {
+  Rng rng(seed);
+  JobShopConfig cfg;
+  cfg.stages = 2;
+  cfg.processors_per_stage = 2;
+  cfg.jobs = 3;
+  cfg.utilization = 0.4;
+  cfg.window_periods = 4.0;
+  cfg.deadline.period_multiple = 3.0;
+  cfg.scheduler = SchedulerKind::kSpp;
+  System system = generate_jobshop(cfg, rng);
+  assign_proportional_deadline_monotonic(system);
+  return system;
+}
+
+SessionConfig make_session_config(const System& base) {
+  SessionConfig cfg;
+  // Pin the horizon so candidate edits can take the incremental (and fast
+  // what-if) paths -- the regime the scheduler is built for.
+  cfg.analysis.horizon = 4.0 * default_horizon(base, AnalysisConfig{});
+  return cfg;
+}
+
+/// Serialize a job request, optionally without explicit priorities (so the
+/// service's lowest-priority policy kicks in) and without an explicit id.
+std::string job_request(const std::string& op, const Job& job,
+                        bool with_priority) {
+  json::Value req;
+  req.set("op", op);
+  json::Value jv;
+  if (job.id != 0) jv.set("id", static_cast<double>(job.id));
+  jv.set("name", job.name);
+  jv.set("deadline", job.deadline);
+  json::Value::Array chain;
+  for (const Subjob& s : job.chain) {
+    json::Value hop;
+    hop.set("processor", s.processor);
+    hop.set("exec", s.exec_time);
+    if (with_priority) hop.set("priority", s.priority);
+    chain.push_back(std::move(hop));
+  }
+  jv.set("chain", json::Value(std::move(chain)));
+  json::Value::Array arrivals;
+  for (Time t : job.arrivals.releases()) arrivals.push_back(json::Value(t));
+  jv.set("arrivals", json::Value(std::move(arrivals)));
+  req.set("job", std::move(jv));
+  return req.dump();
+}
+
+Job random_candidate(Rng& rng, const System& base, int serial) {
+  Job job;
+  job.name = "cand" + std::to_string(serial);
+  const int hops = rng.uniform_int(1, 3);
+  double exec_total = 0.0;
+  for (int h = 0; h < hops; ++h) {
+    Subjob s;
+    s.processor = rng.uniform_int(0, base.processor_count() - 1);
+    s.exec_time = rng.uniform(0.02, 0.1);
+    exec_total += s.exec_time;
+    job.chain.push_back(s);
+  }
+  const Time period = rng.uniform(1.0, 4.0);
+  job.arrivals = ArrivalSequence::periodic(
+      period, std::max<Time>(base.last_release(), 4.0 * period));
+  job.deadline = exec_total * rng.uniform(4.0, 20.0) + period;
+  return job;
+}
+
+/// A randomized stream of ~`n` requests, `read_fraction` of them read-only,
+/// salted with every malformed-input shape the runner must survive.
+std::string build_stream(Rng& rng, const System& base, int n,
+                         double read_fraction) {
+  std::ostringstream out;
+  std::string last_read;  // re-issued verbatim to exercise read coalescing
+  for (int i = 0; i < n; ++i) {
+    const double r = rng.uniform(0.0, 1.0);
+    if (i % 17 == 5) {
+      // Error salt: one malformed shape each pass through the stream.
+      switch (rng.uniform_int(0, 5)) {
+        case 0: out << "{not json at all\n"; continue;
+        case 1: out << "{\"no_op\": 1}\n"; continue;
+        case 2: out << "{\"op\": \"frobnicate\"}\n"; continue;
+        case 3: out << "{\"op\": \"what_if\", \"job\": {\"name\": \"x\"}}\n"; continue;
+        case 4: out << "{\"op\": \"remove\"}\n"; continue;
+        default: out << "# comment line\n\n"; continue;
+      }
+    }
+    if (r < read_fraction) {
+      if (!last_read.empty() && rng.uniform_int(0, 3) == 0) {
+        // A polling client re-submitting a byte-identical read: the
+        // scheduler coalesces these, which must stay invisible in the
+        // responses (auto ids still advance per instance).
+        out << last_read << "\n";
+      } else if (rng.uniform_int(0, 9) == 0) {
+        last_read = "{\"op\": \"query\"}";
+        out << last_read << "\n";
+      } else {
+        Job job = random_candidate(rng, base, i);
+        if (rng.uniform_int(0, 7) == 0) {
+          job.id = static_cast<std::uint64_t>(rng.uniform_int(1, 4));
+        }  // sometimes an explicit (often duplicate) id
+        last_read = job_request("what_if", job, /*with_priority=*/false);
+        out << last_read << "\n";
+      }
+    } else if (rng.uniform_int(0, 2) == 0) {
+      // Removals by a guessed id or name: sometimes valid, often not.
+      if (rng.uniform_int(0, 1) == 0) {
+        out << "{\"op\": \"remove\", \"job_id\": " << rng.uniform_int(1, 12)
+            << "}\n";
+      } else {
+        out << "{\"op\": \"remove\", \"name\": \"cand"
+            << rng.uniform_int(0, n) << "\"}\n";
+      }
+    } else {
+      out << job_request("admit", random_candidate(rng, base, i),
+                         /*with_priority=*/false)
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string strip_latency(const std::string& responses) {
+  static const std::regex latency(",\"latency_us\":[^,}]*");
+  return std::regex_replace(responses, latency, "");
+}
+
+RunnerStats run_sequential(const System& base, const std::string& stream,
+                           std::string& responses) {
+  AdmissionSession session(base, make_session_config(base));
+  std::istringstream in(stream);
+  std::ostringstream out;
+  const RunnerStats stats = service::run_request_stream(session, in, out);
+  responses = out.str();
+  return stats;
+}
+
+RunnerStats run_scheduled(const System& base, const std::string& stream,
+                          const StreamOptions& options,
+                          std::string& responses) {
+  AdmissionSession session(base, make_session_config(base));
+  std::istringstream in(stream);
+  std::ostringstream out;
+  const RunnerStats stats =
+      service::run_request_stream(session, in, out, options);
+  responses = out.str();
+  return stats;
+}
+
+/// The acceptance bar: byte-identical payloads at 1, 2, and hardware
+/// threads, for streams mixing reads, mutations, and malformed input.
+TEST(ServiceScheduler, DifferentialMatchesSequentialRunner) {
+  const RngFactory factory(0xD1FFBA7C);
+  const int widths[] = {1, 2, 0};  // 0 resolves to hardware concurrency
+  int total_coalesced = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    const System base = make_base(100 + static_cast<std::uint64_t>(trial));
+    Rng rng = factory.stream(static_cast<std::uint64_t>(trial));
+    const std::string stream =
+        build_stream(rng, base, /*n=*/60, /*read_fraction=*/0.8);
+
+    std::string expected;
+    const RunnerStats ref = run_sequential(base, stream, expected);
+    ASSERT_GT(ref.requests, 0);
+    const std::string expected_stripped = strip_latency(expected);
+
+    for (const int width : widths) {
+      StreamOptions options;
+      options.parallel_reads = width;
+      std::string got;
+      const RunnerStats stats = run_scheduled(base, stream, options, got);
+      EXPECT_EQ(strip_latency(got), expected_stripped)
+          << "trial " << trial << " parallel_reads " << width;
+      EXPECT_EQ(stats.requests, ref.requests) << "parallel_reads " << width;
+      EXPECT_EQ(stats.errors, ref.errors) << "parallel_reads " << width;
+      EXPECT_EQ(stats.rejected, 0);
+      EXPECT_EQ(stats.timeouts, 0);
+      total_coalesced += stats.coalesced;
+    }
+    EXPECT_EQ(ref.coalesced, 0);  // the sequential runner never coalesces
+  }
+  // The streams contain verbatim-repeated reads, so coalescing must have
+  // fired somewhere -- and stayed invisible in the byte comparison above.
+  EXPECT_GT(total_coalesced, 0);
+}
+
+/// Duplicate reads in one batch execute once and answer per-instance: auto
+/// ids advance exactly as they would sequentially, request/line echoes stay
+/// per-request, and the payload bytes cannot tell the difference.
+TEST(ServiceScheduler, CoalescesDuplicateReadsBitIdentically) {
+  const System base = make_base(11);
+  Rng rng(0xC0A1E5CE);
+  const Job cand = random_candidate(rng, base, 0);
+  const std::string what_if =
+      job_request("what_if", cand, /*with_priority=*/false);
+  std::ostringstream s;
+  s << "{\"op\": \"query\"}\n"
+    << what_if << "\n"
+    << what_if << "\n"
+    << what_if << "\n"
+    << "{\"op\": \"query\"}\n";
+  const std::string stream = s.str();
+
+  std::string expected;
+  const RunnerStats ref = run_sequential(base, stream, expected);
+  EXPECT_EQ(ref.coalesced, 0);
+
+  StreamOptions options;  // width 1: coalescing is width-independent
+  std::string got;
+  const RunnerStats stats = run_scheduled(base, stream, options, got);
+  EXPECT_EQ(strip_latency(got), strip_latency(expected));
+  EXPECT_EQ(stats.requests, 5);
+  EXPECT_EQ(stats.coalesced, 3);  // one query + two what_if duplicates
+}
+
+/// Satellite: a stream of nothing but malformed lines, unknown ops, and
+/// invalid ids completes with one {"ok":false} response per line -- the
+/// stream is never terminated early.
+TEST(ServiceScheduler, ErrorStreamCompletesWithPerLineResponses) {
+  const System base = make_base(7);
+  const std::string stream =
+      "{broken\n"
+      "\n"
+      "# skipped comment\n"
+      "{\"op\": 42}\n"
+      "{\"op\": \"frobnicate\"}\n"
+      "{\"op\": \"what_if\"}\n"
+      "{\"op\": \"what_if\", \"job\": {\"name\": \"x\"}}\n"
+      "{\"op\": \"remove\"}\n"
+      "{\"op\": \"remove\", \"job_id\": 424242}\n"
+      "{\"op\": \"remove\", \"name\": \"ghost\"}\n"
+      "{\"op\": \"query\"}\n";
+  StreamOptions options;
+  options.parallel_reads = 2;
+  std::string responses;
+  const RunnerStats stats = run_scheduled(base, stream, options, responses);
+
+  EXPECT_EQ(stats.requests, 9);  // 11 lines minus blank + comment
+  EXPECT_EQ(stats.errors, 8);    // everything except the final query
+  EXPECT_EQ(stats.failures, 0);
+
+  std::istringstream lines(responses);
+  std::string line;
+  int parsed = 0;
+  bool saw_ok = false;
+  while (std::getline(lines, line)) {
+    const json::ParseResult doc = json::parse(line);
+    ASSERT_TRUE(doc.ok) << line;
+    const json::Value* ok = doc.value.find("ok");
+    ASSERT_NE(ok, nullptr) << line;
+    if (ok->as_bool()) {
+      saw_ok = true;
+    } else {
+      const json::Value* error = doc.value.find("error");
+      ASSERT_NE(error, nullptr) << line;
+      EXPECT_FALSE(error->as_string().empty()) << line;
+    }
+    ASSERT_NE(doc.value.find("latency_us"), nullptr) << line;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 9);
+  EXPECT_TRUE(saw_ok);  // the trailing query succeeded
+}
+
+/// Backpressure is batch-depth based, hence deterministic: with
+/// max_inflight = 2, the third and later consecutive reads are shed with
+/// retry = true until a barrier drains the batch.
+TEST(ServiceScheduler, BackpressureShedsDeterministically) {
+  const System base = make_base(11);
+  Rng rng(23);
+  std::ostringstream stream;
+  for (int i = 0; i < 5; ++i) {
+    stream << job_request("what_if", random_candidate(rng, base, i), false)
+           << "\n";
+  }
+  stream << "{\"op\": \"query\"}\n";  // same class: still shed
+
+  StreamOptions options;
+  options.parallel_reads = 2;
+  options.max_inflight = 2;
+  std::string responses;
+  const RunnerStats stats =
+      run_scheduled(base, stream.str(), options, responses);
+
+  EXPECT_EQ(stats.requests, 6);
+  EXPECT_EQ(stats.rejected, 4);  // requests 3..6 overflow the depth-2 batch
+  int retries = 0;
+  std::istringstream lines(responses);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const json::ParseResult doc = json::parse(line);
+    ASSERT_TRUE(doc.ok) << line;
+    if (const json::Value* retry = doc.value.find("retry"); retry != nullptr) {
+      EXPECT_TRUE(retry->as_bool());
+      ASSERT_NE(doc.value.find("ok"), nullptr);
+      EXPECT_FALSE(doc.value.find("ok")->as_bool());
+      ++retries;
+    }
+  }
+  EXPECT_EQ(retries, 4);
+
+  // A class barrier drains the batch: mutations interleaved with reads keep
+  // every batch under the bound, so nothing is shed.
+  std::ostringstream paced;
+  for (int i = 0; i < 4; ++i) {
+    paced << job_request("what_if", random_candidate(rng, base, 10 + i), false)
+          << "\n";
+    paced << "{\"op\": \"remove\", \"job_id\": 424242}\n";
+  }
+  const RunnerStats paced_stats =
+      run_scheduled(base, paced.str(), options, responses);
+  EXPECT_EQ(paced_stats.rejected, 0);
+}
+
+/// Requests older than the timeout at execution start are answered
+/// {"ok":false,...,"timeout":true} without running.
+TEST(ServiceScheduler, TimeoutExpiresStaleRequests) {
+  const System base = make_base(13);
+  AdmissionSession session(base, make_session_config(base));
+  std::ostringstream out;
+  StreamOptions options;
+  options.request_timeout_ms = 1.0;
+  RequestScheduler scheduler(session, out, options);
+
+  Rng rng(29);
+  scheduler.submit_line(
+      job_request("what_if", random_candidate(rng, base, 0), false));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  scheduler.finish();
+
+  EXPECT_EQ(scheduler.stats().requests, 1);
+  EXPECT_EQ(scheduler.stats().timeouts, 1);
+  EXPECT_EQ(scheduler.stats().errors, 1);
+  const json::ParseResult doc = json::parse(out.str());
+  ASSERT_TRUE(doc.ok) << out.str();
+  ASSERT_NE(doc.value.find("timeout"), nullptr) << out.str();
+  EXPECT_TRUE(doc.value.find("timeout")->as_bool());
+  EXPECT_FALSE(doc.value.find("ok")->as_bool());
+}
+
+/// Reads always observe the committed state as of the last preceding
+/// mutation: the class barrier is the ordering guarantee.
+TEST(ServiceScheduler, ReadsObserveLatestCommittedMutation) {
+  const System base = make_base(17);
+
+  // A feather-weight candidate with a huge deadline admits cleanly.
+  Job light;
+  light.name = "light";
+  light.deadline = 1000.0;
+  light.chain.push_back(Subjob{0, 0.001, 0});
+  light.arrivals = ArrivalSequence::periodic(50.0, base.last_release());
+
+  std::ostringstream stream;
+  stream << "{\"op\": \"query\"}\n";
+  stream << job_request("admit", light, /*with_priority=*/false) << "\n";
+  stream << "{\"op\": \"query\"}\n";
+  stream << "{\"op\": \"remove\", \"name\": \"light\"}\n";
+  stream << "{\"op\": \"query\"}\n";
+
+  StreamOptions options;
+  options.parallel_reads = 2;
+  std::string responses;
+  const RunnerStats stats =
+      run_scheduled(base, stream.str(), options, responses);
+  EXPECT_EQ(stats.errors, 0) << responses;
+
+  std::vector<int> job_counts;
+  std::istringstream lines(responses);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const json::ParseResult doc = json::parse(line);
+    ASSERT_TRUE(doc.ok) << line;
+    const json::Value* op = doc.value.find("op");
+    ASSERT_NE(op, nullptr) << line;
+    if (op->as_string() == "admit") {
+      const json::Value* committed = doc.value.find("committed");
+      ASSERT_NE(committed, nullptr) << line;
+      ASSERT_TRUE(committed->as_bool()) << line;
+    }
+    if (op->as_string() != "query") continue;
+    const json::Value* jobs = doc.value.find("jobs");
+    ASSERT_NE(jobs, nullptr) << line;
+    job_counts.push_back(static_cast<int>(jobs->as_number()));
+  }
+  ASSERT_EQ(job_counts.size(), 3u);
+  EXPECT_EQ(job_counts[0], base.job_count());
+  EXPECT_EQ(job_counts[1], base.job_count() + 1);  // saw the admit
+  EXPECT_EQ(job_counts[2], base.job_count());      // saw the remove
+}
+
+}  // namespace
+}  // namespace rta

@@ -300,6 +300,139 @@ TEST(Service, DuplicateExplicitIdFails) {
   EXPECT_EQ(session.system().job_count(), base.job_count());
 }
 
+// Invalid operations -- removing unknown or already-removed ids, admitting
+// a duplicate explicit id -- must fail with a clean error AND leave the
+// retained curve state untouched: subsequent decisions stay bit-identical
+// to fresh analyses.
+TEST(Service, InvalidOpsDoNotCorruptRetainedState) {
+  Rng rng(23);
+  const System base = random_base(rng, SchedulerKind::kSpp, false);
+  SessionConfig cfg;
+  cfg.analysis.horizon = 4.0 * default_horizon(base, AnalysisConfig{});
+  AnalysisConfig ref_cfg;
+  ref_cfg.horizon = cfg.analysis.horizon;
+  AdmissionSession session(base, cfg);
+  System shadow = base;
+
+  auto check_matches_shadow = [&](const std::string& label) {
+    expect_bit_identical(BoundsAnalyzer(ref_cfg).analyze(shadow),
+                         session.last(), label);
+    ASSERT_EQ(session.system().job_count(), shadow.job_count()) << label;
+  };
+
+  // Admit a candidate with an explicit id; it may be rejected on
+  // schedulability grounds, but the session must stay consistent.
+  Job first = random_job(rng, shadow, 0);
+  first.id = 777;
+  const Decision admit1 = session.admit(first);
+  ASSERT_TRUE(admit1.ok) << admit1.error;
+  if (admit1.committed) {
+    Job committed = first;
+    shadow.add_job(std::move(committed));
+  }
+  check_matches_shadow("after first admit");
+
+  // Double-admit of the same explicit id: clean duplicate error.
+  Job dup = random_job(rng, shadow, 1);
+  dup.id = 777;
+  const Decision admit2 = session.admit(dup);
+  if (admit1.committed) {
+    EXPECT_FALSE(admit2.ok);
+    EXPECT_EQ(admit2.error, "duplicate job id 777");
+  }
+  check_matches_shadow("after duplicate admit");
+
+  // Remove of a nonexistent id: clean error, no state change.
+  const Decision gone = session.remove(987654321);
+  EXPECT_FALSE(gone.ok);
+  EXPECT_EQ(gone.error, "no job with id 987654321");
+  EXPECT_FALSE(gone.committed);
+  check_matches_shadow("after remove of unknown id");
+
+  if (admit1.committed) {
+    // Remove the admitted job, then remove it AGAIN: the second must fail
+    // without touching the (already reconciled) curves.
+    const Decision removed = session.remove(777);
+    ASSERT_TRUE(removed.ok) << removed.error;
+    ASSERT_TRUE(shadow.remove_job(shadow.job_index_by_id(777)));
+    check_matches_shadow("after remove");
+
+    const Decision twice = session.remove(777);
+    EXPECT_FALSE(twice.ok);
+    EXPECT_EQ(twice.error, "no job with id 777");
+    check_matches_shadow("after double remove");
+  }
+
+  // The session must still serve valid work after the abuse.
+  const Decision after = session.what_if(random_job(rng, shadow, 2));
+  EXPECT_TRUE(after.ok) << after.error;
+  check_matches_shadow("after recovery what_if");
+}
+
+// Randomized differential sequences salted with invalid operations: every
+// few steps an invalid remove or duplicate-id admit fires, and the next
+// valid decision must still match a fresh analysis bit for bit.
+TEST(ServiceDifferential, InvalidOpsInterleavedWithValidSequences) {
+  const RngFactory factory(0xBADC0DE5);
+  for (int trial = 0; trial < 3; ++trial) {
+    Rng rng = factory.stream(static_cast<std::uint64_t>(trial));
+    const System base = random_base(rng, SchedulerKind::kSpp, trial == 2);
+    SessionConfig cfg;
+    cfg.analysis.horizon = 4.0 * default_horizon(base, AnalysisConfig{});
+    AnalysisConfig ref_cfg;
+    ref_cfg.horizon = cfg.analysis.horizon;
+    AdmissionSession session(base, cfg);
+    System shadow = base;
+    std::vector<std::uint64_t> admitted;
+
+    for (int op = 0; op < 12; ++op) {
+      const std::string label =
+          "trial " + std::to_string(trial) + " op " + std::to_string(op);
+      switch (rng.uniform_int(0, 3)) {
+        case 0: {  // invalid remove
+          const Decision d = session.remove(500000 + op);
+          EXPECT_FALSE(d.ok) << label;
+          break;
+        }
+        case 1: {  // duplicate-id admit against an existing base job
+          Job dup = random_job(rng, shadow, op);
+          dup.id = shadow.job(0).id;
+          const Decision d = session.admit(dup);
+          EXPECT_FALSE(d.ok) << label;
+          EXPECT_EQ(d.error,
+                    "duplicate job id " + std::to_string(dup.id))
+              << label;
+          break;
+        }
+        case 2: {  // valid admit
+          Job job = random_job(rng, shadow, op);
+          const Decision d = session.admit(job);
+          ASSERT_TRUE(d.ok) << label << ": " << d.error;
+          if (d.committed) {
+            Job committed = job;
+            committed.id = d.job_id;
+            shadow.add_job(std::move(committed));
+            admitted.push_back(d.job_id);
+          }
+          break;
+        }
+        default: {  // valid remove when possible
+          if (admitted.empty()) break;
+          const std::uint64_t id = admitted.back();
+          admitted.pop_back();
+          const Decision d = session.remove(id);
+          ASSERT_TRUE(d.ok) << label << ": " << d.error;
+          ASSERT_TRUE(shadow.remove_job(shadow.job_index_by_id(id))) << label;
+          break;
+        }
+      }
+      expect_bit_identical(BoundsAnalyzer(ref_cfg).analyze(shadow),
+                           session.last(), label);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
 TEST(Service, AssignLowestPrioritiesPicksMaxPlusOnePerProcessor) {
   System system(2);
   Job a;

@@ -203,5 +203,55 @@ TEST(Json, NumbersSurviveDumpParse) {
   }
 }
 
+// Strict JSON number grammar: parse_number must reject everything the
+// grammar excludes instead of letting strtod swallow a prefix, and must be
+// immune to the process locale's decimal separator.
+TEST(Json, RejectsMalformedNumbers) {
+  const char* bad[] = {
+      "[12abc]",   // trailing garbage inside a token
+      "[1.2.3]",   // second decimal point
+      "[1e]",      // empty exponent
+      "[1e+]",     // sign-only exponent
+      "[+1]",      // leading plus
+      "[01]",      // leading zero
+      "[.5]",      // missing integer part
+      "[1.]",      // missing fraction digits
+      "[0x10]",    // hex
+      "[--1]",     // double sign
+      "[Infinity]", "[nan]",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(json::parse(text).ok) << text;
+  }
+}
+
+TEST(Json, AcceptsFullNumberGrammar) {
+  const struct {
+    const char* text;
+    double value;
+  } good[] = {
+      {"[0]", 0.0},       {"[-0]", -0.0},    {"[12]", 12.0},
+      {"[1.5]", 1.5},     {"[1e3]", 1000.0}, {"[1E-3]", 0.001},
+      {"[0.5e+2]", 50.0}, {"[1e308]", 1e308},
+  };
+  for (const auto& t : good) {
+    const json::ParseResult r = json::parse(t.text);
+    ASSERT_TRUE(r.ok) << t.text << ": " << r.error;
+    EXPECT_EQ(r.value.as_array()[0].as_number(), t.value) << t.text;
+  }
+}
+
+TEST(Json, OverflowingNumberIsAnErrorUnderflowIsZero) {
+  // 1e999 would read back as +inf and break the dump->parse round trip;
+  // the parser reports it instead of silently converting.
+  const json::ParseResult over = json::parse("[1e999]");
+  EXPECT_FALSE(over.ok);
+  EXPECT_NE(over.error.find("out of range"), std::string::npos) << over.error;
+  // Gradual underflow to zero is a faithful IEEE result, not an error.
+  const json::ParseResult under = json::parse("[1e-999]");
+  ASSERT_TRUE(under.ok) << under.error;
+  EXPECT_EQ(under.value.as_array()[0].as_number(), 0.0);
+}
+
 }  // namespace
 }  // namespace rta

@@ -54,8 +54,10 @@ int usage() {
       "  curves   FILE --out DIR [--method ...] [--priorities ...]\n"
       "  trace    FILE --out PREFIX [--horizon H] [--priorities ...]\n"
       "  serve    FILE --requests FILE [--out FILE] [--priorities ...]\n"
-      "           [--horizon H] [--threshold F]   JSONL admit/remove/what_if\n"
-      "           stream against an incremental session (docs/api.md)\n"
+      "           [--horizon H] [--threshold F] [--parallel-reads N]\n"
+      "           [--max-inflight N] [--request-timeout-ms MS]\n"
+      "           JSONL admit/remove/what_if stream against an incremental\n"
+      "           session; reads fan out over snapshots (docs/api.md)\n"
       "  generate [--stages N --procs N --jobs N --util U --seed S\n"
       "            --aperiodic --scheduler SPP|SPNP|FCFS] [--out FILE]\n"
       "  FILEs ending in .json use the JSON system format (docs/api.md).\n"
@@ -444,7 +446,8 @@ int cmd_trace(const Options& opts, System system) {
 
 int cmd_serve(const Options& opts, System system) {
   if (!check_flags("serve", opts,
-                   {"requests", "out", "horizon", "threshold", "priorities"})) {
+                   {"requests", "out", "horizon", "threshold", "priorities",
+                    "parallel-reads", "max-inflight", "request-timeout-ms"})) {
     return 2;
   }
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
@@ -477,10 +480,18 @@ int cmd_serve(const Options& opts, System system) {
     return 2;
   }
 
+  service::StreamOptions stream;
+  stream.parallel_reads =
+      static_cast<int>(opts.get_int("parallel-reads", stream.parallel_reads));
+  stream.max_inflight =
+      static_cast<int>(opts.get_int("max-inflight", stream.max_inflight));
+  stream.request_timeout_ms =
+      opts.get_double("request-timeout-ms", stream.request_timeout_ms);
+
   const std::string out_path = opts.get("out", "");
   service::RunnerStats stats;
   if (out_path.empty()) {
-    stats = service::run_request_stream(admission, in, std::cout);
+    stats = service::run_request_stream(admission, in, std::cout, stream);
     std::cout.flush();
     if (!std::cout) {
       std::fprintf(stderr, "write to stdout failed\n");
@@ -492,7 +503,7 @@ int cmd_serve(const Options& opts, System system) {
       std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
       return 2;
     }
-    stats = service::run_request_stream(admission, in, out);
+    stats = service::run_request_stream(admission, in, out, stream);
     out.flush();
     if (!out) {
       std::fprintf(stderr, "write to '%s' failed\n", out_path.c_str());
@@ -501,8 +512,11 @@ int cmd_serve(const Options& opts, System system) {
   }
 
   // Responses own stdout (JSONL); the human-facing summary goes to stderr.
-  std::fprintf(stderr, "served %d requests (%d failed); %d jobs admitted\n",
-               stats.requests, stats.errors,
+  std::fprintf(stderr,
+               "served %d requests (%d failed, %d threw, %d timed out, %d "
+               "rejected, %d coalesced); %d jobs admitted\n",
+               stats.requests, stats.errors, stats.failures, stats.timeouts,
+               stats.rejected, stats.coalesced,
                admission.system().job_count());
   session.print_stats(stderr);
   if (!session.write_exports()) return 2;
