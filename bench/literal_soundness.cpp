@@ -82,9 +82,11 @@ int main(int argc, char** argv) {
       }
       const char* vname =
           variant == BoundsVariant::kPaperLiteral ? "literal" : "sound";
-      const double frac =
-          checked ? static_cast<double>(violations) / checked : 0.0;
-      const double mean_ratio = ratio_n ? ratio_sum / ratio_n : 0.0;
+      const double frac = checked ? static_cast<double>(violations) /
+                                        static_cast<double>(checked)
+                                  : 0.0;
+      const double mean_ratio =
+          ratio_n ? ratio_sum / static_cast<double>(ratio_n) : 0.0;
       std::printf("%-6s %-9s %8zu %11zu %10.3f %10.3f\n", to_string(kind),
                   vname, checked, violations, frac, mean_ratio);
       csv.add(std::string(to_string(kind)), std::string(vname), checked,

@@ -254,8 +254,8 @@ int main(int argc, char** argv) {
                 "hit%", "pass_ms", "prop_ms");
     std::printf("%8d %6s %10.4f %8.2f %12s %12s %6s %10.1f %10.1f\n", 1,
                 "off", baseline.seconds, 1.0, "-", "-", "-",
-                baseline.pass_time_us / 1000.0,
-                baseline.propagate_time_us / 1000.0);
+                static_cast<double>(baseline.pass_time_us) / 1000.0,
+                static_cast<double>(baseline.propagate_time_us) / 1000.0);
 
     std::vector<Point> points;
     points.push_back(baseline);
@@ -274,8 +274,9 @@ int main(int argc, char** argv) {
                   threads, "on", p.seconds, p.speedup,
                   static_cast<unsigned long long>(p.cache_hits),
                   static_cast<unsigned long long>(p.cache_misses),
-                  100.0 * p.cache_hit_rate, p.pass_time_us / 1000.0,
-                  p.propagate_time_us / 1000.0);
+                  100.0 * p.cache_hit_rate,
+                  static_cast<double>(p.pass_time_us) / 1000.0,
+                  static_cast<double>(p.propagate_time_us) / 1000.0);
       points.push_back(p);
     }
     results.emplace_back(scenario, std::move(points));

@@ -354,10 +354,10 @@ int main(int argc, char** argv) {
     service::RunnerStats stats;
   };
   std::vector<StreamRun> runs = {
-      {"sequential", false, 1},
-      {"scheduler pr=1", true, 1},
-      {"scheduler pr=2", true, 2},
-      {"scheduler pr=hw", true, 0},
+      {"sequential", false, 1, -1.0, 0, {}},
+      {"scheduler pr=1", true, 1, -1.0, 0, {}},
+      {"scheduler pr=2", true, 2, -1.0, 0, {}},
+      {"scheduler pr=hw", true, 0, -1.0, 0, {}},
   };
 
   std::printf("\nStream phase: %d requests, %.0f%% read-only, best of %d "

@@ -132,8 +132,8 @@ INSTANTIATE_TEST_SUITE_P(
                 "job b deadline 1\n hop 0 exec 1 prio 1\n arrivals explicit "
                 "0\nend\n",
                 "duplicate priority"}),
-    [](const testing::TestParamInfo<BadCase>& info) {
-      return info.param.name;
+    [](const testing::TestParamInfo<BadCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(SystemText, ErrorsCarryLineNumbers) {
