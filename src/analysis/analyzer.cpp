@@ -57,19 +57,19 @@ Analyzer::Analyzer(AnalysisConfig config) : config_(config) {}
 Analyzer::~Analyzer() = default;
 
 const ExactSppAnalyzer& Analyzer::exact() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (exact_ == nullptr) exact_ = std::make_unique<ExactSppAnalyzer>(config_);
   return *exact_;
 }
 
 const BoundsAnalyzer& Analyzer::bounds() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (bounds_ == nullptr) bounds_ = std::make_unique<BoundsAnalyzer>(config_);
   return *bounds_;
 }
 
 const IterativeBoundsAnalyzer& Analyzer::iterative() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (iterative_ == nullptr) {
     iterative_ = std::make_unique<IterativeBoundsAnalyzer>(config_);
   }
@@ -77,7 +77,7 @@ const IterativeBoundsAnalyzer& Analyzer::iterative() const {
 }
 
 const HolisticAnalyzer& Analyzer::holistic() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (holistic_ == nullptr) {
     holistic_ = std::make_unique<HolisticAnalyzer>(config_);
   }

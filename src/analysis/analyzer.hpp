@@ -26,12 +26,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "analysis/result.hpp"
 #include "model/system.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rta {
 
@@ -105,11 +105,15 @@ class Analyzer {
   [[nodiscard]] const HolisticAnalyzer& holistic() const;
 
   AnalysisConfig config_;
-  mutable std::mutex mutex_;  ///< guards lazy engine creation only
-  mutable std::unique_ptr<ExactSppAnalyzer> exact_;
-  mutable std::unique_ptr<BoundsAnalyzer> bounds_;
-  mutable std::unique_ptr<IterativeBoundsAnalyzer> iterative_;
-  mutable std::unique_ptr<HolisticAnalyzer> holistic_;
+  /// Guards lazy engine creation only: the pointers below are set once
+  /// under mutex_; the engines themselves are internally thread-safe and
+  /// used outside the lock.
+  mutable Mutex mutex_;
+  mutable std::unique_ptr<ExactSppAnalyzer> exact_ RTA_GUARDED_BY(mutex_);
+  mutable std::unique_ptr<BoundsAnalyzer> bounds_ RTA_GUARDED_BY(mutex_);
+  mutable std::unique_ptr<IterativeBoundsAnalyzer> iterative_
+      RTA_GUARDED_BY(mutex_);
+  mutable std::unique_ptr<HolisticAnalyzer> holistic_ RTA_GUARDED_BY(mutex_);
 };
 
 /// Analyze `system` (schedulers already set, priorities already assigned)

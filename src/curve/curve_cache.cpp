@@ -51,7 +51,7 @@ PwlCurve CurveCache::binary_op(
   const std::uint64_t k = splitmix64(key(f) * 3 + 1) ^ key(g);
   Shard& shard = shard_for(k);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = (shard.*map).find(k);
     if (it != (shard.*map).end()) {
       for (const BinaryEntry& e : it->second) {
@@ -68,7 +68,7 @@ PwlCurve CurveCache::binary_op(
   // then insert unless a racing thread beat us to it.
   conv_misses_.fetch_add(1, std::memory_order_relaxed);
   PwlCurve result = compute(f, g);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   std::vector<BinaryEntry>& bucket = (shard.*map)[k];
   for (const BinaryEntry& e : bucket) {
     if (same_knots(e.f, f.knots()) && same_knots(e.g, g.knots())) {
@@ -104,7 +104,7 @@ std::shared_ptr<const std::vector<Time>> CurveCache::level_inverses(
   if (count < 0) count = 0;
   const std::uint64_t k = key(c);
   Shard& shard = shard_for(k);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   UnaryEntry& entry = unary_entry(shard, k, c);
   const std::size_t have = entry.levels ? entry.levels->size() : 0;
   const std::size_t want = static_cast<std::size_t>(count);
@@ -129,7 +129,7 @@ std::shared_ptr<const std::vector<Time>> CurveCache::level_inverses(
 Time CurveCache::pseudo_inverse(const PwlCurve& c, double y) {
   const std::uint64_t k = key(c);
   Shard& shard = shard_for(k);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   UnaryEntry& entry = unary_entry(shard, k, c);
   const std::uint64_t y_bits = std::bit_cast<std::uint64_t>(y);
   const auto it = entry.at_y.find(y_bits);
@@ -156,7 +156,7 @@ CurveCacheStats CurveCache::stats() const {
 
 void CurveCache::clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.conv.clear();
     shard.deconv.clear();
     shard.unary.clear();

@@ -10,17 +10,19 @@
 // differential harness (tests/test_differential_engine.cpp) unchanged.
 //
 // Thread-safe: entries live in mutex-protected shards selected by hash, so
-// the parallel engine's workers can share one cache.
+// the parallel engine's workers can share one cache. Each shard's maps are
+// GUARDED_BY its mutex (util/thread_annotations.hpp); a Clang
+// -Wthread-safety build proves every map access holds the right shard lock.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "curve/pwl_curve.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rta {
 
@@ -92,10 +94,13 @@ class CurveCache {
     std::unordered_map<std::uint64_t, Time> at_y;     ///< pinv keyed by bits(y)
   };
   struct Shard {
-    std::mutex mutex;
-    std::unordered_map<std::uint64_t, std::vector<BinaryEntry>> conv;
-    std::unordered_map<std::uint64_t, std::vector<BinaryEntry>> deconv;
-    std::unordered_map<std::uint64_t, std::vector<UnaryEntry>> unary;
+    Mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<BinaryEntry>> conv
+        RTA_GUARDED_BY(mutex);
+    std::unordered_map<std::uint64_t, std::vector<BinaryEntry>> deconv
+        RTA_GUARDED_BY(mutex);
+    std::unordered_map<std::uint64_t, std::vector<UnaryEntry>> unary
+        RTA_GUARDED_BY(mutex);
   };
   static constexpr std::size_t kShardCount = 16;  // power of two
 
@@ -107,9 +112,9 @@ class CurveCache {
   }
 
   /// Entry for `c` in the right shard, created on demand; counts a collision
-  /// for every same-key entry holding a different curve. Caller must hold
-  /// the shard mutex.
-  UnaryEntry& unary_entry(Shard& shard, std::uint64_t k, const PwlCurve& c);
+  /// for every same-key entry holding a different curve.
+  UnaryEntry& unary_entry(Shard& shard, std::uint64_t k, const PwlCurve& c)
+      RTA_REQUIRES(shard.mutex);
 
   [[nodiscard]] PwlCurve binary_op(
       std::unordered_map<std::uint64_t, std::vector<BinaryEntry>> Shard::*map,

@@ -6,8 +6,9 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "util/thread_annotations.hpp"
 
 namespace rta::obs {
 
@@ -76,13 +77,15 @@ struct MetricsRegistry::Impl {
   };
 
   std::uint64_t uid = next_registry_uid();
-  mutable std::mutex mutex;
-  std::deque<Desc> descs;                       // stable addresses
-  std::map<std::string, std::size_t> by_name;   // name -> index into descs
-  std::uint32_t slot_count = 0;
-  std::deque<std::pair<std::string, std::unique_ptr<GaugeCell>>> gauges;
-  std::map<std::string, GaugeCell*> gauges_by_name;
-  std::vector<std::unique_ptr<Slab>> slabs;
+  mutable Mutex mutex;
+  std::deque<Desc> descs RTA_GUARDED_BY(mutex);  // stable addresses
+  std::map<std::string, std::size_t> by_name
+      RTA_GUARDED_BY(mutex);  // name -> index into descs
+  std::uint32_t slot_count RTA_GUARDED_BY(mutex) = 0;
+  std::deque<std::pair<std::string, std::unique_ptr<GaugeCell>>> gauges
+      RTA_GUARDED_BY(mutex);
+  std::map<std::string, GaugeCell*> gauges_by_name RTA_GUARDED_BY(mutex);
+  std::vector<std::unique_ptr<Slab>> slabs RTA_GUARDED_BY(mutex);
 
   /// The calling thread's slab, created/grown on demand.
   Slab* local_slab(std::uint32_t min_slots) {
@@ -95,13 +98,13 @@ struct MetricsRegistry::Impl {
       }
     }
     if (slab == nullptr) {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       slabs.push_back(std::make_unique<Slab>());
       slab = slabs.back().get();
       cache.emplace_back(uid, slab);
     }
     if (slab->ready.load(std::memory_order_relaxed) < min_slots) {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       while (slab->cells.size() < slot_count) slab->cells.emplace_back(0);
       slab->ready.store(slab->cells.size(), std::memory_order_release);
     }
@@ -114,7 +117,7 @@ MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
 MetricsRegistry::~MetricsRegistry() { delete impl_; }
 
 Counter MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   auto it = impl_->by_name.find(name);
   if (it != impl_->by_name.end()) {
     const Impl::Desc& d = impl_->descs[it->second];
@@ -134,7 +137,7 @@ Counter MetricsRegistry::counter(const std::string& name) {
 
 Histogram MetricsRegistry::histogram(const std::string& name,
                                      const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   auto it = impl_->by_name.find(name);
   if (it != impl_->by_name.end()) {
     const Impl::Desc& d = impl_->descs[it->second];
@@ -156,7 +159,7 @@ Histogram MetricsRegistry::histogram(const std::string& name,
 }
 
 Gauge MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   auto it = impl_->gauges_by_name.find(name);
   if (it != impl_->gauges_by_name.end()) return Gauge(it->second);
   assert(impl_->by_name.find(name) == impl_->by_name.end());
@@ -249,7 +252,7 @@ void MetricsRegistry::cas_sum_slot(std::uint32_t slot, double v) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   auto slot_sum = [&](std::uint32_t slot) {
     std::uint64_t total = 0;
     for (const auto& slab : impl_->slabs) {

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace rta::obs {
 
@@ -39,17 +40,17 @@ void json_escape_into(std::string& out, const std::string& s) {
 /// thread; the mutex makes export from another thread safe and is otherwise
 /// uncontended.
 struct ThreadBuf {
-  int tid = 0;
-  double last_ts = -1.0;
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
+  int tid = 0;  ///< written once at creation, then immutable
+  Mutex mutex;
+  double last_ts RTA_GUARDED_BY(mutex) = -1.0;
+  std::vector<TraceEvent> events RTA_GUARDED_BY(mutex);
 };
 
 struct Tracer::Impl {
   std::uint64_t uid = next_tracer_uid();
-  std::mutex mutex;
-  std::vector<std::unique_ptr<ThreadBuf>> bufs;
-  int next_tid = 0;
+  Mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs RTA_GUARDED_BY(mutex);
+  int next_tid RTA_GUARDED_BY(mutex) = 0;
 };
 
 Tracer::Tracer() : t0_(std::chrono::steady_clock::now()), impl_(new Impl) {}
@@ -67,7 +68,7 @@ void* Tracer::local_buf() {
   for (auto& [id, buf] : cache) {
     if (id == impl_->uid) return buf;
   }
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->bufs.push_back(std::make_unique<ThreadBuf>());
   ThreadBuf* buf = impl_->bufs.back().get();
   buf->tid = impl_->next_tid++;
@@ -79,7 +80,7 @@ void Tracer::emit(char phase, void* buf_ptr, const std::string& name,
                   const std::string& args) {
   ThreadBuf* buf = static_cast<ThreadBuf*>(buf_ptr);
   double ts = now_us();
-  std::lock_guard<std::mutex> lock(buf->mutex);
+  MutexLock lock(buf->mutex);
   // Strictly increasing timestamps per thread (nudge by 1 ns on clock ties).
   if (ts <= buf->last_ts) ts = buf->last_ts + 0.001;
   buf->last_ts = ts;
@@ -104,9 +105,9 @@ void Tracer::instant(std::string name, std::string args_json) {
 
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> all;
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   for (const auto& buf : impl_->bufs) {
-    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    MutexLock buf_lock(buf->mutex);
     all.insert(all.end(), buf->events.begin(), buf->events.end());
   }
   return all;

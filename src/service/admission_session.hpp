@@ -27,6 +27,15 @@
 // (heterogeneous SPP/SPNP/FCFS mixes included); a candidate that creates a
 // cycle is rejected with the analyzer's error. The ThreadPool and CurveCache
 // are owned by the session and reused across requests.
+//
+// Concurrency discipline (docs/static-analysis.md): a session is
+// single-owner -- one thread at a time calls its mutating entry points, and
+// concurrency comes from cloning committed snapshots (clone_committed) that
+// each hand off to exactly one worker. The session therefore holds no locks
+// of its own; the lock-bearing components it embeds (ThreadPool, CurveCache,
+// the obs registries) carry the Clang thread-safety annotations, and the
+// hand-off discipline itself is exercised under TSan and the differential
+// stream tests rather than the static analysis.
 #pragma once
 
 #include <cstdint>

@@ -43,6 +43,15 @@
 // simulated value after the batch -- so job_id fields and later admits match
 // the sequential runner bit for bit.
 //
+// Concurrency discipline (docs/static-analysis.md): shared state during a
+// read fan-out is partitioned, not locked -- each Pending entry's outcome
+// fields are written by exactly one worker (the chunk that executes it),
+// chunk 0 owns the primary session, and chunks 1.. own one replica each.
+// The scheduler therefore carries no mutexes; the ThreadPool it fans out on
+// is fully annotated for Clang's -Wthread-safety, and the partitioning
+// contract is enforced dynamically (TSan job) and differentially
+// (tests/test_request_scheduler.cpp) rather than statically.
+//
 // Failure isolation: a request whose execution throws yields an
 // {"ok":false,"error":"request failed: ..."} response for its line; the
 // stream always continues. Backpressure (max_inflight) rejects with

@@ -2,9 +2,10 @@
 #pragma once
 
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "util/thread_annotations.hpp"
 
 namespace rta {
 
@@ -20,8 +21,8 @@ class Log {
 
   static void write(LogLevel lvl, const std::string& msg) {
     if (lvl < level()) return;
-    static std::mutex mu;
-    std::lock_guard<std::mutex> lock(mu);
+    static Mutex mu;  // serializes writers so lines never interleave
+    MutexLock lock(mu);
     std::cerr << "[" << name(lvl) << "] " << msg << "\n";
   }
 

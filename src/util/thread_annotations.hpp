@@ -1,0 +1,147 @@
+// Clang Thread Safety Analysis vocabulary for the concurrent components.
+//
+// The engine's headline guarantee -- bit-identical results at any thread
+// count -- is enforced dynamically by TSan and the differential tests, which
+// sample interleavings. This header is the static half: every shared-state
+// component declares its locking protocol with the RTA_* capability macros
+// below, and a Clang build with -Wthread-safety (-Werror=thread-safety in
+// CI's static-analysis job) proves at compile time that every access to a
+// guarded field happens with the right mutex held. See
+// docs/static-analysis.md for the conventions.
+//
+// On compilers without the attributes (GCC, MSVC) every macro expands to
+// nothing and the wrappers below reduce to the plain std primitives, so the
+// annotations cost nothing outside the analysis build.
+//
+// Components do not touch std::mutex directly: they hold an rta::Mutex
+// (an annotatable capability), take scopes with rta::MutexLock (an
+// annotated RAII guard), and block on rta::CondVar. rta_lint's raw-mutex
+// rule bans the unannotated std primitives outside src/util/ so the
+// discipline cannot silently erode.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RTA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RTA_THREAD_ANNOTATION
+#define RTA_THREAD_ANNOTATION(x)  // compiles away on non-Clang
+#endif
+
+/// Type attribute: instances of this class are lockable capabilities.
+#define RTA_CAPABILITY(x) RTA_THREAD_ANNOTATION(capability(x))
+
+/// Type attribute: RAII type that acquires in its constructor and releases
+/// in its destructor.
+#define RTA_SCOPED_CAPABILITY RTA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field attribute: reads and writes require holding `x`.
+#define RTA_GUARDED_BY(x) RTA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Field attribute: the pointed-to data requires holding `x`.
+#define RTA_PT_GUARDED_BY(x) RTA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: caller must hold the capabilities on entry (and
+/// still holds them on return).
+#define RTA_REQUIRES(...) \
+  RTA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RTA_REQUIRES_SHARED(...) \
+  RTA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability; caller must not hold it.
+#define RTA_ACQUIRE(...) \
+  RTA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: releases the capability; caller must hold it.
+#define RTA_RELEASE(...) \
+  RTA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability iff the return value equals
+/// the first argument.
+#define RTA_TRY_ACQUIRE(...) \
+  RTA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the capabilities (deadlock
+/// prevention for self-locking entry points).
+#define RTA_EXCLUDES(...) RTA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the named capability.
+#define RTA_RETURN_CAPABILITY(x) RTA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Function attribute: opt this function out of the analysis. Use only for
+/// protocols the analysis cannot express (ownership hand-off, init paths),
+/// with a comment saying why.
+#define RTA_NO_THREAD_SAFETY_ANALYSIS \
+  RTA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace rta {
+
+class CondVar;
+
+/// std::mutex as an annotatable capability. Same cost, same semantics; the
+/// only addition is that -Wthread-safety can now reason about it.
+class RTA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RTA_ACQUIRE() { mu_.lock(); }
+  void unlock() RTA_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() RTA_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Annotated RAII guard: the std::lock_guard of this codebase. Scoped to a
+/// block; the analysis knows the capability is held between construction
+/// and the end of the scope.
+class RTA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RTA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RTA_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to rta::Mutex. wait() requires the mutex held
+/// -- which is also true from the analysis's point of view: the capability
+/// is held on entry and on return, and the release/reacquire inside the
+/// wait is invisible to callers (exactly the guarantee the protocol needs:
+/// guarded state may only be touched before or after the wait, with the
+/// lock held either way).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Block until notified. Spurious wakeups happen; callers loop on their
+  /// guarded predicate (`while (!pred) cv.wait(mu);`), which keeps the
+  /// predicate reads inside the caller's annotated scope.
+  void wait(Mutex& mu) RTA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rta

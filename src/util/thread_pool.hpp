@@ -13,19 +13,24 @@
 // stays usable. The calling thread always participates as a shard, so a loop
 // makes progress even when every worker is busy (nested parallel_for_index
 // cannot deadlock).
+//
+// Locking protocol (proved by -Wthread-safety on Clang, see
+// util/thread_annotations.hpp): the task queue, the stop flag, and the
+// queue high-water mark are guarded by mutex_; a loop's first-exception
+// slot is guarded by its ForState mutex. Everything else is atomics.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace rta {
 
@@ -60,7 +65,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -72,7 +77,7 @@ class ThreadPool {
   /// Tasks submitted but not yet picked up by a worker. A point-in-time
   /// reading for queue-depth gauges; stale by the time the caller acts on it.
   [[nodiscard]] std::size_t pending() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return tasks_.size();
   }
 
@@ -84,7 +89,7 @@ class ThreadPool {
     s.indices_executed = indices_executed_.load(std::memory_order_relaxed);
     s.indices_abandoned = indices_abandoned_.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       s.queue_high_water = queue_high_water_;
     }
     s.worker_busy_ns.reserve(workers_.size());
@@ -97,7 +102,7 @@ class ThreadPool {
   /// Enqueue a task; it runs on some worker eventually. Tasks must not throw.
   void submit(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       tasks_.push(std::move(task));
       if (tasks_.size() > queue_high_water_) queue_high_water_ = tasks_.size();
     }
@@ -118,9 +123,9 @@ class ThreadPool {
       std::atomic<std::size_t> next{0};
       /// Indices retired: completed, thrown, or abandoned after a throw.
       std::atomic<std::size_t> accounted{0};
-      std::mutex mutex;
-      std::condition_variable cv;
-      std::exception_ptr error;  ///< first failure; guarded by mutex
+      Mutex mutex;
+      CondVar cv;
+      std::exception_ptr error RTA_GUARDED_BY(mutex);  ///< first failure
       std::size_t count = 0;
       std::function<void(std::size_t)> body;
       std::atomic<std::uint64_t>* executed_sink = nullptr;
@@ -128,7 +133,7 @@ class ThreadPool {
 
       void account(std::size_t n) {
         if (accounted.fetch_add(n, std::memory_order_acq_rel) + n == count) {
-          std::lock_guard<std::mutex> lock(mutex);
+          MutexLock lock(mutex);
           cv.notify_all();
         }
       }
@@ -141,7 +146,7 @@ class ThreadPool {
             body(i);
           } catch (...) {
             {
-              std::lock_guard<std::mutex> lock(mutex);
+              MutexLock lock(mutex);
               if (!error) error = std::current_exception();
             }
             // Stop handing out new indices; everything not yet handed out is
@@ -181,15 +186,16 @@ class ThreadPool {
     }
     state->run_shard();
 
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->cv.wait(lock, [&] {
-      return state->accounted.load(std::memory_order_acquire) == state->count;
-    });
-    if (state->error) {
-      const std::exception_ptr error = state->error;
-      lock.unlock();
-      std::rethrow_exception(error);
+    std::exception_ptr error;
+    {
+      MutexLock lock(state->mutex);
+      while (state->accounted.load(std::memory_order_acquire) !=
+             state->count) {
+        state->cv.wait(state->mutex);
+      }
+      error = state->error;
     }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
@@ -197,8 +203,8 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        MutexLock lock(mutex_);
+        while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
         if (stopping_ && tasks_.empty()) return;
         task = std::move(tasks_.front());
         tasks_.pop();
@@ -216,11 +222,11 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  std::size_t queue_high_water_ = 0;  ///< guarded by mutex_
+  mutable Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ RTA_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stopping_ RTA_GUARDED_BY(mutex_) = false;
+  std::size_t queue_high_water_ RTA_GUARDED_BY(mutex_) = 0;
   std::unique_ptr<std::atomic<std::uint64_t>[]> busy_ns_;
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> loops_{0};
