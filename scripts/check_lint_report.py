@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate an rta_lint JSON report (stdlib only).
+
+Usage:
+    check_lint_report.py report.json [--max-new N]
+
+Report JSON (as written by `rta_lint.py --json`):
+  * top level names the tool ("rta-lint"), an integer version, the scan
+    root, and a non-negative files_scanned;
+  * "rules" is a non-empty list of {name, description} objects with
+    unique names;
+  * every finding has file/line/rule/message/snippet plus boolean
+    suppressed/baselined flags; its rule appears in "rules"; line >= 1;
+    a finding is never both suppressed and baselined;
+  * findings are sorted by (file, line, rule);
+  * "counts" has new/baselined/suppressed, each matching a recount of
+    the findings list.
+
+--max-new fails the check when counts.new exceeds N (default 0), so CI
+can gate on "no new findings" while still archiving the full report.
+
+Exit status: 0 when the report validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+FINDING_KEYS = ("file", "line", "rule", "message", "snippet",
+                "suppressed", "baselined")
+
+
+def check_report(path, max_new):
+    errors = []
+
+    def fail(message):
+        errors.append(message)
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"cannot read report: {e}"]
+
+    if not isinstance(data, dict):
+        return ["top level must be an object"]
+
+    if data.get("tool") != "rta-lint":
+        fail(f"'tool' must be 'rta-lint', got {data.get('tool')!r}")
+    if not isinstance(data.get("version"), int):
+        fail("'version' must be an integer")
+    if not isinstance(data.get("root"), str):
+        fail("'root' must be a string")
+    files = data.get("files_scanned")
+    if not isinstance(files, int) or files < 0:
+        fail("'files_scanned' must be a non-negative integer")
+
+    rules = data.get("rules")
+    rule_names = set()
+    if not isinstance(rules, list) or not rules:
+        fail("'rules' must be a non-empty list")
+    else:
+        for n, rule in enumerate(rules):
+            if not isinstance(rule, dict) or not rule.get("name") \
+                    or not rule.get("description"):
+                fail(f"rule #{n}: needs non-empty 'name' and 'description'")
+                continue
+            if rule["name"] in rule_names:
+                fail(f"rule #{n}: duplicate name {rule['name']!r}")
+            rule_names.add(rule["name"])
+
+    findings = data.get("findings")
+    recount = {"new": 0, "baselined": 0, "suppressed": 0}
+    if not isinstance(findings, list):
+        fail("'findings' must be a list")
+        findings = []
+    prev_key = None
+    for n, f in enumerate(findings):
+        where = f"finding #{n}"
+        if not isinstance(f, dict):
+            fail(f"{where}: not an object")
+            continue
+        for key in FINDING_KEYS:
+            if key not in f:
+                fail(f"{where}: missing '{key}'")
+        if not isinstance(f.get("line"), int) or f.get("line", 0) < 1:
+            fail(f"{where}: 'line' must be a positive integer")
+        for key in ("suppressed", "baselined"):
+            if not isinstance(f.get(key), bool):
+                fail(f"{where}: '{key}' must be a boolean")
+        if f.get("suppressed") and f.get("baselined"):
+            fail(f"{where}: cannot be both suppressed and baselined")
+        if rule_names and f.get("rule") not in rule_names:
+            fail(f"{where}: rule {f.get('rule')!r} not in 'rules'")
+        key = (f.get("file", ""), f.get("line", 0), f.get("rule", ""))
+        if prev_key is not None and key < prev_key:
+            fail(f"{where}: findings not sorted by (file, line, rule)")
+        prev_key = key
+        if f.get("suppressed"):
+            recount["suppressed"] += 1
+        elif f.get("baselined"):
+            recount["baselined"] += 1
+        else:
+            recount["new"] += 1
+
+    counts = data.get("counts")
+    if not isinstance(counts, dict):
+        fail("'counts' must be an object")
+    else:
+        for key in ("new", "baselined", "suppressed"):
+            if counts.get(key) != recount[key]:
+                fail(f"counts.{key} is {counts.get(key)!r}, recount says "
+                     f"{recount[key]}")
+
+    if recount["new"] > max_new:
+        fail(f"{recount['new']} new finding(s) exceed --max-new {max_new}")
+
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="rta_lint JSON report to validate")
+    parser.add_argument("--max-new", type=int, default=0,
+                        help="maximum allowed new findings (default 0)")
+    args = parser.parse_args()
+
+    errors = check_report(args.report, args.max_new)
+    if errors:
+        for e in errors:
+            print(f"check_lint_report: {args.report}: {e}", file=sys.stderr)
+        return 1
+    print(f"check_lint_report: {args.report}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,8 @@ void assign_by_key(System& system,
               [&](const SubjobRef& a, const SubjobRef& b) {
                 const double ka = key(a);
                 const double kb = key(b);
+                // rta-lint: allow(float-eq) strict-weak-ordering tie-break;
+                // an epsilon here would make the sort order intransitive
                 if (ka != kb) return ka < kb;
                 if (a.job != b.job) return a.job < b.job;
                 return a.hop < b.hop;

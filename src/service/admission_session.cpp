@@ -101,6 +101,8 @@ DirtySet dirty_for_added_job(const System& system,
         if (r.job == k_new) continue;
         const double before =
             blocking_excluding(system, p, system.subjob(r).priority, k_new);
+        // rta-lint: allow(float-eq) change detection: any bit difference in
+        // the blocking term must seed the dirty set, so exact compare is right
         if (system.blocking_time(r) != before) seeds.push_back(graph.node(r));
       }
     }
@@ -313,6 +315,8 @@ bool AdmissionSession::try_fast_what_if(const Job& job, ReadDecision& rd) {
                  config_.analysis.horizon_padding_fraction * window);
     h = std::max<Time>(window + padding, 1.0);
   }
+  // rta-lint: allow(float-eq) cache identity: reuse is sound only for a
+  // bit-identical horizon, an epsilon match would resume from wrong states
   if (h != horizon_) return false;
   // Mirror the dirty-closure threshold: past it the sequential path runs a
   // full wavefront (and reports incremental = false).
@@ -473,6 +477,8 @@ Decision AdmissionSession::run_candidate(Job job, bool commit_on_admit) {
     dirty_counter = eobs_->metrics()->counter("service.dirty_subjobs");
   }
 
+  // rta-lint: allow(float-eq) cache identity: incremental reuse requires a
+  // bit-identical horizon (see can_incremental)
   if (have_states_ && h == horizon_) {
     const DependencyGraph graph = build_dependency_graph(system_);
     const DirtySet dirty = dirty_for_added_job(system_, graph, k_new);
@@ -592,6 +598,8 @@ Decision AdmissionSession::remove(std::uint64_t job_id) {
     dirty_counter = eobs_->metrics()->counter("service.dirty_subjobs");
   }
 
+  // rta-lint: allow(float-eq) cache identity: incremental reuse requires a
+  // bit-identical horizon (see can_incremental)
   if (have_states_ && h == horizon_) {
     const DependencyGraph graph = build_dependency_graph(system_);
     const DirtySet dirty =

@@ -1,0 +1,26 @@
+// Fixture: unordered-iter keys on the enclosing function name outside
+// src/io/ -- only output-producing functions are flagged.
+#include <unordered_map>
+#include <vector>
+
+namespace rta {
+
+int count_entries(const std::unordered_map<int, double>& by_id) {
+  int n = 0;
+  for (const auto& kv : by_id) {  // not an output path: no finding
+    (void)kv;
+    ++n;
+  }
+  return n;
+}
+
+std::vector<char> write_json_report(
+    const std::unordered_map<int, double>& by_id) {
+  std::vector<char> out;
+  for (const auto& kv : by_id) {  // finding: unordered-iter
+    out.push_back(static_cast<char>(kv.first));
+  }
+  return out;
+}
+
+}  // namespace rta

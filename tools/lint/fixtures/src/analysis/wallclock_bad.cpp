@@ -1,0 +1,32 @@
+// Fixture: wallclock calls in analysis code (src/analysis/ is not exempt).
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace rta {
+
+double sample_now() {
+  auto t = std::chrono::system_clock::now();  // finding: system_clock
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+int jitter() {
+  return std::rand() % 7;  // finding: rand()
+}
+
+long long stamp() {
+  return std::time(nullptr);  // finding: time()
+}
+
+long long member_call_is_fine(const Span& span) {
+  return span.clock();  // member call on an object: no finding
+}
+
+std::string strings_and_comments_are_fine() {
+  // a comment naming system_clock is not a finding
+  return "neither is rand() inside a string literal";
+}
+
+}  // namespace rta

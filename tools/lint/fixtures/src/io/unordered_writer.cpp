@@ -1,0 +1,16 @@
+// Fixture: everything under src/io/ is an output path, so any unordered
+// iteration here is a determinism bug regardless of the function name.
+#include <string>
+#include <unordered_map>
+
+namespace rta {
+
+std::string collect(const std::unordered_map<int, double>& cells) {
+  std::string out;
+  for (const auto& kv : cells) {  // finding: unordered-iter (src/io/ path)
+    out += std::to_string(kv.first);
+  }
+  return out;
+}
+
+}  // namespace rta

@@ -1,0 +1,12 @@
+// Fixture: src/obs/ measures wall time by design -- exempt from wallclock.
+#include <chrono>
+
+namespace rta {
+
+double wall_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace rta

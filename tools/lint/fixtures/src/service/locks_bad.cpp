@@ -1,0 +1,25 @@
+// Fixture: naked-lock and raw-mutex outside src/util/.
+#include <mutex>
+#include <vector>
+
+namespace rta {
+
+class Queue {
+ public:
+  void push(int v) {
+    mu_.lock();  // finding: naked-lock
+    items_.push_back(v);
+    mu_.unlock();  // finding: naked-lock
+  }
+
+  int size() {
+    std::lock_guard<std::mutex> lock(mu_);  // findings: raw-mutex (x2)
+    return static_cast<int>(items_.size());
+  }
+
+ private:
+  std::mutex mu_;  // finding: raw-mutex
+  std::vector<int> items_;
+};
+
+}  // namespace rta

@@ -1,0 +1,18 @@
+// Fixture: src/util/ implements the annotated lock vocabulary, so it is
+// exempt from naked-lock and raw-mutex.
+#pragma once
+
+#include <mutex>
+
+namespace rta {
+
+class Wrapper {
+ public:
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace rta
