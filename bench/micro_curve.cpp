@@ -1,9 +1,26 @@
 // Microbenchmarks of the curve-algebra substrate (google-benchmark):
 // the operators that dominate analysis cost.
+//
+// Two modes:
+//   * default: the usual google-benchmark CLI, now including Legacy* twins
+//     that run the knot-walking reference kernels (curve/reference.hpp) so
+//     `--benchmark_filter=Add` prints flat-vs-legacy side by side;
+//   * `--out FILE`: a self-timed flat-vs-legacy comparison harness that
+//     writes FILE as JSON (BENCH_curve.json in CI) with ns/op for both
+//     implementations and the speedup per kernel.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "curve/algebra.hpp"
 #include "curve/arrival.hpp"
+#include "curve/minplus.hpp"
+#include "curve/reference.hpp"
 #include "curve/transforms.hpp"
 #include "util/rng.hpp"
 
@@ -41,6 +58,15 @@ void BM_CurveAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_CurveAdd)->Range(16, 1024)->Complexity();
 
+void BM_LegacyCurveAdd(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  const legacyref::Curve a = make_step(jumps, 100.0, 1).knots();
+  const legacyref::Curve b = make_step(jumps, 100.0, 2).knots();
+  for (auto _ : state) benchmark::DoNotOptimize(legacyref::add(a, b));
+  state.SetComplexityN(jumps);
+}
+BENCHMARK(BM_LegacyCurveAdd)->Range(16, 1024)->Complexity();
+
 void BM_CurveMinWithCrossings(benchmark::State& state) {
   const int jumps = static_cast<int>(state.range(0));
   const PwlCurve a = make_step(jumps, 100.0, 3);
@@ -59,6 +85,15 @@ void BM_RunningMax(benchmark::State& state) {
 }
 BENCHMARK(BM_RunningMax)->Range(16, 1024)->Complexity();
 
+void BM_LegacyRunningMax(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  const legacyref::Curve f =
+      curve_sub(PwlCurve::identity(100.0), make_step(jumps, 100.0, 4)).knots();
+  for (auto _ : state) benchmark::DoNotOptimize(legacyref::running_max(f));
+  state.SetComplexityN(jumps);
+}
+BENCHMARK(BM_LegacyRunningMax)->Range(16, 1024)->Complexity();
+
 void BM_ServiceTransform(benchmark::State& state) {
   const int jumps = static_cast<int>(state.range(0));
   const PwlCurve c = curve_scale(make_step(jumps, 100.0, 5), 0.05);
@@ -69,6 +104,40 @@ void BM_ServiceTransform(benchmark::State& state) {
   state.SetComplexityN(jumps);
 }
 BENCHMARK(BM_ServiceTransform)->Range(16, 1024)->Complexity();
+
+void BM_LegacyServiceTransform(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  const legacyref::Curve c =
+      curve_scale(make_step(jumps, 100.0, 5), 0.05).knots();
+  const legacyref::Curve avail = PwlCurve::identity(100.0).knots();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legacyref::service_transform(avail, c));
+  }
+  state.SetComplexityN(jumps);
+}
+BENCHMARK(BM_LegacyServiceTransform)->Range(16, 1024)->Complexity();
+
+void BM_Convolution(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  const PwlCurve f = curve_scale(make_step(jumps, 100.0, 8), 0.4);
+  const PwlCurve g = curve_scale(make_step(jumps, 100.0, 9), 0.6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_plus_convolution(f, g));
+  }
+  state.SetComplexityN(jumps);
+}
+BENCHMARK(BM_Convolution)->Range(16, 128)->Complexity();
+
+void BM_LegacyConvolution(benchmark::State& state) {
+  const int jumps = static_cast<int>(state.range(0));
+  const legacyref::Curve f = curve_scale(make_step(jumps, 100.0, 8), 0.4).knots();
+  const legacyref::Curve g = curve_scale(make_step(jumps, 100.0, 9), 0.6).knots();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legacyref::convolution(f, g));
+  }
+  state.SetComplexityN(jumps);
+}
+BENCHMARK(BM_LegacyConvolution)->Range(16, 128)->Complexity();
 
 void BM_FloorDiv(benchmark::State& state) {
   const int jumps = static_cast<int>(state.range(0));
@@ -101,4 +170,214 @@ BENCHMARK(BM_ArrivalGeneration)->Range(64, 4096);
 }  // namespace
 }  // namespace rta
 
-BENCHMARK_MAIN();
+// ---------------------------------------------------------------------------
+// Self-timed flat-vs-legacy harness (`--out FILE`): the CI smoke run. Each
+// kernel is timed as best-of-repeats ns/op for the production (flat SoA)
+// implementation and the transplanted legacy knot-walking reference on
+// identical inputs, and the pairs land in a JSON report.
+
+namespace rta::curvebench {
+namespace {
+
+struct KernelResult {
+  std::string name;
+  int knots = 0;
+  double flat_ns = 0.0;
+  double legacy_ns = 0.0;
+};
+
+template <typename F>
+double ns_per_op(F&& body, int iters, int repeats) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) body();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(iters);
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+std::vector<KernelResult> run_comparison() {
+  std::vector<KernelResult> out;
+  constexpr int kRepeats = 5;
+
+  const auto probe_grid = [](Time horizon, int n) {
+    Rng rng(42);
+    std::vector<Time> ts;
+    ts.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) ts.push_back(rng.uniform(0.0, horizon));
+    std::sort(ts.begin(), ts.end());
+    return ts;
+  };
+
+  for (const int n : {256, 1024}) {
+    const PwlCurve a = make_step(n, 100.0, 1);
+    const PwlCurve b = make_step(n, 100.0, 2);
+    const legacyref::Curve ra = a.knots();
+    const legacyref::Curve rb = b.knots();
+
+    {
+      KernelResult k{"eval_sweep", n, 0.0, 0.0};
+      const std::vector<Time> ts = probe_grid(100.0, 512);
+      k.flat_ns = ns_per_op(
+          [&] {
+            for (Time t : ts) benchmark::DoNotOptimize(a.eval(t));
+          },
+          200, kRepeats);
+      k.legacy_ns = ns_per_op(
+          [&] {
+            for (Time t : ts) benchmark::DoNotOptimize(legacyref::eval(ra, t));
+          },
+          200, kRepeats);
+      out.push_back(k);
+    }
+    {
+      KernelResult k{"pseudo_inverse_sweep", n, 0.0, 0.0};
+      std::vector<double> levels;
+      for (int i = 0; i < 256; ++i) {
+        levels.push_back(a.end_value() * static_cast<double>(i) / 256.0);
+      }
+      k.flat_ns = ns_per_op(
+          [&] {
+            for (double y : levels) benchmark::DoNotOptimize(a.pseudo_inverse(y));
+          },
+          200, kRepeats);
+      k.legacy_ns = ns_per_op(
+          [&] {
+            for (double y : levels) {
+              benchmark::DoNotOptimize(legacyref::pseudo_inverse(ra, y));
+            }
+          },
+          200, kRepeats);
+      out.push_back(k);
+    }
+    {
+      KernelResult k{"pointwise_add", n, 0.0, 0.0};
+      k.flat_ns = ns_per_op([&] { benchmark::DoNotOptimize(curve_add(a, b)); },
+                            100, kRepeats);
+      k.legacy_ns = ns_per_op(
+          [&] { benchmark::DoNotOptimize(legacyref::add(ra, rb)); }, 100,
+          kRepeats);
+      out.push_back(k);
+    }
+    {
+      KernelResult k{"min_with_crossings", n, 0.0, 0.0};
+      const PwlCurve line = PwlCurve::line(100.0, a.end_value() / 100.0);
+      const legacyref::Curve rline = line.knots();
+      k.flat_ns = ns_per_op(
+          [&] { benchmark::DoNotOptimize(curve_min(a, line)); }, 100, kRepeats);
+      k.legacy_ns = ns_per_op(
+          [&] { benchmark::DoNotOptimize(legacyref::min(ra, rline)); }, 100,
+          kRepeats);
+      out.push_back(k);
+    }
+    {
+      KernelResult k{"running_max", n, 0.0, 0.0};
+      const PwlCurve f = curve_sub(PwlCurve::identity(100.0), a);
+      const legacyref::Curve rf = f.knots();
+      k.flat_ns = ns_per_op(
+          [&] { benchmark::DoNotOptimize(curve_running_max(f)); }, 100,
+          kRepeats);
+      k.legacy_ns = ns_per_op(
+          [&] { benchmark::DoNotOptimize(legacyref::running_max(rf)); }, 100,
+          kRepeats);
+      out.push_back(k);
+    }
+    {
+      KernelResult k{"min_scan_service_transform", n, 0.0, 0.0};
+      const PwlCurve c = curve_scale(a, 0.05);
+      const PwlCurve avail = PwlCurve::identity(100.0);
+      const legacyref::Curve rc = c.knots();
+      const legacyref::Curve ravail = avail.knots();
+      k.flat_ns = ns_per_op(
+          [&] { benchmark::DoNotOptimize(service_transform(avail, c)); }, 20,
+          kRepeats);
+      k.legacy_ns = ns_per_op(
+          [&] {
+            benchmark::DoNotOptimize(legacyref::service_transform(ravail, rc));
+          },
+          20, kRepeats);
+      out.push_back(k);
+    }
+  }
+
+  // Min-plus kernels scale superlinearly; keep operand sizes envelope-like.
+  for (const int n : {32, 96}) {
+    const PwlCurve f = curve_scale(make_step(n, 100.0, 8), 0.4);
+    const PwlCurve g = curve_scale(make_step(n, 100.0, 9), 0.6);
+    const legacyref::Curve rf = f.knots();
+    const legacyref::Curve rg = g.knots();
+    {
+      KernelResult k{"minplus_convolution", n, 0.0, 0.0};
+      k.flat_ns = ns_per_op(
+          [&] { benchmark::DoNotOptimize(min_plus_convolution(f, g)); }, 10,
+          kRepeats);
+      k.legacy_ns = ns_per_op(
+          [&] { benchmark::DoNotOptimize(legacyref::convolution(rf, rg)); },
+          10, kRepeats);
+      out.push_back(k);
+    }
+    {
+      KernelResult k{"minplus_deconvolution", n, 0.0, 0.0};
+      k.flat_ns = ns_per_op(
+          [&] { benchmark::DoNotOptimize(min_plus_deconvolution(f, g)); }, 10,
+          kRepeats);
+      k.legacy_ns = ns_per_op(
+          [&] { benchmark::DoNotOptimize(legacyref::deconvolution(rf, rg)); },
+          10, kRepeats);
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+int run_and_write(const std::string& path) {
+  const std::vector<KernelResult> results = run_comparison();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_curve\",\n");
+  std::fprintf(f, "  \"compare\": \"flat_soa_vs_legacy_knots\",\n");
+  std::fprintf(f, "  \"kernels\": [\n");
+  std::printf("%-28s %6s %14s %14s %9s\n", "kernel", "knots", "flat ns/op",
+              "legacy ns/op", "speedup");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& k = results[i];
+    const double speedup = k.legacy_ns / k.flat_ns;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"knots\": %d, "
+                 "\"flat_ns_per_op\": %.1f, \"legacy_ns_per_op\": %.1f, "
+                 "\"speedup\": %.3f}%s\n",
+                 k.name.c_str(), k.knots, k.flat_ns, k.legacy_ns, speedup,
+                 i + 1 < results.size() ? "," : "");
+    std::printf("%-28s %6d %14.1f %14.1f %8.2fx\n", k.name.c_str(), k.knots,
+                k.flat_ns, k.legacy_ns, speedup);
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace rta::curvebench
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      return rta::curvebench::run_and_write(argv[i + 1]);
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -4,37 +4,54 @@
 #include <cassert>
 #include <cmath>
 
+#include "curve/curve_arena.hpp"
 #include "obs/kernel_sink.hpp"
 
 namespace rta {
 
 namespace {
 
-/// Sorted union of the knot abscissae of two curves (tolerance-deduplicated).
-std::vector<Time> merged_grid(const PwlCurve& a, const PwlCurve& b) {
-  std::vector<Time> grid;
-  grid.reserve(a.knot_count() + b.knot_count());
-  for (const Knot& k : a.knots()) grid.push_back(k.t);
-  for (const Knot& k : b.knots()) grid.push_back(k.t);
-  std::sort(grid.begin(), grid.end());
-  std::vector<Time> out;
-  out.reserve(grid.size());
-  for (Time t : grid) {
+// The pointwise kernels walk the flat knot arrays directly: grids come from
+// a linear merge of the contiguous time arrays, evaluations from monotone
+// SegmentCursors, and results are assembled in the thread-local CurveArena
+// (one canonicalization pass, no per-curve vector<Knot> churn). Values and
+// grid contents match the legacy knot-walking implementation bit for bit
+// (tests/test_curve_kernels.cpp).
+
+/// Sorted union of the knot abscissae of two curves (tolerance-deduplicated)
+/// by linear merge of the already-sorted time arrays.
+void merged_grid(const CurveView& a, const CurveView& b,
+                 std::vector<Time>& out) {
+  out.clear();
+  out.reserve(a.n + b.n);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.n || j < b.n) {
+    Time t = 0.0;
+    if (j >= b.n || (i < a.n && a.t[i] <= b.t[j])) {
+      t = a.t[i++];
+    } else {
+      t = b.t[j++];
+    }
     if (out.empty() || !time_eq(out.back(), t)) out.push_back(t);
   }
-  return out;
 }
 
 /// Insert the crossing instants of (a - b) into the grid so that pointwise
 /// min/max stay piecewise linear between consecutive grid points.
-void insert_crossings(const PwlCurve& a, const PwlCurve& b,
+void insert_crossings(const CurveView& a, const CurveView& b,
                       std::vector<Time>& grid) {
   std::vector<Time> crossings;
+  SegmentCursor ar(a);
+  SegmentCursor br(b);
+  SegmentCursor al(a);
+  SegmentCursor bl(b);
   for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
     const Time u = grid[i];
     const Time v = grid[i + 1];
-    const double du = a.eval(u) - b.eval(u);            // right values at u
-    const double dv = a.eval_left(v) - b.eval_left(v);  // left values at v
+    const double du = flat_eval(a, u, ar) - flat_eval(b, u, br);  // right
+    const double dv =
+        flat_eval_left(a, v, al) - flat_eval_left(b, v, bl);  // left
     if ((du > kValueEps && dv < -kValueEps) ||
         (du < -kValueEps && dv > kValueEps)) {
       const Time tc = u + (v - u) * (du / (du - dv));
@@ -53,15 +70,24 @@ template <typename Op>
 PwlCurve combine(const PwlCurve& a, const PwlCurve& b, Op op,
                  bool needs_crossings) {
   assert(time_eq(a.horizon(), b.horizon()));
-  std::vector<Time> grid = merged_grid(a, b);
-  if (needs_crossings) insert_crossings(a, b, grid);
-  std::vector<Knot> knots;
-  knots.reserve(grid.size());
+  const CurveView av = a.view();
+  const CurveView bv = b.view();
+  std::vector<Time>& grid = tls_grid_scratch();
+  merged_grid(av, bv, grid);
+  if (needs_crossings) insert_crossings(av, bv, grid);
+  CurveArena& arena = tls_curve_arena();
+  arena.clear();
+  arena.reserve(grid.size());
+  SegmentCursor al(av);
+  SegmentCursor ar(av);
+  SegmentCursor bl(bv);
+  SegmentCursor br(bv);
   for (Time t : grid) {
-    knots.push_back({t, op(a.eval_left(t), b.eval_left(t)),
-                     op(a.eval(t), b.eval(t))});
+    const double left = op(flat_eval_left(av, t, al), flat_eval_left(bv, t, bl));
+    const double right = op(flat_eval(av, t, ar), flat_eval(bv, t, br));
+    arena.push(t, left, right);
   }
-  PwlCurve result(std::move(knots));
+  PwlCurve result(arena.finalize());
   if (obs::KernelSink* sink = obs::kernel_sink()) {
     sink->pointwise_ops.inc();
     sink->pointwise_result_knots.observe(
@@ -91,21 +117,25 @@ PwlCurve curve_max(const PwlCurve& a, const PwlCurve& b) {
 }
 
 PwlCurve curve_scale(const PwlCurve& a, double factor) {
-  std::vector<Knot> knots = a.knots();
-  for (Knot& k : knots) {
-    k.left *= factor;
-    k.right *= factor;
+  const CurveView v = a.view();
+  CurveArena& arena = tls_curve_arena();
+  arena.clear();
+  arena.reserve(v.n);
+  for (std::size_t i = 0; i < v.n; ++i) {
+    arena.push(v.t[i], v.l[i] * factor, v.r[i] * factor);
   }
-  return PwlCurve(std::move(knots));
+  return PwlCurve(arena.finalize());
 }
 
 PwlCurve curve_add_constant(const PwlCurve& a, double value) {
-  std::vector<Knot> knots = a.knots();
-  for (Knot& k : knots) {
-    k.left += value;
-    k.right += value;
+  const CurveView v = a.view();
+  CurveArena& arena = tls_curve_arena();
+  arena.clear();
+  arena.reserve(v.n);
+  for (std::size_t i = 0; i < v.n; ++i) {
+    arena.push(v.t[i], v.l[i] + value, v.r[i] + value);
   }
-  return PwlCurve(std::move(knots));
+  return PwlCurve(arena.finalize());
 }
 
 PwlCurve curve_clamp_min(const PwlCurve& a, double floor_value) {
@@ -114,59 +144,61 @@ PwlCurve curve_clamp_min(const PwlCurve& a, double floor_value) {
 
 PwlCurve curve_shift_right(const PwlCurve& a, Time dt) {
   assert(dt >= 0.0);
-  if (time_eq(dt, 0.0)) return a;
+  if (time_eq(dt, 0.0)) return a;  // O(1): shares storage
   const Time horizon = a.horizon();
   const double v0 = a.eval(0.0);
-  std::vector<Knot> knots;
-  knots.reserve(a.knot_count() + 2);
-  knots.push_back({0.0, v0, v0});
+  const CurveView v = a.view();
+  CurveArena& arena = tls_curve_arena();
+  arena.clear();
+  arena.reserve(v.n + 2);
+  arena.push(0.0, v0, v0);
   if (time_lt(dt, horizon)) {
     // a's value at 0 holds on [0, dt); at dt the shifted curve starts.
-    knots.push_back({dt, v0, v0});
-    for (const Knot& k : a.knots()) {
-      const Time t = k.t + dt;
+    arena.push(dt, v0, v0);
+    for (std::size_t i = 0; i < v.n; ++i) {
+      const Time t = v.t[i] + dt;
       if (time_ge(t, horizon)) {
-        knots.push_back({horizon, a.eval_left(horizon - dt),
-                         a.eval(horizon - dt)});
+        arena.push(horizon, a.eval_left(horizon - dt), a.eval(horizon - dt));
         break;
       }
-      knots.push_back({t, k.left, k.right});
+      arena.push(t, v.l[i], v.r[i]);
     }
-    if (!time_ge(a.knots().back().t + dt, horizon)) {
-      knots.push_back({horizon, a.end_value(), a.end_value()});
+    if (!time_ge(v.t[v.n - 1] + dt, horizon)) {
+      arena.push(horizon, a.end_value(), a.end_value());
     }
   } else {
-    knots.push_back({horizon, v0, v0});
+    arena.push(horizon, v0, v0);
   }
-  return PwlCurve(std::move(knots));
+  return PwlCurve(arena.finalize());
 }
 
 PwlCurve curve_running_max(const PwlCurve& a) {
-  const auto& ks = a.knots();
-  std::vector<Knot> out;
-  out.reserve(ks.size() * 2);
-  double cur = ks.front().right;
-  out.push_back({0.0, cur, cur});
-  for (std::size_t i = 0; i + 1 < ks.size(); ++i) {
-    const Time t0 = ks[i].t;
-    const Time t1 = ks[i + 1].t;
-    const double v0 = ks[i].right;
-    const double v1 = ks[i + 1].left;
+  const CurveView v = a.view();
+  CurveArena& arena = tls_curve_arena();
+  arena.clear();
+  arena.reserve(v.n * 2);
+  double cur = v.r[0];
+  arena.push(0.0, cur, cur);
+  for (std::size_t i = 0; i + 1 < v.n; ++i) {
+    const Time t0 = v.t[i];
+    const Time t1 = v.t[i + 1];
+    const double v0 = v.r[i];
+    const double v1 = v.l[i + 1];
     // Segment from (t0, v0) to (t1, v1).
     if (v1 > cur + kValueEps) {
       if (v0 < cur - kValueEps) {
         // Flat until the segment rises through the current max.
         const Time tc = t0 + (t1 - t0) * ((cur - v0) / (v1 - v0));
-        out.push_back({tc, cur, cur});
+        arena.push(tc, cur, cur);
       }
       cur = v1;
     }
     // Value of M just before the jump at t1 equals cur (already >= v1).
     const double before = cur;
-    cur = std::max(cur, ks[i + 1].right);
-    out.push_back({t1, before, cur});
+    cur = std::max(cur, v.r[i + 1]);
+    arena.push(t1, before, cur);
   }
-  return PwlCurve(std::move(out));
+  return PwlCurve(arena.finalize());
 }
 
 PwlCurve curve_right_running_min(const PwlCurve& a) {
@@ -175,22 +207,24 @@ PwlCurve curve_right_running_min(const PwlCurve& a) {
   // Reflect: g(u) = -a(h - u). A knot (t, l, r) of `a` becomes a knot
   // (h - t, -r, -l) of g (the approach direction flips, so left and right
   // swap and negate). Segments map onto segments.
-  const auto& ks = a.knots();
-  std::vector<Knot> gk;
-  gk.reserve(ks.size());
-  for (std::size_t i = ks.size(); i-- > 0;) {
-    gk.push_back({h - ks[i].t, -ks[i].right, -ks[i].left});
+  const CurveView v = a.view();
+  CurveArena& arena = tls_curve_arena();
+  arena.clear();
+  arena.reserve(v.n);
+  for (std::size_t i = v.n; i-- > 0;) {
+    arena.push(h - v.t[i], -v.r[i], -v.l[i]);
   }
-  // The reflected first knot sits at u = 0; pin its left to its right.
-  const PwlCurve m = curve_running_max(PwlCurve(std::move(gk)));
+  // The reflected first knot sits at u = 0; its left limit is pinned to its
+  // right value by finalize().
+  const PwlCurve m = curve_running_max(PwlCurve(arena.finalize()));
   // Reflect back: R(t) = -M(h - t).
-  const auto& mk = m.knots();
-  std::vector<Knot> rk;
-  rk.reserve(mk.size());
-  for (std::size_t i = mk.size(); i-- > 0;) {
-    rk.push_back({h - mk[i].t, -mk[i].right, -mk[i].left});
+  const CurveView mv = m.view();
+  arena.clear();
+  arena.reserve(mv.n);
+  for (std::size_t i = mv.n; i-- > 0;) {
+    arena.push(h - mv.t[i], -mv.r[i], -mv.l[i]);
   }
-  return PwlCurve(std::move(rk));
+  return PwlCurve(arena.finalize());
 }
 
 PwlCurve curve_sum(const std::vector<PwlCurve>& curves, Time horizon) {
@@ -200,17 +234,17 @@ PwlCurve curve_sum(const std::vector<PwlCurve>& curves, Time horizon) {
 }
 
 Time curve_first_crossing(const PwlCurve& a, double y) {
-  const auto& ks = a.knots();
-  for (std::size_t i = 0; i < ks.size(); ++i) {
+  const CurveView v = a.view();
+  for (std::size_t i = 0; i < v.n; ++i) {
     // At the knot itself (right-continuous value).
-    if (ks[i].right >= y - kValueEps) return ks[i].t;
-    if (i + 1 == ks.size()) break;
+    if (v.r[i] >= y - kValueEps) return v.t[i];
+    if (i + 1 >= v.n) break;
     // Within the open segment towards the next knot's left limit.
-    const double v0 = ks[i].right;
-    const double v1 = ks[i + 1].left;
+    const double v0 = v.r[i];
+    const double v1 = v.l[i + 1];
     if (v1 >= y - kValueEps && v1 > v0 + kValueEps) {
       const double frac = (y - v0) / (v1 - v0);
-      return ks[i].t + std::clamp(frac, 0.0, 1.0) * (ks[i + 1].t - ks[i].t);
+      return v.t[i] + std::clamp(frac, 0.0, 1.0) * (v.t[i + 1] - v.t[i]);
     }
   }
   return kTimeInfinity;

@@ -7,41 +7,17 @@
 
 namespace rta {
 
-namespace {
-
-bool same_knots(const std::vector<Knot>& a, const std::vector<Knot>& b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (std::bit_cast<std::uint64_t>(a[i].t) !=
-            std::bit_cast<std::uint64_t>(b[i].t) ||
-        std::bit_cast<std::uint64_t>(a[i].left) !=
-            std::bit_cast<std::uint64_t>(b[i].left) ||
-        std::bit_cast<std::uint64_t>(a[i].right) !=
-            std::bit_cast<std::uint64_t>(b[i].right)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-std::uint64_t mix(std::uint64_t h, double v) {
-  return splitmix64(h ^ std::bit_cast<std::uint64_t>(v));
-}
-
-}  // namespace
-
 bool curves_identical(const PwlCurve& a, const PwlCurve& b) {
-  return same_knots(a.knots(), b.knots());
+  // Shared storage is the common case for cache hits: results handed out by
+  // the cache are O(1) handle copies of the stored entry.
+  if (a.data() == b.data()) return true;
+  return CurveData::identical(*a.data(), *b.data());
 }
 
 std::uint64_t CurveCache::structural_hash(const PwlCurve& c) {
-  std::uint64_t h = 0x9E3779B97F4A7C15ull ^ c.knot_count();
-  for (const Knot& k : c.knots()) {
-    h = mix(h, k.t);
-    h = mix(h, k.left);
-    h = mix(h, k.right);
-  }
-  return h;
+  // Cached at CurveData construction; same formula and value as the
+  // historical knot-walking hash.
+  return c.structural_hash();
 }
 
 PwlCurve CurveCache::binary_op(
@@ -56,7 +32,7 @@ PwlCurve CurveCache::binary_op(
     if (it != (shard.*map).end()) {
       for (const BinaryEntry& e : it->second) {
         verifies_.fetch_add(1, std::memory_order_relaxed);
-        if (same_knots(e.f, f.knots()) && same_knots(e.g, g.knots())) {
+        if (curves_identical(e.f, f) && curves_identical(e.g, g)) {
           conv_hits_.fetch_add(1, std::memory_order_relaxed);
           return e.result;
         }
@@ -71,11 +47,11 @@ PwlCurve CurveCache::binary_op(
   MutexLock lock(shard.mutex);
   std::vector<BinaryEntry>& bucket = (shard.*map)[k];
   for (const BinaryEntry& e : bucket) {
-    if (same_knots(e.f, f.knots()) && same_knots(e.g, g.knots())) {
+    if (curves_identical(e.f, f) && curves_identical(e.g, g)) {
       return result;
     }
   }
-  bucket.push_back({f.knots(), g.knots(), result});
+  bucket.push_back({f, g, result});
   return result;
 }
 
@@ -92,10 +68,10 @@ CurveCache::UnaryEntry& CurveCache::unary_entry(Shard& shard, std::uint64_t k,
   std::vector<UnaryEntry>& bucket = shard.unary[k];
   for (UnaryEntry& e : bucket) {
     verifies_.fetch_add(1, std::memory_order_relaxed);
-    if (same_knots(e.knots, c.knots())) return e;
+    if (curves_identical(e.curve, c)) return e;
     collisions_.fetch_add(1, std::memory_order_relaxed);
   }
-  bucket.push_back({c.knots(), nullptr, {}});
+  bucket.push_back({c, nullptr, {}});
   return bucket.back();
 }
 

@@ -1,9 +1,11 @@
 // Memoization layer for expensive curve operations.
 //
 // The fixed-point analyzers recompute the same min-plus products and
-// pseudo-inverses on every refinement round; this cache keys them by a cheap
-// structural hash of the exact knot vector. Hits are verified knot-for-knot
-// with exact (bitwise) double comparison before a stored result is returned,
+// pseudo-inverses on every refinement round; this cache keys them by the
+// structural hash of the exact knot bits, which PwlCurve now caches at
+// construction (keying is O(1)). Hits are verified with exact (bitwise)
+// storage comparison -- shared-pointer equality, then the cached hashes,
+// then memcmp of the flat arrays -- before a stored result is returned,
 // so a hash collision degrades to a recomputation, never to a wrong answer:
 // every value handed out is bit-identical to what the direct computation
 // would produce. That property is what lets the cached engine pass the
@@ -26,9 +28,10 @@
 
 namespace rta {
 
-/// Exact (bitwise) knot-vector equality: the collision-fallback comparison.
+/// Exact (bitwise) knot-storage equality: the collision-fallback comparison.
 /// Stricter than PwlCurve::approx_equal -- two curves are identical exactly
 /// when recomputing any operation on them yields bit-identical results.
+/// O(1) for curves sharing storage or with differing cached hashes.
 [[nodiscard]] bool curves_identical(const PwlCurve& a, const PwlCurve& b);
 
 /// Hit/miss accounting for one CurveCache.
@@ -82,14 +85,16 @@ class CurveCache {
   void clear();
 
  private:
-  /// Memoized results of one binary operation on one operand pair.
+  /// Memoized results of one binary operation on one operand pair. Operands
+  /// are O(1) handles to the shared flat storage (collision fallback
+  /// compares storage bitwise).
   struct BinaryEntry {
-    std::vector<Knot> f, g;  ///< exact operands, for collision fallback
+    PwlCurve f, g;  ///< exact operands, for collision fallback
     PwlCurve result;
   };
   /// Memoized pseudo-inverses of one curve.
   struct UnaryEntry {
-    std::vector<Knot> knots;  ///< exact operand, for collision fallback
+    PwlCurve curve;  ///< exact operand, for collision fallback
     std::shared_ptr<const std::vector<Time>> levels;  ///< pinv(1..n)
     std::unordered_map<std::uint64_t, Time> at_y;     ///< pinv keyed by bits(y)
   };

@@ -4,68 +4,115 @@
 #include <cassert>
 #include <vector>
 
+#include "curve/curve_arena.hpp"
 #include "obs/kernel_sink.hpp"
 
 namespace rta {
 
 namespace {
 
+// Both kernels probe candidate split points in knot order, so each operand
+// is walked by a monotone SegmentCursor instead of a binary search per
+// probe. Values at a curve's own knots are direct array reads (f(t_i) is
+// rights[i], f(t_i^-) is lefts[i] -- the first left limit is pinned to the
+// value at construction), which is exactly what the knot-based eval returned
+// there. The probe order and min/max accumulation order match the legacy
+// kernel line for line, so results are bit-identical (proven by
+// tests/test_curve_kernels.cpp).
+
 /// Evaluate inf_{0<=s<=t}{ f(s) + g(t-s) } exactly for one t: the expression
 /// is piecewise linear in s with breakpoints at f's knots and at t - (g's
 /// knots), so probing those candidates (both one-sided limits) suffices.
-double convolve_at(const PwlCurve& f, const PwlCurve& g, Time t) {
-  double best = f.eval(0.0) + g.eval(t);  // s = 0
-  auto probe = [&](Time s) {
-    if (s < 0.0 || time_gt(s, t)) return;
-    const Time r = t - s;
-    // Both one-sided limits at the candidate (jumps on either side).
-    best = std::min(best, f.eval(s) + g.eval(r));
-    best = std::min(best, f.eval_left(s) + g.eval(r));
-    best = std::min(best, f.eval(s) + g.eval_left(r));
-  };
-  for (const Knot& k : f.knots()) probe(k.t);
-  for (const Knot& k : g.knots()) probe(t - k.t);
-  probe(t);
+double convolve_at(const CurveView& f, const CurveView& g, Time t) {
+  double best = f.r[0] + flat_eval(g, t);  // s = 0
+  // Candidates at f's knots: s ascends, so the remainder t - s descends
+  // through g.
+  SegmentCursor gc(g);
+  for (std::size_t i = 0; i < f.n; ++i) {
+    const Time s = f.t[i];
+    if (time_gt(s, t)) break;  // later knots lie even further past t
+    const Time rem = t - s;
+    const double ge = flat_eval(g, rem, gc);
+    best = std::min(best, f.r[i] + ge);
+    best = std::min(best, f.l[i] + ge);
+    best = std::min(best, f.r[i] + flat_eval_left(g, rem, gc));
+  }
+  // Candidates at s = t - (g's knots): s descends, the remainder ascends.
+  // The remainder is recomputed as t - s (not the knot time itself) to keep
+  // the arithmetic identical to the legacy probe.
+  SegmentCursor fc(f);
+  SegmentCursor gc2(g);
+  for (std::size_t j = 0; j < g.n; ++j) {
+    const Time s = t - g.t[j];
+    if (s < 0.0) break;  // later knots push s further negative
+    const Time rem = t - s;
+    const double ge = flat_eval(g, rem, gc2);
+    const double fe = flat_eval(f, s, fc);
+    best = std::min(best, fe + ge);
+    best = std::min(best, flat_eval_left(f, s, fc) + ge);
+    best = std::min(best, fe + flat_eval_left(g, rem, gc2));
+  }
+  // s = t: the remainder is 0, where g's value and left limit are both the
+  // first right value.
+  const double fe = flat_eval(f, t);
+  best = std::min(best, fe + g.r[0]);
+  best = std::min(best, flat_eval_left(f, t) + g.r[0]);
   return best;
 }
 
 /// Evaluate sup_{0<=u<=H-t}{ f(t+u) - g(u) } exactly for one t.
-double deconvolve_at(const PwlCurve& f, const PwlCurve& g, Time t) {
-  const Time h = f.horizon();
-  double best = f.eval(t) - g.eval(0.0);  // u = 0
-  auto probe = [&](Time u) {
-    if (u < 0.0 || time_gt(t + u, h)) return;
-    best = std::max(best, f.eval(t + u) - g.eval(u));
-    best = std::max(best, f.eval_left(t + u) - g.eval_left(u));
-  };
-  for (const Knot& k : g.knots()) probe(k.t);
-  for (const Knot& k : f.knots()) probe(k.t - t);
-  probe(h - t);
+double deconvolve_at(const CurveView& f, const CurveView& g, Time t) {
+  const Time h = f.t[f.n - 1];
+  double best = flat_eval(f, t) - g.r[0];  // u = 0
+  // Candidates at g's knots: u ascends, so does the probe point t + u.
+  SegmentCursor fc(f);
+  for (std::size_t j = 0; j < g.n; ++j) {
+    const Time u = g.t[j];
+    if (time_gt(t + u, h)) break;  // later knots lie even further past h
+    best = std::max(best, flat_eval(f, t + u, fc) - g.r[j]);
+    best = std::max(best, flat_eval_left(f, t + u, fc) - g.l[j]);
+  }
+  // Candidates at u = (f's knots) - t: ascending as well.
+  SegmentCursor fc2(f);
+  SegmentCursor gc(g);
+  for (std::size_t i = 0; i < f.n; ++i) {
+    const Time u = f.t[i] - t;
+    if (u < 0.0) continue;
+    if (time_gt(t + u, h)) break;
+    best = std::max(best, flat_eval(f, t + u, fc2) - flat_eval(g, u, gc));
+    best = std::max(best,
+                    flat_eval_left(f, t + u, fc2) - flat_eval_left(g, u, gc));
+  }
+  // u = h - t.
+  const Time u = h - t;
+  if (u >= 0.0 && !time_gt(t + u, h)) {
+    best = std::max(best, flat_eval(f, t + u) - flat_eval(g, u));
+    best = std::max(best, flat_eval_left(f, t + u) - flat_eval_left(g, u));
+  }
   return best;
 }
 
 /// Result grid: all pairwise candidate abscissae where the optimum can
 /// switch -- sums (convolution) or differences (deconvolution) of knots.
-std::vector<Time> result_grid(const PwlCurve& f, const PwlCurve& g,
-                              bool sums) {
-  std::vector<Time> grid;
-  const Time h = f.horizon();
+void build_result_grid(const CurveView& f, const CurveView& g, bool sums,
+                       std::vector<Time>& grid) {
+  grid.clear();
+  const Time h = f.t[f.n - 1];
   grid.push_back(0.0);
   grid.push_back(h);
-  for (const Knot& kf : f.knots()) {
-    grid.push_back(kf.t);
-    for (const Knot& kg : g.knots()) {
-      const Time t = sums ? kf.t + kg.t : kf.t - kg.t;
+  for (std::size_t i = 0; i < f.n; ++i) {
+    grid.push_back(f.t[i]);
+    for (std::size_t j = 0; j < g.n; ++j) {
+      const Time t = sums ? f.t[i] + g.t[j] : f.t[i] - g.t[j];
       if (t > 0.0 && time_lt(t, h)) grid.push_back(t);
     }
   }
-  for (const Knot& kg : g.knots()) grid.push_back(kg.t);
+  for (std::size_t j = 0; j < g.n; ++j) grid.push_back(g.t[j]);
   std::sort(grid.begin(), grid.end());
   grid.erase(std::unique(grid.begin(), grid.end(),
                          [](Time a, Time b) { return time_eq(a, b); }),
              grid.end());
   while (!grid.empty() && grid.front() < 0.0) grid.erase(grid.begin());
-  return grid;
 }
 
 }  // namespace
@@ -78,15 +125,21 @@ PwlCurve min_plus_convolution(const PwlCurve& f, const PwlCurve& g) {
     sink->conv_operand_knots.observe(
         static_cast<double>(f.knot_count() + g.knot_count()));
   }
-  std::vector<Knot> knots;
-  for (Time t : result_grid(f, g, /*sums=*/true)) {
-    const double v = convolve_at(f, g, t);
-    knots.push_back({t, v, v});
+  const CurveView fv = f.view();
+  const CurveView gv = g.view();
+  std::vector<Time>& grid = tls_grid_scratch();
+  build_result_grid(fv, gv, /*sums=*/true, grid);
+  CurveArena& arena = tls_curve_arena();
+  arena.clear();
+  arena.reserve(grid.size());
+  for (Time t : grid) {
+    const double v = convolve_at(fv, gv, t);
+    arena.push(t, v, v);
   }
   // The value at a grid point is exact; between grid points the optimum
   // follows one linear regime, so linear interpolation is exact too. Jumps
   // in operands can create jumps in the result; re-probe the left limits.
-  PwlCurve result(std::move(knots));
+  PwlCurve result(arena.finalize());
   if (sink != nullptr) {
     sink->conv_result_knots.observe(static_cast<double>(result.knot_count()));
   }
@@ -101,12 +154,18 @@ PwlCurve min_plus_deconvolution(const PwlCurve& f, const PwlCurve& g) {
     sink->conv_operand_knots.observe(
         static_cast<double>(f.knot_count() + g.knot_count()));
   }
-  std::vector<Knot> knots;
-  for (Time t : result_grid(f, g, /*sums=*/false)) {
-    const double v = deconvolve_at(f, g, t);
-    knots.push_back({t, v, v});
+  const CurveView fv = f.view();
+  const CurveView gv = g.view();
+  std::vector<Time>& grid = tls_grid_scratch();
+  build_result_grid(fv, gv, /*sums=*/false, grid);
+  CurveArena& arena = tls_curve_arena();
+  arena.clear();
+  arena.reserve(grid.size());
+  for (Time t : grid) {
+    const double v = deconvolve_at(fv, gv, t);
+    arena.push(t, v, v);
   }
-  PwlCurve result(std::move(knots));
+  PwlCurve result(arena.finalize());
   if (sink != nullptr) {
     sink->conv_result_knots.observe(static_cast<double>(result.knot_count()));
   }

@@ -9,66 +9,30 @@
 
 namespace rta {
 
-namespace {
-
-/// Merge knots whose abscissae coincide within tolerance: keep the first
-/// left limit and the last right value (jumps compose).
-std::vector<Knot> normalize_knots(std::vector<Knot> knots) {
-  assert(!knots.empty());
-  std::vector<Knot> out;
-  out.reserve(knots.size());
-  for (const Knot& k : knots) {
-    if (!out.empty() && time_eq(out.back().t, k.t)) {
-      out.back().right = k.right;
-    } else {
-      assert(out.empty() || k.t > out.back().t);
-      out.push_back(k);
-    }
-  }
-  // Drop interior knots that are collinear and continuous: knot i is
-  // redundant if left == right and it lies on the segment between its
-  // neighbours.
-  if (out.size() > 2) {
-    std::vector<Knot> slim;
-    slim.reserve(out.size());
-    slim.push_back(out.front());
-    for (std::size_t i = 1; i + 1 < out.size(); ++i) {
-      const Knot& prev = slim.back();
-      const Knot& cur = out[i];
-      const Knot& next = out[i + 1];
-      if (std::fabs(cur.left - cur.right) <= kValueEps) {
-        const double span = next.t - prev.t;
-        const double expect =
-            prev.right + (next.left - prev.right) * ((cur.t - prev.t) / span);
-        if (std::fabs(cur.right - expect) <= kValueEps) continue;  // redundant
-      }
-      slim.push_back(cur);
-    }
-    slim.push_back(out.back());
-    out = std::move(slim);
-  }
-  return out;
-}
-
-}  // namespace
-
 PwlCurve::PwlCurve(std::vector<Knot> knots) {
   assert(!knots.empty());
   if (knots.empty()) {
-    knots_ = {{0.0, 0.0, 0.0}};
+    data_ = CurveData::zero_knot();
     return;
   }
-  // Anchor the curve at t = 0.
-  if (!time_eq(knots.front().t, 0.0)) {
-    assert(knots.front().t > 0.0);
-    knots.insert(knots.begin(),
-                 Knot{0.0, knots.front().left, knots.front().left});
-  } else {
-    knots.front().t = 0.0;
+  // The arena's finalize() is the (single, shared) canonicalization
+  // pipeline: anchor at t = 0, merge time_eq abscissae, drop collinear
+  // continuous interior knots, pin the first left limit.
+  CurveArena& arena = tls_curve_arena();
+  arena.clear();
+  arena.reserve(knots.size());
+  for (const Knot& k : knots) arena.push(k.t, k.left, k.right);
+  data_ = arena.finalize();
+}
+
+std::vector<Knot> PwlCurve::knots() const {
+  const CurveView v = view();
+  std::vector<Knot> out;
+  out.reserve(v.n);
+  for (std::size_t i = 0; i < v.n; ++i) {
+    out.push_back({v.t[i], v.l[i], v.r[i]});
   }
-  knots_ = normalize_knots(std::move(knots));
-  // First knot: the left limit is meaningless; pin it to the value.
-  knots_.front().left = knots_.front().right;
+  return out;
 }
 
 PwlCurve PwlCurve::zero(Time horizon) { return constant(horizon, 0.0); }
@@ -89,106 +53,96 @@ PwlCurve PwlCurve::step(Time horizon, const std::vector<Time>& jump_times,
                         double step_height) {
   assert(horizon > 0.0);
   assert(std::is_sorted(jump_times.begin(), jump_times.end()));
-  std::vector<Knot> knots;
-  knots.reserve(jump_times.size() + 2);
-  knots.push_back({0.0, 0.0, 0.0});
+  CurveArena& arena = tls_curve_arena();
+  arena.clear();
+  arena.reserve(jump_times.size() + 2);
+  arena.push(0.0, 0.0, 0.0);
   double level = 0.0;
   for (Time t : jump_times) {
     if (time_gt(t, horizon)) break;
     const Time tt = std::max<Time>(t, 0.0);
-    if (!knots.empty() && time_eq(knots.back().t, tt)) {
+    if (time_eq(arena.back_t(), tt)) {
       level += step_height;
-      knots.back().right = level;
+      arena.set_back_right(level);
     } else {
       const double before = level;
       level += step_height;
-      knots.push_back({tt, before, level});
+      arena.push(tt, before, level);
     }
   }
-  if (!time_eq(knots.back().t, horizon)) {
-    knots.push_back({horizon, level, level});
+  if (!time_eq(arena.back_t(), horizon)) {
+    arena.push(horizon, level, level);
   }
-  return PwlCurve(std::move(knots));
+  return PwlCurve(arena.finalize());
 }
 
-std::size_t PwlCurve::segment_index(Time t) const {
-  // Last knot with t_i <= t, with tolerance snapping to nearby knots.
-  auto it = std::upper_bound(
-      knots_.begin(), knots_.end(), t,
-      [](Time value, const Knot& k) { return value < k.t; });
-  std::size_t i = (it == knots_.begin()) ? 0 : static_cast<std::size_t>(it - knots_.begin() - 1);
-  // Snap forward: t epsilon-below knot i+1 counts as being at knot i+1.
-  if (i + 1 < knots_.size() && time_eq(t, knots_[i + 1].t)) ++i;
-  return i;
-}
-
-double PwlCurve::eval(Time t) const {
-  if (t <= 0.0) return knots_.front().right;
-  if (time_ge(t, horizon())) return knots_.back().right;
-  const std::size_t i = segment_index(t);
-  const Knot& a = knots_[i];
-  if (time_eq(t, a.t)) return a.right;
-  const Knot& b = knots_[i + 1];
-  const double frac = (t - a.t) / (b.t - a.t);
-  return a.right + frac * (b.left - a.right);
-}
-
-double PwlCurve::eval_left(Time t) const {
-  if (t <= 0.0 || time_eq(t, 0.0)) return knots_.front().right;
-  if (time_gt(t, horizon())) return knots_.back().right;
-  const std::size_t i = segment_index(t);
-  const Knot& a = knots_[i];
-  if (time_eq(t, a.t)) return a.left;
-  const Knot& b = knots_[i + 1];
-  const double frac = (t - a.t) / (b.t - a.t);
-  return a.right + frac * (b.left - a.right);
+PwlCurve PwlCurve::truncate(Time h) const {
+  assert(h > 0.0);
+  if (time_ge(h, horizon())) return *this;  // shares storage, O(1)
+  const CurveView v = view();
+  const double le = eval_left(h);
+  const double re = eval(h);
+  CurveArena& arena = tls_curve_arena();
+  arena.clear();
+  arena.reserve(v.n);
+  for (std::size_t i = 0; i < v.n && time_lt(v.t[i], h); ++i) {
+    arena.push(v.t[i], v.l[i], v.r[i]);
+  }
+  arena.push(h, le, re);
+  return PwlCurve(arena.finalize());
 }
 
 Time PwlCurve::pseudo_inverse(double y) const {
   assert(is_nondecreasing());
   if (obs::KernelSink* sink = obs::kernel_sink()) sink->pinv_ops.inc();
-  if (y <= knots_.front().right + kValueEps) return 0.0;
-  if (y > knots_.back().right + kValueEps) return kTimeInfinity;
+  const CurveView v = view();
+  if (y <= v.r[0] + kValueEps) return 0.0;
+  if (y > v.r[v.n - 1] + kValueEps) return kTimeInfinity;
   // Find the first knot whose right value reaches y, then decide whether the
-  // crossing happened on the preceding segment or at the knot itself.
-  auto it = std::lower_bound(
-      knots_.begin(), knots_.end(), y,
-      [](const Knot& k, double value) { return k.right < value - kValueEps; });
-  if (it == knots_.end()) {
+  // crossing happened on the preceding segment or at the knot itself. The
+  // right values of a nondecreasing curve are sorted, so this is a plain
+  // lower_bound over the contiguous rights array.
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(v.r, v.r + v.n, y,
+                       [](double right, double value) {
+                         return right < value - kValueEps;
+                       }) -
+      v.r);
+  if (i >= v.n) {
     // Only reachable for y inside the epsilon band just above the final
     // value (the y > back + eps case returned above): per Def. 5 no time
     // within the horizon reaches y, so min{s : f(s) >= y} is unbounded.
     return kTimeInfinity;
   }
-  const std::size_t i = static_cast<std::size_t>(it - knots_.begin());
   if (i == 0) return 0.0;
-  const Knot& a = knots_[i - 1];
-  const Knot& b = knots_[i];
-  if (y <= b.left + kValueEps) {
+  const double a_t = v.t[i - 1];
+  const double a_right = v.r[i - 1];
+  const double b_t = v.t[i];
+  const double b_left = v.l[i];
+  if (y <= b_left + kValueEps) {
     // Crossing within the open segment (or exactly at its left endpoint).
-    const double rise = b.left - a.right;
-    if (rise <= kValueEps) return b.t;  // flat segment: first >= y at b.t
-    const double frac = (y - a.right) / rise;
-    return a.t + std::clamp(frac, 0.0, 1.0) * (b.t - a.t);
+    const double rise = b_left - a_right;
+    if (rise <= kValueEps) return b_t;  // flat segment: first >= y at b_t
+    const double frac = (y - a_right) / rise;
+    return a_t + std::clamp(frac, 0.0, 1.0) * (b_t - a_t);
   }
-  // y lies inside the jump at b: the first instant with f >= y is b.t.
-  return b.t;
+  // y lies inside the jump at b: the first instant with f >= y is b_t.
+  return b_t;
 }
 
 bool PwlCurve::is_nondecreasing() const {
-  for (std::size_t i = 0; i < knots_.size(); ++i) {
-    if (knots_[i].left > knots_[i].right + kValueEps) return false;
-    if (i + 1 < knots_.size() &&
-        knots_[i].right > knots_[i + 1].left + kValueEps) {
-      return false;
-    }
+  const CurveView v = view();
+  for (std::size_t i = 0; i < v.n; ++i) {
+    if (v.l[i] > v.r[i] + kValueEps) return false;
+    if (i + 1 < v.n && v.r[i] > v.l[i + 1] + kValueEps) return false;
   }
   return true;
 }
 
 bool PwlCurve::is_continuous() const {
-  for (std::size_t i = 1; i < knots_.size(); ++i) {
-    if (std::fabs(knots_[i].right - knots_[i].left) > kValueEps) return false;
+  const CurveView v = view();
+  for (std::size_t i = 1; i < v.n; ++i) {
+    if (std::fabs(v.r[i] - v.l[i]) > kValueEps) return false;
   }
   return true;
 }
@@ -200,10 +154,11 @@ bool PwlCurve::approx_equal(const PwlCurve& other, double tol) const {
 double PwlCurve::max_abs_difference(const PwlCurve& other) const {
   double worst = 0.0;
   auto probe = [&](const PwlCurve& grid) {
-    for (const Knot& k : grid.knots()) {
-      worst = std::max(worst, std::fabs(eval(k.t) - other.eval(k.t)));
-      worst = std::max(worst,
-                       std::fabs(eval_left(k.t) - other.eval_left(k.t)));
+    const CurveView v = grid.view();
+    for (std::size_t i = 0; i < v.n; ++i) {
+      const Time t = v.t[i];
+      worst = std::max(worst, std::fabs(eval(t) - other.eval(t)));
+      worst = std::max(worst, std::fabs(eval_left(t) - other.eval_left(t)));
     }
   };
   probe(*this);
@@ -212,22 +167,23 @@ double PwlCurve::max_abs_difference(const PwlCurve& other) const {
 }
 
 std::string PwlCurve::to_string() const {
+  const CurveView v = view();
   std::ostringstream ss;
   ss << "PwlCurve[";
-  for (std::size_t i = 0; i < knots_.size(); ++i) {
+  for (std::size_t i = 0; i < v.n; ++i) {
     if (i) ss << ", ";
-    ss << "(" << knots_[i].t << ": " << knots_[i].left << "/"
-       << knots_[i].right << ")";
+    ss << "(" << v.t[i] << ": " << v.l[i] << "/" << v.r[i] << ")";
   }
   ss << "]";
   return ss.str();
 }
 
 bool PwlCurve::check_invariants() const {
-  if (knots_.empty()) return false;
-  if (!time_eq(knots_.front().t, 0.0)) return false;
-  for (std::size_t i = 1; i < knots_.size(); ++i) {
-    if (knots_[i].t <= knots_[i - 1].t) return false;
+  const CurveView v = view();
+  if (v.n == 0) return false;
+  if (!time_eq(v.t[0], 0.0)) return false;
+  for (std::size_t i = 1; i < v.n; ++i) {
+    if (v.t[i] <= v.t[i - 1]) return false;
   }
   return true;
 }

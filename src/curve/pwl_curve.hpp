@@ -13,16 +13,25 @@
 // from eval_left() -- the paper's min_{0<=s<=t} formulas require left limits
 // (see DESIGN.md, "Semantics note").
 //
+// Storage is a flat structure-of-arrays CurveData (curve/curve_arena.hpp)
+// shared by handle: PwlCurve is a thin view, copies are O(1), and the knot
+// arrays are contiguous for the flat kernels in algebra.cpp / minplus.cpp.
+// The knot-vector API (constructor, knots()) is preserved for construction,
+// io and tests; knots() now materializes a vector on demand.
+//
 // Curves are immutable after construction; all algebra lives in
 // curve/algebra.hpp and curve/transforms.hpp.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "curve/curve_arena.hpp"
 #include "util/time.hpp"
 
 namespace rta {
@@ -42,12 +51,18 @@ struct Knot {
 /// is_nondecreasing().
 class PwlCurve {
  public:
-  PwlCurve() : knots_{{0.0, 0.0, 0.0}} {}
+  PwlCurve() : data_(CurveData::zero_knot()) {}
 
   /// Construct from knots. Requirements: non-empty, t strictly increasing,
   /// first knot at t = 0. Violations are fixed up where harmless (knots with
   /// time_eq-equal abscissae are merged) and asserted otherwise.
   explicit PwlCurve(std::vector<Knot> knots);
+
+  /// Adopt finalized storage (the kernels' path: CurveArena::finalize()).
+  explicit PwlCurve(std::shared_ptr<const CurveData> data)
+      : data_(std::move(data)) {
+    assert(data_ != nullptr && data_->size() >= 1);
+  }
 
   /// The constant-zero curve on [0, horizon].
   static PwlCurve zero(Time horizon);
@@ -68,19 +83,66 @@ class PwlCurve {
   /// Line through the origin with the given slope, on [0, horizon].
   static PwlCurve line(Time horizon, double slope);
 
-  [[nodiscard]] Time horizon() const { return knots_.back().t; }
-  [[nodiscard]] const std::vector<Knot>& knots() const { return knots_; }
-  [[nodiscard]] std::size_t knot_count() const { return knots_.size(); }
+  [[nodiscard]] Time horizon() const {
+    return data_->times()[data_->size() - 1];
+  }
+
+  /// Knot vector, materialized from the flat storage (construction / io /
+  /// test convenience; kernels read the flat arrays instead).
+  [[nodiscard]] std::vector<Knot> knots() const;
+
+  [[nodiscard]] std::size_t knot_count() const { return data_->size(); }
+
+  /// Flat accessors. Pointers stay valid while any PwlCurve shares the
+  /// storage (see docs/api.md, "Curve memory layout").
+  [[nodiscard]] CurveView view() const {
+    return CurveView{data_->times(), data_->lefts(), data_->rights(),
+                     data_->size()};
+  }
+  [[nodiscard]] const double* times() const { return data_->times(); }
+  [[nodiscard]] const double* lefts() const { return data_->lefts(); }
+  [[nodiscard]] const double* rights() const { return data_->rights(); }
+  [[nodiscard]] Time knot_time(std::size_t i) const {
+    return data_->times()[i];
+  }
+  [[nodiscard]] double knot_left(std::size_t i) const {
+    return data_->lefts()[i];
+  }
+  [[nodiscard]] double knot_right(std::size_t i) const {
+    return data_->rights()[i];
+  }
+
+  /// Shared immutable storage (identity comparisons, cache entries).
+  [[nodiscard]] const std::shared_ptr<const CurveData>& data() const {
+    return data_;
+  }
+
+  /// Order-sensitive hash of the exact knot bits, cached at construction --
+  /// O(1), and equal to the historical CurveCache::structural_hash value.
+  [[nodiscard]] std::uint64_t structural_hash() const {
+    return data_->hash();
+  }
+
+  /// Canonical horizon-truncated prefix: the curve restricted to [0, h]
+  /// (h <= horizon; for h >= horizon returns *this sharing storage). Two
+  /// curves that agree on [0, h] truncate to identical storage, so their
+  /// hashes and bitwise comparisons agree in O(1) -- the CurveCache key path
+  /// for prefix-equal curves.
+  [[nodiscard]] PwlCurve truncate(Time h) const;
 
   /// f(t), right-continuous. t is clamped to [0, horizon]; instants within
   /// time tolerance of a knot snap to the knot.
-  [[nodiscard]] double eval(Time t) const;
+  [[nodiscard]] double eval(Time t) const { return flat_eval(view(), t); }
 
   /// lim_{s -> t-} f(s). For t <= 0 returns f(0).
-  [[nodiscard]] double eval_left(Time t) const;
+  [[nodiscard]] double eval_left(Time t) const {
+    return flat_eval_left(view(), t);
+  }
 
   /// Value at the end of the horizon.
-  [[nodiscard]] double end_value() const { return knots_.back().right; }
+  [[nodiscard]] double end_value() const {
+    return data_->rights()[data_->size() - 1];
+  }
 
   /// Pseudo-inverse f^{-1}(y) = min{ s : f(s) >= y } (Def. 5 in the paper).
   /// Requires a nondecreasing curve. Returns 0 if y <= f(0) and
@@ -108,15 +170,9 @@ class PwlCurve {
   [[nodiscard]] bool check_invariants() const;
 
  private:
-  /// Index of the last knot with t_i <= t (after tolerance snapping).
-  [[nodiscard]] std::size_t segment_index(Time t) const;
-
-  std::vector<Knot> knots_;
+  std::shared_ptr<const CurveData> data_;
 };
 
 std::ostream& operator<<(std::ostream& os, const PwlCurve& c);
-
-/// Tolerance used when comparing curve *values* (as opposed to times).
-inline constexpr double kValueEps = 1e-7;
 
 }  // namespace rta

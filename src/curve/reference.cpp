@@ -1,0 +1,407 @@
+// Verbatim transplants of the pre-SoA curve kernels (see reference.hpp).
+// Structure, tolerance decisions and accumulation order are intentionally
+// unchanged from the historical implementations; only the obs counters were
+// dropped (the oracle must not perturb kernel telemetry).
+#include "curve/reference.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rta::legacyref {
+
+namespace {
+
+/// Merge knots whose abscissae coincide within tolerance: keep the first
+/// left limit and the last right value (jumps compose).
+std::vector<Knot> normalize_knots(std::vector<Knot> knots) {
+  assert(!knots.empty());
+  std::vector<Knot> out;
+  out.reserve(knots.size());
+  for (const Knot& k : knots) {
+    if (!out.empty() && time_eq(out.back().t, k.t)) {
+      out.back().right = k.right;
+    } else {
+      assert(out.empty() || k.t > out.back().t);
+      out.push_back(k);
+    }
+  }
+  // Drop interior knots that are collinear and continuous: knot i is
+  // redundant if left == right and it lies on the segment between its
+  // neighbours.
+  if (out.size() > 2) {
+    std::vector<Knot> slim;
+    slim.reserve(out.size());
+    slim.push_back(out.front());
+    for (std::size_t i = 1; i + 1 < out.size(); ++i) {
+      const Knot& prev = slim.back();
+      const Knot& cur = out[i];
+      const Knot& next = out[i + 1];
+      if (std::fabs(cur.left - cur.right) <= kValueEps) {
+        const double span = next.t - prev.t;
+        const double expect =
+            prev.right + (next.left - prev.right) * ((cur.t - prev.t) / span);
+        if (std::fabs(cur.right - expect) <= kValueEps) continue;  // redundant
+      }
+      slim.push_back(cur);
+    }
+    slim.push_back(out.back());
+    out = std::move(slim);
+  }
+  return out;
+}
+
+/// Legacy PwlCurve::segment_index.
+std::size_t segment_index(const Curve& knots, Time t) {
+  // Last knot with t_i <= t, with tolerance snapping to nearby knots.
+  auto it = std::upper_bound(
+      knots.begin(), knots.end(), t,
+      [](Time value, const Knot& k) { return value < k.t; });
+  std::size_t i = (it == knots.begin())
+                      ? 0
+                      : static_cast<std::size_t>(it - knots.begin() - 1);
+  // Snap forward: t epsilon-below knot i+1 counts as being at knot i+1.
+  if (i + 1 < knots.size() && time_eq(t, knots[i + 1].t)) ++i;
+  return i;
+}
+
+/// Legacy merged_grid (algebra.cpp).
+std::vector<Time> merged_grid(const Curve& a, const Curve& b) {
+  std::vector<Time> grid;
+  grid.reserve(a.size() + b.size());
+  for (const Knot& k : a) grid.push_back(k.t);
+  for (const Knot& k : b) grid.push_back(k.t);
+  std::sort(grid.begin(), grid.end());
+  std::vector<Time> out;
+  out.reserve(grid.size());
+  for (Time t : grid) {
+    if (out.empty() || !time_eq(out.back(), t)) out.push_back(t);
+  }
+  return out;
+}
+
+/// Legacy insert_crossings (algebra.cpp).
+void insert_crossings(const Curve& a, const Curve& b,
+                      std::vector<Time>& grid) {
+  std::vector<Time> crossings;
+  for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+    const Time u = grid[i];
+    const Time v = grid[i + 1];
+    const double du = eval(a, u) - eval(b, u);            // right values at u
+    const double dv = eval_left(a, v) - eval_left(b, v);  // left values at v
+    if ((du > kValueEps && dv < -kValueEps) ||
+        (du < -kValueEps && dv > kValueEps)) {
+      const Time tc = u + (v - u) * (du / (du - dv));
+      if (time_lt(u, tc) && time_lt(tc, v)) crossings.push_back(tc);
+    }
+  }
+  if (crossings.empty()) return;
+  grid.insert(grid.end(), crossings.begin(), crossings.end());
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end(),
+                         [](Time x, Time y) { return time_eq(x, y); }),
+             grid.end());
+}
+
+/// Legacy combine (algebra.cpp).
+template <typename Op>
+Curve combine(const Curve& a, const Curve& b, Op op, bool needs_crossings) {
+  assert(time_eq(horizon(a), horizon(b)));
+  std::vector<Time> grid = merged_grid(a, b);
+  if (needs_crossings) insert_crossings(a, b, grid);
+  std::vector<Knot> knots;
+  knots.reserve(grid.size());
+  for (Time t : grid) {
+    knots.push_back({t, op(eval_left(a, t), eval_left(b, t)),
+                     op(eval(a, t), eval(b, t))});
+  }
+  return make_curve(std::move(knots));
+}
+
+/// Legacy convolve_at (minplus.cpp).
+double convolve_at(const Curve& f, const Curve& g, Time t) {
+  double best = eval(f, 0.0) + eval(g, t);  // s = 0
+  auto probe = [&](Time s) {
+    if (s < 0.0 || time_gt(s, t)) return;
+    const Time r = t - s;
+    // Both one-sided limits at the candidate (jumps on either side).
+    best = std::min(best, eval(f, s) + eval(g, r));
+    best = std::min(best, eval_left(f, s) + eval(g, r));
+    best = std::min(best, eval(f, s) + eval_left(g, r));
+  };
+  for (const Knot& k : f) probe(k.t);
+  for (const Knot& k : g) probe(t - k.t);
+  probe(t);
+  return best;
+}
+
+/// Legacy deconvolve_at (minplus.cpp).
+double deconvolve_at(const Curve& f, const Curve& g, Time t) {
+  const Time h = horizon(f);
+  double best = eval(f, t) - eval(g, 0.0);  // u = 0
+  auto probe = [&](Time u) {
+    if (u < 0.0 || time_gt(t + u, h)) return;
+    best = std::max(best, eval(f, t + u) - eval(g, u));
+    best = std::max(best, eval_left(f, t + u) - eval_left(g, u));
+  };
+  for (const Knot& k : g) probe(k.t);
+  for (const Knot& k : f) probe(k.t - t);
+  probe(h - t);
+  return best;
+}
+
+/// Legacy result_grid (minplus.cpp).
+std::vector<Time> result_grid(const Curve& f, const Curve& g, bool sums) {
+  std::vector<Time> grid;
+  const Time h = horizon(f);
+  grid.push_back(0.0);
+  grid.push_back(h);
+  for (const Knot& kf : f) {
+    grid.push_back(kf.t);
+    for (const Knot& kg : g) {
+      const Time t = sums ? kf.t + kg.t : kf.t - kg.t;
+      if (t > 0.0 && time_lt(t, h)) grid.push_back(t);
+    }
+  }
+  for (const Knot& kg : g) grid.push_back(kg.t);
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end(),
+                         [](Time a, Time b) { return time_eq(a, b); }),
+             grid.end());
+  while (!grid.empty() && grid.front() < 0.0) grid.erase(grid.begin());
+  return grid;
+}
+
+}  // namespace
+
+Curve make_curve(std::vector<Knot> knots) {
+  assert(!knots.empty());
+  if (knots.empty()) return {{0.0, 0.0, 0.0}};
+  // Anchor the curve at t = 0.
+  if (!time_eq(knots.front().t, 0.0)) {
+    assert(knots.front().t > 0.0);
+    knots.insert(knots.begin(),
+                 Knot{0.0, knots.front().left, knots.front().left});
+  } else {
+    knots.front().t = 0.0;
+  }
+  Curve out = normalize_knots(std::move(knots));
+  // First knot: the left limit is meaningless; pin it to the value.
+  out.front().left = out.front().right;
+  return out;
+}
+
+Time horizon(const Curve& c) { return c.back().t; }
+
+double end_value(const Curve& c) { return c.back().right; }
+
+double eval(const Curve& c, Time t) {
+  if (t <= 0.0) return c.front().right;
+  if (time_ge(t, horizon(c))) return c.back().right;
+  const std::size_t i = segment_index(c, t);
+  const Knot& a = c[i];
+  if (time_eq(t, a.t)) return a.right;
+  const Knot& b = c[i + 1];
+  const double frac = (t - a.t) / (b.t - a.t);
+  return a.right + frac * (b.left - a.right);
+}
+
+double eval_left(const Curve& c, Time t) {
+  if (t <= 0.0 || time_eq(t, 0.0)) return c.front().right;
+  if (time_gt(t, horizon(c))) return c.back().right;
+  const std::size_t i = segment_index(c, t);
+  const Knot& a = c[i];
+  if (time_eq(t, a.t)) return a.left;
+  const Knot& b = c[i + 1];
+  const double frac = (t - a.t) / (b.t - a.t);
+  return a.right + frac * (b.left - a.right);
+}
+
+Time pseudo_inverse(const Curve& c, double y) {
+  if (y <= c.front().right + kValueEps) return 0.0;
+  if (y > c.back().right + kValueEps) return kTimeInfinity;
+  auto it = std::lower_bound(
+      c.begin(), c.end(), y,
+      [](const Knot& k, double value) { return k.right < value - kValueEps; });
+  if (it == c.end()) return kTimeInfinity;
+  const std::size_t i = static_cast<std::size_t>(it - c.begin());
+  if (i == 0) return 0.0;
+  const Knot& a = c[i - 1];
+  const Knot& b = c[i];
+  if (y <= b.left + kValueEps) {
+    const double rise = b.left - a.right;
+    if (rise <= kValueEps) return b.t;  // flat segment: first >= y at b.t
+    const double frac = (y - a.right) / rise;
+    return a.t + std::clamp(frac, 0.0, 1.0) * (b.t - a.t);
+  }
+  // y lies inside the jump at b: the first instant with f >= y is b.t.
+  return b.t;
+}
+
+Curve add(const Curve& a, const Curve& b) {
+  return combine(a, b, [](double x, double y) { return x + y; }, false);
+}
+
+Curve sub(const Curve& a, const Curve& b) {
+  return combine(a, b, [](double x, double y) { return x - y; }, false);
+}
+
+Curve min(const Curve& a, const Curve& b) {
+  return combine(a, b, [](double x, double y) { return std::min(x, y); },
+                 true);
+}
+
+Curve max(const Curve& a, const Curve& b) {
+  return combine(a, b, [](double x, double y) { return std::max(x, y); },
+                 true);
+}
+
+Curve scale(const Curve& a, double factor) {
+  std::vector<Knot> knots = a;
+  for (Knot& k : knots) {
+    k.left *= factor;
+    k.right *= factor;
+  }
+  return make_curve(std::move(knots));
+}
+
+Curve add_constant(const Curve& a, double value) {
+  std::vector<Knot> knots = a;
+  for (Knot& k : knots) {
+    k.left += value;
+    k.right += value;
+  }
+  return make_curve(std::move(knots));
+}
+
+Curve clamp_min(const Curve& a, double floor_value) {
+  return max(a, constant(horizon(a), floor_value));
+}
+
+Curve shift_right(const Curve& a, Time dt) {
+  assert(dt >= 0.0);
+  if (time_eq(dt, 0.0)) return a;
+  const Time h = horizon(a);
+  const double v0 = eval(a, 0.0);
+  std::vector<Knot> knots;
+  knots.reserve(a.size() + 2);
+  knots.push_back({0.0, v0, v0});
+  if (time_lt(dt, h)) {
+    // a's value at 0 holds on [0, dt); at dt the shifted curve starts.
+    knots.push_back({dt, v0, v0});
+    for (const Knot& k : a) {
+      const Time t = k.t + dt;
+      if (time_ge(t, h)) {
+        knots.push_back({h, eval_left(a, h - dt), eval(a, h - dt)});
+        break;
+      }
+      knots.push_back({t, k.left, k.right});
+    }
+    if (!time_ge(a.back().t + dt, h)) {
+      knots.push_back({h, end_value(a), end_value(a)});
+    }
+  } else {
+    knots.push_back({h, v0, v0});
+  }
+  return make_curve(std::move(knots));
+}
+
+Curve running_max(const Curve& a) {
+  std::vector<Knot> out;
+  out.reserve(a.size() * 2);
+  double cur = a.front().right;
+  out.push_back({0.0, cur, cur});
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    const Time t0 = a[i].t;
+    const Time t1 = a[i + 1].t;
+    const double v0 = a[i].right;
+    const double v1 = a[i + 1].left;
+    // Segment from (t0, v0) to (t1, v1).
+    if (v1 > cur + kValueEps) {
+      if (v0 < cur - kValueEps) {
+        // Flat until the segment rises through the current max.
+        const Time tc = t0 + (t1 - t0) * ((cur - v0) / (v1 - v0));
+        out.push_back({tc, cur, cur});
+      }
+      cur = v1;
+    }
+    // Value of M just before the jump at t1 equals cur (already >= v1).
+    const double before = cur;
+    cur = std::max(cur, a[i + 1].right);
+    out.push_back({t1, before, cur});
+  }
+  return make_curve(std::move(out));
+}
+
+Curve convolution(const Curve& f, const Curve& g) {
+  assert(time_eq(horizon(f), horizon(g)));
+  std::vector<Knot> knots;
+  for (Time t : result_grid(f, g, /*sums=*/true)) {
+    const double v = convolve_at(f, g, t);
+    knots.push_back({t, v, v});
+  }
+  return make_curve(std::move(knots));
+}
+
+Curve deconvolution(const Curve& f, const Curve& g) {
+  assert(time_eq(horizon(f), horizon(g)));
+  std::vector<Knot> knots;
+  for (Time t : result_grid(f, g, /*sums=*/false)) {
+    const double v = deconvolve_at(f, g, t);
+    knots.push_back({t, v, v});
+  }
+  return make_curve(std::move(knots));
+}
+
+Curve service_transform(const Curve& availability, const Curve& workload,
+                        Time lag) {
+  assert(lag >= 0.0);
+  // M(u) = max_{0<=s<=u}( A(s) - c(s^-) ); see transforms.cpp for the
+  // semantics discussion. Same operator sequence as the production path.
+  Curve m = running_max(sub(availability, workload));
+  m = clamp_min(m, 0.0);
+  if (lag > 0.0) m = shift_right(m, lag);
+  Curve s = sub(availability, m);
+  s = clamp_min(s, 0.0);
+  if (lag > 0.0 && time_lt(lag, horizon(s))) {
+    const double big =
+        std::fabs(end_value(s)) + end_value(availability) + 1.0;
+    s = min(s, make_curve({{0.0, 0.0, 0.0},
+                           {lag, 0.0, big},
+                           {horizon(s), big, big}}));
+  }
+  return s;
+}
+
+Curve step(Time horizon, const std::vector<Time>& jump_times,
+           double step_height) {
+  assert(horizon > 0.0);
+  assert(std::is_sorted(jump_times.begin(), jump_times.end()));
+  std::vector<Knot> knots;
+  knots.reserve(jump_times.size() + 2);
+  knots.push_back({0.0, 0.0, 0.0});
+  double level = 0.0;
+  for (Time t : jump_times) {
+    if (time_gt(t, horizon)) break;
+    const Time tt = std::max<Time>(t, 0.0);
+    if (!knots.empty() && time_eq(knots.back().t, tt)) {
+      level += step_height;
+      knots.back().right = level;
+    } else {
+      const double before = level;
+      level += step_height;
+      knots.push_back({tt, before, level});
+    }
+  }
+  if (!time_eq(knots.back().t, horizon)) {
+    knots.push_back({horizon, level, level});
+  }
+  return make_curve(std::move(knots));
+}
+
+Curve constant(Time horizon, double value) {
+  assert(horizon > 0.0);
+  return make_curve({{0.0, value, value}, {horizon, value, value}});
+}
+
+}  // namespace rta::legacyref

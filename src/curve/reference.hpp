@@ -1,0 +1,65 @@
+// Legacy knot-walking reference kernels -- the differential oracle.
+//
+// These are the pre-SoA implementations of the curve constructor pipeline
+// and the hot kernels, transplanted verbatim to operate on plain
+// std::vector<Knot>. They exist so tests/test_curve_kernels.cpp and
+// bench/micro_curve.cpp can run the flat kernels and the historical
+// knot-by-knot code side by side and require bit-identical results.
+//
+// Do NOT "improve" these functions: their value is that they reproduce the
+// old behavior exactly, including every tolerance decision and accumulation
+// order. Production code must never call them (tests and bench only).
+#pragma once
+
+#include <vector>
+
+#include "curve/pwl_curve.hpp"
+
+namespace rta::legacyref {
+
+/// A legacy curve is just its normalized knot vector.
+using Curve = std::vector<Knot>;
+
+/// The legacy PwlCurve(std::vector<Knot>) constructor pipeline: anchor at
+/// t = 0, merge time_eq abscissae, drop collinear continuous interior knots,
+/// pin the first left limit.
+[[nodiscard]] Curve make_curve(std::vector<Knot> knots);
+
+[[nodiscard]] Time horizon(const Curve& c);
+[[nodiscard]] double end_value(const Curve& c);
+
+/// Legacy PwlCurve::eval / eval_left / pseudo_inverse.
+[[nodiscard]] double eval(const Curve& c, Time t);
+[[nodiscard]] double eval_left(const Curve& c, Time t);
+[[nodiscard]] Time pseudo_inverse(const Curve& c, double y);
+
+/// Legacy pointwise combine (algebra.cpp): merged grid + crossing insertion.
+[[nodiscard]] Curve add(const Curve& a, const Curve& b);
+[[nodiscard]] Curve sub(const Curve& a, const Curve& b);
+[[nodiscard]] Curve min(const Curve& a, const Curve& b);
+[[nodiscard]] Curve max(const Curve& a, const Curve& b);
+
+[[nodiscard]] Curve scale(const Curve& a, double factor);
+[[nodiscard]] Curve add_constant(const Curve& a, double value);
+[[nodiscard]] Curve clamp_min(const Curve& a, double floor_value);
+[[nodiscard]] Curve shift_right(const Curve& a, Time dt);
+
+/// Legacy curve_running_max: the Theorem-3 min-scan's core loop.
+[[nodiscard]] Curve running_max(const Curve& a);
+
+/// Legacy min-plus kernels (minplus.cpp): pairwise result grid + probe scan.
+[[nodiscard]] Curve convolution(const Curve& f, const Curve& g);
+[[nodiscard]] Curve deconvolution(const Curve& f, const Curve& g);
+
+/// Legacy service_transform (transforms.cpp): the full Theorem-3 min-scan
+/// composed from the legacy pieces above.
+[[nodiscard]] Curve service_transform(const Curve& availability,
+                                      const Curve& workload, Time lag = 0.0);
+
+/// Legacy PwlCurve::step factory.
+[[nodiscard]] Curve step(Time horizon, const std::vector<Time>& jump_times,
+                         double step_height = 1.0);
+
+[[nodiscard]] Curve constant(Time horizon, double value);
+
+}  // namespace rta::legacyref

@@ -103,10 +103,11 @@ bool ArrivalEnvelope::dominated_by(const ArrivalEnvelope& other) const {
   // Rebuild both on the common span and compare exactly via curve_max
   // (which inserts segment crossings): a <= b iff max(a, b) == b.
   auto restrict = [&](const ArrivalEnvelope& e) {
+    const CurveView v = e.curve().view();
     std::vector<Knot> ks;
-    for (const Knot& k : e.curve().knots()) {
-      if (time_gt(k.t, common)) break;
-      ks.push_back(k);
+    for (std::size_t i = 0; i < v.n; ++i) {
+      if (time_gt(v.t[i], common)) break;
+      ks.push_back({v.t[i], v.l[i], v.r[i]});
     }
     if (ks.empty() || !time_eq(ks.back().t, common)) {
       ks.push_back({common, e.curve().eval_left(common), e.eval(common)});
@@ -139,11 +140,12 @@ ArrivalEnvelope ArrivalEnvelope::with_jitter(Time extra_jitter) const {
   std::vector<Knot> knots;
   const Time s = span();
   knots.push_back({0.0, eval(extra_jitter), eval(extra_jitter)});
-  for (const Knot& k : curve_.knots()) {
-    const Time t = k.t - extra_jitter;
+  const CurveView v = curve_.view();
+  for (std::size_t i = 0; i < v.n; ++i) {
+    const Time t = v.t[i] - extra_jitter;
     if (t <= 0.0) continue;
     if (time_gt(t, s)) break;
-    knots.push_back({t, k.left, k.right});
+    knots.push_back({t, v.l[i], v.r[i]});
   }
   if (knots.back().t < s) {
     const double end = eval(s + extra_jitter);

@@ -14,11 +14,9 @@ namespace {
 
 /// Slope of the final segment of a curve (its tail behavior).
 double end_slope(const PwlCurve& c) {
-  const auto& ks = c.knots();
-  if (ks.size() < 2) return 0.0;
-  const Knot& a = ks[ks.size() - 2];
-  const Knot& b = ks.back();
-  return (b.left - a.right) / (b.t - a.t);
+  const CurveView v = c.view();
+  if (v.n < 2) return 0.0;
+  return (v.l[v.n - 1] - v.r[v.n - 2]) / (v.t[v.n - 1] - v.t[v.n - 2]);
 }
 
 /// Workload envelope alpha(D) * tau materialized on [0, full_span]: the
@@ -26,9 +24,10 @@ double end_slope(const PwlCurve& c) {
 /// long-run slope visible to the stability check in horizontal_deviation.
 PwlCurve workload_on(const ArrivalEnvelope& env, double tau, Time full_span) {
   std::vector<Knot> knots;
-  for (const Knot& k : env.curve().knots()) {
-    if (time_gt(k.t, full_span)) break;
-    knots.push_back({k.t, k.left * tau, k.right * tau});
+  const CurveView v = env.curve().view();
+  for (std::size_t i = 0; i < v.n; ++i) {
+    if (time_gt(v.t[i], full_span)) break;
+    knots.push_back({v.t[i], v.l[i] * tau, v.r[i] * tau});
   }
   if (knots.empty()) knots.push_back({0.0, 0.0, 0.0});
   if (!time_eq(knots.back().t, full_span)) {
@@ -54,9 +53,11 @@ Time horizontal_deviation(const PwlCurve& alpha_workload, const PwlCurve& beta,
   // the service curve's knot values (kinks of beta^{-1} compose in).
   std::vector<Time> candidates;
   candidates.push_back(0.0);
-  for (const Knot& k : alpha_workload.knots()) candidates.push_back(k.t);
-  for (const Knot& k : beta.knots()) {
-    const Time d = curve_first_crossing(alpha_workload, k.right);
+  const CurveView av = alpha_workload.view();
+  for (std::size_t i = 0; i < av.n; ++i) candidates.push_back(av.t[i]);
+  const CurveView bv = beta.view();
+  for (std::size_t i = 0; i < bv.n; ++i) {
+    const Time d = curve_first_crossing(alpha_workload, bv.r[i]);
     if (std::isfinite(d)) candidates.push_back(d);
   }
 

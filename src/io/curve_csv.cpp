@@ -11,8 +11,9 @@ namespace rta {
 void write_curve_knots_csv(const PwlCurve& curve, std::ostream& os) {
   os << "t,left,right\n";
   os.precision(17);
-  for (const Knot& k : curve.knots()) {
-    os << k.t << "," << k.left << "," << k.right << "\n";
+  const CurveView v = curve.view();
+  for (std::size_t i = 0; i < v.n; ++i) {
+    os << v.t[i] << "," << v.l[i] << "," << v.r[i] << "\n";
   }
 }
 
@@ -26,7 +27,8 @@ void write_curve_samples_csv(const PwlCurve& curve, std::ostream& os,
   for (std::size_t i = 0; i <= samples; ++i) {
     grid.push_back(h * static_cast<double>(i) / static_cast<double>(samples));
   }
-  for (const Knot& k : curve.knots()) grid.push_back(k.t);
+  const CurveView v = curve.view();
+  for (std::size_t i = 0; i < v.n; ++i) grid.push_back(v.t[i]);
   std::sort(grid.begin(), grid.end());
   grid.erase(std::unique(grid.begin(), grid.end(),
                          [](Time a, Time b) { return time_eq(a, b); }),

@@ -143,6 +143,98 @@ TEST_P(AlgebraProperties, ServiceTransformMonotoneInBothArguments) {
   }
 }
 
+// --- Canonical-form properties of the flat SoA storage ---------------------
+//
+// The CurveArena::finalize() pipeline is the single canonicalizer behind
+// both the knot constructor and every kernel. These properties back the
+// O(1) hash/compare contract the CurveCache key path relies on. Comparisons
+// are on the shared CurveData storage (CurveData::identical = bitwise), not
+// approx_equal: canonical forms must be exact.
+
+TEST_P(AlgebraProperties, CanonicalizeIsIdempotentBitwise) {
+  // Rebuilding a canonical curve from its own knot vector must reproduce the
+  // storage bit for bit (random_curve's interior knots all carry jumps, so
+  // the collinear-slim pass provably has nothing more to take).
+  Rng rng(GetParam() + 9000);
+  const PwlCurve c = random_curve(rng);
+  const PwlCurve rebuilt{c.knots()};
+  EXPECT_TRUE(CurveData::identical(*c.data(), *rebuilt.data()));
+  EXPECT_EQ(c.structural_hash(), rebuilt.structural_hash());
+}
+
+TEST_P(AlgebraProperties, CanonicalizePreservesEvalAtKnotsAndMidpoints) {
+  Rng rng(GetParam() + 10000);
+  const PwlCurve c = random_curve(rng);
+  const PwlCurve rebuilt{c.knots()};
+  const CurveView v = c.view();
+  for (std::size_t i = 0; i < v.n; ++i) {
+    EXPECT_EQ(c.eval(v.t[i]), rebuilt.eval(v.t[i]));
+    EXPECT_EQ(c.eval_left(v.t[i]), rebuilt.eval_left(v.t[i]));
+    if (i + 1 < v.n) {
+      const Time mid = 0.5 * (v.t[i] + v.t[i + 1]);
+      EXPECT_EQ(c.eval(mid), rebuilt.eval(mid));
+    }
+  }
+}
+
+TEST_P(AlgebraProperties, TruncateIsIdempotentAndPreservesPrefix) {
+  Rng rng(GetParam() + 11000);
+  const PwlCurve c = random_curve(rng);
+  const Time h = rng.uniform(0.5, kHorizon - 0.5);
+  const PwlCurve p = c.truncate(h);
+  EXPECT_TRUE(time_eq(p.horizon(), h));
+  // Idempotent: truncating to the same horizon shares the same storage.
+  EXPECT_EQ(p.truncate(h).data(), p.data());
+  // Truncating to (at least) the full horizon is the identity, O(1).
+  EXPECT_EQ(c.truncate(kHorizon).data(), c.data());
+  EXPECT_EQ(c.truncate(kHorizon + 1.0).data(), c.data());
+  // Knots strictly below h are copied verbatim: exact reads both sides.
+  const CurveView pv = p.view();
+  for (std::size_t i = 0; i + 1 < pv.n; ++i) {
+    EXPECT_EQ(p.knot_right(i), c.eval(pv.t[i]));
+    EXPECT_EQ(p.knot_left(i), c.eval_left(pv.t[i]));
+  }
+  // The appended end knot carries the original curve's value at h.
+  EXPECT_EQ(p.end_value(), c.eval(h));
+  EXPECT_EQ(p.eval_left(h), c.eval_left(h));
+}
+
+TEST_P(AlgebraProperties, EqualPrefixCurvesTruncateToEqualHashes) {
+  // Two curves that agree on [0, h] but diverge beyond it: their full forms
+  // compare unequal, their truncations to h are storage-identical -- the
+  // O(1) CurveCache key path for prefix-equal curves.
+  Rng rng(GetParam() + 12000);
+  const PwlCurve base = random_curve(rng);
+  std::vector<Knot> k1 = base.knots();
+  // Pin a jump at the shared boundary so the canonicalizer cannot slim
+  // across it, then diverge.
+  k1.back().right = k1.back().left + 1.0;
+  std::vector<Knot> k2 = k1;
+  k1.push_back({2.0 * kHorizon, k1.back().right + 1.0, k1.back().right + 1.0});
+  k2.push_back({1.5 * kHorizon, k2.back().right, k2.back().right + 2.0});
+  k2.push_back({2.0 * kHorizon, k2.back().right + 3.0, k2.back().right + 3.0});
+  const PwlCurve c1{std::move(k1)};
+  const PwlCurve c2{std::move(k2)};
+  EXPECT_FALSE(CurveData::identical(*c1.data(), *c2.data()));
+  const PwlCurve p1 = c1.truncate(kHorizon);
+  const PwlCurve p2 = c2.truncate(kHorizon);
+  EXPECT_TRUE(CurveData::identical(*p1.data(), *p2.data()));
+  EXPECT_EQ(p1.structural_hash(), p2.structural_hash());
+}
+
+TEST_P(AlgebraProperties, IdenticalStorageImpliesEqualHash) {
+  Rng rng(GetParam() + 13000);
+  const PwlCurve a = random_curve(rng);
+  const PwlCurve b = random_curve(rng);
+  if (CurveData::identical(*a.data(), *b.data())) {
+    EXPECT_EQ(a.structural_hash(), b.structural_hash());
+  }
+  // A handle copy trivially shares storage and hash.
+  const PwlCurve copy = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.data(), a.data());
+  EXPECT_EQ(copy.structural_hash(), a.structural_hash());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraProperties, testing::Range(1, 13));
 
 }  // namespace

@@ -1,0 +1,36 @@
+// Fixture: flat SoA arena code shape. Raw-pointer iteration over the
+// contiguous knot arrays (times / rights) must produce no findings; the one
+// deliberate exact comparison -- bitwise canonical-storage equality -- is a
+// float-eq finding that carries a documented suppression; an exact compare
+// against a literal without one is still flagged.
+namespace rta {
+
+struct View {
+  const double* t;
+  const double* r;
+  unsigned long n;
+};
+
+double flat_sum(const View& v) {
+  double acc = 0.0;
+  for (unsigned long i = 0; i < v.n; ++i) acc += v.t[i] + v.r[i];
+  return acc;  // raw-pointer SoA walk: no findings
+}
+
+bool storage_identical(const View& a, const View& b) {
+  if (a.n != b.n) return false;  // size_t compare next to float arrays: clean
+  for (unsigned long i = 0; i < a.n; ++i) {
+    const double lhs = a.t[i];
+    const double rhs = b.t[i];
+    // rta-lint: allow(float-eq) canonical storage equality is bitwise by
+    // contract; a tolerance would break cache hit verification
+    if (lhs != rhs) return false;  // suppressed
+  }
+  return true;
+}
+
+bool anchored(const View& v) {
+  return v.t[0] == 0.0;  // finding: float-eq (exact compare, no suppression)
+}
+
+}  // namespace rta
