@@ -24,11 +24,17 @@
 // (modulo latency_us) against the sequential run before any throughput
 // number is reported.
 //
+// A third phase re-runs the scheduler pr=2 stream with the full
+// observability path attached (per-request span trees, latency histograms,
+// one live stats snapshot + Prometheus render inside the timer) and
+// reports the overhead against the observer-off run; the bar is <= 5%.
+//
 // Output: a per-candidate latency table on stdout and BENCH_service.json
-// with median/p90/max latencies per path, the median speedup, and the
-// stream-phase throughput per scheduler configuration. The acceptance bars
-// are a >= 2x median speedup for single-job admits and a >= 2x stream
-// throughput for the scheduler over the sequential runner.
+// with median/p90/max latencies per path, the median speedup, the
+// stream-phase throughput per scheduler configuration, and the
+// observability overhead fraction. The acceptance bars are a >= 2x median
+// speedup for single-job admits, a >= 2x stream throughput for the
+// scheduler over the sequential runner, and <= 5% observability overhead.
 //
 // Flags: --candidates N (default 40)  --repeats N (default 5)
 //        --stages N (default 4)       --procs N (default 2, per stage)
@@ -49,7 +55,10 @@
 #include "analysis/bounds.hpp"
 #include "io/json.hpp"
 #include "model/priority.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/admission_session.hpp"
+#include "service/metrics_export.hpp"
 #include "service/request_runner.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
@@ -420,6 +429,65 @@ int main(int argc, char** argv) {
                  stream_best_speedup);
   }
 
+  // ---- Observability overhead phase ------------------------------------
+  // Re-run the scheduler pr=2 stream with a MetricsRegistry and Tracer
+  // attached (per-request span trees, latency histograms) plus one live
+  // stats snapshot and Prometheus render inside the timer -- the full
+  // introspection path `serve --metrics-prom` exercises. The acceptance
+  // bar is <= 5% overhead against the observer-off pr=2 run above, and
+  // the responses must stay byte-identical: observability never changes
+  // what the service answers.
+  double obs_best_us = -1.0;
+  std::uint64_t obs_digest = 0;
+  std::size_t obs_prom_bytes = 0;
+  for (int rep = 0; rep < stream_repeats; ++rep) {
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer;
+    service::SessionConfig obs_cfg = session_cfg;
+    obs_cfg.analysis.observer = obs::Observer{&registry, &tracer};
+    service::AdmissionSession stream_session(base, obs_cfg);
+    std::istringstream in(stream);
+    std::ostringstream responses;
+    service::StreamOptions stream_opts;
+    stream_opts.parallel_reads = 2;
+    const Clock::time_point t0 = Clock::now();
+    service::run_request_stream(stream_session, in, responses, stream_opts);
+    const std::string prom = service::to_prometheus_text(registry.snapshot());
+    const std::chrono::duration<double, std::micro> us = Clock::now() - t0;
+    obs_prom_bytes = prom.size();
+    const std::uint64_t digest = bytes_digest(strip_latency(responses.str()));
+    if (rep == 0) {
+      obs_digest = digest;
+    } else if (digest != obs_digest) {
+      std::fprintf(stderr,
+                   "FATAL: observer-on responses differ across repeats\n");
+      return 1;
+    }
+    if (obs_best_us < 0.0 || us.count() < obs_best_us) {
+      obs_best_us = us.count();
+    }
+  }
+  if (obs_digest != runs[0].digest) {
+    std::fprintf(stderr,
+                 "FATAL: observer-on responses diverge from the sequential "
+                 "runner -- observability changed the answers\n");
+    return 1;
+  }
+  const double obs_overhead_fraction =
+      runs[2].best_us > 0.0 ? obs_best_us / runs[2].best_us - 1.0 : 0.0;
+  std::printf("\nObservability overhead (tracing + metrics + stats render, "
+              "scheduler pr=2):\n");
+  std::printf("  observer off %10.1f us, observer on %10.1f us: %+.1f%% "
+              "(%zu-byte Prometheus render)\n",
+              runs[2].best_us, obs_best_us, 100.0 * obs_overhead_fraction,
+              obs_prom_bytes);
+  if (obs_overhead_fraction > 0.05) {
+    std::fprintf(stderr,
+                 "WARNING: observability overhead %.1f%% above the 5%% "
+                 "acceptance bar\n",
+                 100.0 * obs_overhead_fraction);
+  }
+
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -472,6 +540,10 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"stream_best_speedup\": %.3f,\n", stream_best_speedup);
   std::fprintf(f, "  \"stream_digest_identical\": true,\n");
+  std::fprintf(f,
+               "  \"obs_stream_us\": %.1f, \"obs_overhead_fraction\": %.4f, "
+               "\"obs_overhead_bar\": 0.05, \"obs_prom_bytes\": %zu,\n",
+               obs_best_us, obs_overhead_fraction, obs_prom_bytes);
   std::fprintf(f,
                "  \"determinism\": \"every candidate's bounds bit-identical "
                "between paths; stream responses byte-identical modulo "

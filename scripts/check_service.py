@@ -6,12 +6,20 @@ Usage:
 
 Checks, per response line:
   * valid JSON object with request (1-based, consecutive), line, op;
+  * trace_id is a non-empty string on EVERY response (parse errors
+    included) -- the service echoes the propagated id or mints one;
   * ok is a bool; ok=false responses carry a non-empty error string;
   * admit/what_if/remove responses with ok=true carry admitted/committed/
     incremental bools, integer job_id/dirty_subjobs/total_subjobs, and
     numeric schedulable/max_wcrt/horizon fields ("inf" allowed for wcrt);
+  * admit/what_if responses with ok=true carry an 'explain' object with
+    numeric wcrt/deadline, integer dominant_hop/doublings, and a per-hop
+    bound provenance list (docs/observability.md);
   * what_if never commits; admit commits iff admitted;
   * query responses carry jobs/schedulable/max_wcrt/horizon;
+  * stats responses with ok=true carry counters/gauges/histograms objects
+    plus a numeric cache_hit_rate; each histogram summary has numeric
+    count/p50/p90/p99/max with p50 <= p90 <= p99;
   * latency_us is a non-negative number on EVERY response (parse errors
     included);
   * the backpressure/timeout markers 'retry' and 'timeout' only appear on
@@ -28,7 +36,7 @@ import argparse
 import json
 import sys
 
-KNOWN_OPS = {"admit", "what_if", "remove", "query"}
+KNOWN_OPS = {"admit", "what_if", "remove", "query", "stats"}
 
 
 def load_jsonl(path):
@@ -66,6 +74,66 @@ def check_decision_fields(resp, where, errors):
         errors.append(f"{where}: what_if must never commit")
     if op == "admit" and resp.get("committed") != resp.get("admitted"):
         errors.append(f"{where}: admit must commit iff admitted")
+    if op in ("admit", "what_if"):
+        check_explain(resp.get("explain"), where, errors)
+
+
+def check_explain(explain, where, errors):
+    """Bound-provenance payload on ok admit/what_if (docs/observability.md)."""
+    if not isinstance(explain, dict):
+        errors.append(f"{where}: missing 'explain' object")
+        return
+    for key in ("wcrt", "deadline"):
+        if not is_time(explain.get(key)):
+            errors.append(f"{where}: explain missing time '{key}'")
+    for key in ("dominant_hop", "doublings"):
+        if not isinstance(explain.get(key), int):
+            errors.append(f"{where}: explain missing integer '{key}'")
+    hops = explain.get("hops")
+    if not isinstance(hops, list) or not hops:
+        errors.append(f"{where}: explain needs a non-empty 'hops' list")
+        return
+    for i, hop in enumerate(hops):
+        if not isinstance(hop, dict):
+            errors.append(f"{where}: explain hop {i} is not an object")
+            continue
+        if hop.get("hop") != i:
+            errors.append(f"{where}: explain hop {i} has index "
+                          f"{hop.get('hop')!r}")
+        if not isinstance(hop.get("processor"), int):
+            errors.append(f"{where}: explain hop {i} missing 'processor'")
+        if not is_time(hop.get("bound")):
+            errors.append(f"{where}: explain hop {i} missing time 'bound'")
+    dom = explain.get("dominant_hop")
+    if isinstance(dom, int) and not 0 <= dom < len(hops):
+        errors.append(f"{where}: dominant_hop {dom} outside hops")
+
+
+def check_stats_fields(resp, where, errors):
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(resp.get(section), dict):
+            errors.append(f"{where}: stats missing object '{section}'")
+    rate = resp.get("cache_hit_rate")
+    if not isinstance(rate, (int, float)) or not 0 <= rate <= 1:
+        errors.append(f"{where}: stats cache_hit_rate not in [0,1]: {rate!r}")
+    for name, h in (resp.get("histograms") or {}).items():
+        if not isinstance(h, dict):
+            errors.append(f"{where}: stats histogram {name!r} not an object")
+            continue
+        for key in ("count", "p50", "p90", "p99", "max"):
+            if not isinstance(h.get(key), (int, float)):
+                errors.append(
+                    f"{where}: stats histogram {name!r} missing '{key}'")
+        quantiles = [h.get("p50"), h.get("p90"), h.get("p99")]
+        if all(isinstance(q, (int, float)) for q in quantiles):
+            if not quantiles[0] <= quantiles[1] <= quantiles[2]:
+                errors.append(
+                    f"{where}: stats histogram {name!r} quantiles not "
+                    f"monotone: {quantiles}")
+            if h.get("count", 0) > 0 and quantiles[2] <= 0:
+                errors.append(
+                    f"{where}: stats histogram {name!r} has observations "
+                    f"but p99 <= 0")
 
 
 def check_responses(path, expected_ops):
@@ -86,6 +154,9 @@ def check_responses(path, expected_ops):
                 f"expected {seen}")
         if not isinstance(resp.get("line"), int):
             errors.append(f"{where}: missing integer 'line'")
+        trace_id = resp.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            errors.append(f"{where}: missing non-empty 'trace_id'")
         op = resp.get("op")
         ok = resp.get("ok")
         if not isinstance(ok, bool):
@@ -127,6 +198,8 @@ def check_responses(path, expected_ops):
                 errors.append(f"{where}: query missing bool 'schedulable'")
             if not is_time(resp.get("max_wcrt")):
                 errors.append(f"{where}: query missing time 'max_wcrt'")
+        elif op == "stats":
+            check_stats_fields(resp, where, errors)
         else:
             check_decision_fields(resp, where, errors)
     if seen == 0:

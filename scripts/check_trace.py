@@ -3,6 +3,7 @@
 
 Usage:
     check_trace.py --trace t.json [--metrics m.json]
+                   [--responses r.jsonl] [--jsonl t.jsonl]
     check_trace.py t.json [m.json]          # positional: trace then metrics
 
 Trace JSON (Chrome trace_event format, as written by --trace-json):
@@ -11,6 +12,19 @@ Trace JSON (Chrome trace_event format, as written by --trace-json):
   * per tid, timestamps are strictly increasing;
   * per tid, B/E events are properly nested and balanced
     (X events carry dur >= 0 instead).
+
+With --responses (the serve JSONL output that produced the trace), the
+per-request span tree is cross-checked against the response stream:
+  * every response carries a non-empty string trace_id;
+  * every service.request span carries args.trace_id, and that id appears
+    in the response stream (a subset check: coalesced, shed, and
+    parse-error requests answer without opening a span);
+  * at least one service.request span exists and nests a service.read or
+    service.mutate child on the same tid.
+
+Trace JSONL (as written by --trace-jsonl): one event object per line with
+numeric ts_us/tid, ph in B E i, a non-empty name, and per tid balanced
+B/E nesting.
 
 Metrics JSON (as written by --metrics-json):
   * top level has "counters", "gauges", "histograms" objects;
@@ -89,6 +103,117 @@ def check_trace(path):
     return errors
 
 
+def check_request_spans(trace_path, responses_path):
+    """Cross-check service.request spans against the serve response stream."""
+    errors = []
+    response_ids = set()
+    with open(responses_path, "r", encoding="utf-8") as f:
+        for n, raw in enumerate(f, start=1):
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                resp = json.loads(stripped)
+            except json.JSONDecodeError:
+                fail(errors, f"{responses_path}:{n}: invalid JSON")
+                continue
+            trace_id = resp.get("trace_id") if isinstance(resp, dict) else None
+            if not isinstance(trace_id, str) or not trace_id:
+                fail(errors,
+                     f"{responses_path}:{n}: missing non-empty 'trace_id'")
+            else:
+                response_ids.add(trace_id)
+
+    with open(trace_path, "r", encoding="utf-8") as f:
+        events = json.load(f).get("traceEvents", [])
+    open_request = {}   # tid -> depth of the innermost open service.request
+    depth = {}          # tid -> current B/E depth
+    request_spans = 0
+    nested_children = 0
+    for n, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            continue
+        tid = ev.get("tid")
+        ph = ev.get("ph")
+        name = ev.get("name")
+        if ph == "B":
+            if name == "service.request":
+                request_spans += 1
+                open_request[tid] = depth.get(tid, 0)
+                trace_id = (ev.get("args") or {}).get("trace_id")
+                if not isinstance(trace_id, str) or not trace_id:
+                    fail(errors,
+                         f"event #{n}: service.request span without "
+                         f"args.trace_id")
+                elif trace_id not in response_ids:
+                    fail(errors,
+                         f"event #{n}: service.request trace_id {trace_id!r} "
+                         f"not in the response stream")
+            elif (name in ("service.read", "service.mutate")
+                  and tid in open_request):
+                nested_children += 1
+            depth[tid] = depth.get(tid, 0) + 1
+        elif ph == "E":
+            depth[tid] = depth.get(tid, 0) - 1
+            if tid in open_request and depth[tid] <= open_request[tid]:
+                del open_request[tid]
+    if request_spans == 0:
+        fail(errors, "no service.request spans in the trace")
+    elif nested_children == 0:
+        fail(errors,
+             "no service.read/service.mutate child nested under any "
+             "service.request span")
+    return errors
+
+
+def check_trace_jsonl(path):
+    """Validate the --trace-jsonl structured event log."""
+    errors = []
+    open_spans = {}  # tid -> stack of open B names
+    events = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for n, raw in enumerate(f, start=1):
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            where = f"line {n}"
+            try:
+                ev = json.loads(stripped)
+            except json.JSONDecodeError:
+                fail(errors, f"{where}: invalid JSON")
+                continue
+            if not isinstance(ev, dict):
+                fail(errors, f"{where}: not an object")
+                continue
+            events += 1
+            if not isinstance(ev.get("ts_us"), (int, float)):
+                fail(errors, f"{where}: missing numeric 'ts_us'")
+            if not isinstance(ev.get("tid"), int):
+                fail(errors, f"{where}: missing integer 'tid'")
+            name = ev.get("name")
+            if not isinstance(name, str) or not name:
+                fail(errors, f"{where}: missing non-empty 'name'")
+            ph = ev.get("ph")
+            tid = ev.get("tid")
+            if ph == "B":
+                open_spans.setdefault(tid, []).append(name)
+            elif ph == "E":
+                stack = open_spans.get(tid, [])
+                if not stack:
+                    fail(errors, f"{where}: 'E' with no open span on "
+                                 f"tid {tid}")
+                elif stack.pop() != name:
+                    fail(errors, f"{where}: mismatched 'E' for {name!r}")
+            elif ph != "i":
+                fail(errors, f"{where}: bad phase {ph!r}")
+    for tid, stack in open_spans.items():
+        if stack:
+            fail(errors, f"tid {tid}: unclosed spans {stack}")
+    if events == 0:
+        fail(errors, "no events found")
+    return errors
+
+
 def check_metrics(path):
     errors = []
     with open(path, "r", encoding="utf-8") as f:
@@ -137,9 +262,16 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", help="Chrome trace_event JSON to validate")
     parser.add_argument("--metrics", help="metrics JSON to validate")
+    parser.add_argument("--responses",
+                        help="serve response JSONL to cross-check "
+                             "service.request trace_ids against "
+                             "(requires --trace)")
+    parser.add_argument("--jsonl", help="trace JSONL event log to validate")
     parser.add_argument("files", nargs="*",
                         help="positional fallback: trace.json [metrics.json]")
     args = parser.parse_args()
+    if args.responses and not args.trace:
+        parser.error("--responses requires --trace")
 
     trace = args.trace
     metrics = args.metrics
@@ -154,8 +286,13 @@ def main():
         parser.error("give --trace and/or --metrics (or positional files)")
 
     status = 0
-    for kind, path, checker in (("trace", trace, check_trace),
-                                ("metrics", metrics, check_metrics)):
+    checks = [("trace", trace, check_trace),
+              ("metrics", metrics, check_metrics),
+              ("trace-jsonl", args.jsonl, check_trace_jsonl)]
+    if args.responses:
+        checks.append(("request-spans", trace,
+                       lambda p: check_request_spans(p, args.responses)))
+    for kind, path, checker in checks:
         if path is None:
             continue
         try:

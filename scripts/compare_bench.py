@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON result against a committed baseline (stdlib only).
+
+Usage:
+    compare_bench.py --baseline bench/baselines/BENCH_service.json \\
+                     --current BENCH_service.json [--tolerance 0.5] [--strict]
+
+Walks both JSON trees in parallel and reports, per leaf:
+  * numeric leaves whose relative difference exceeds the tolerance band
+    (|cur - base| / max(|base|, epsilon) > tolerance);
+  * keys present in one tree but not the other;
+  * non-numeric leaves that changed value.
+
+Timing leaves are inherently machine- and load-dependent, so the default
+tolerance is wide (50%) and the default exit status is 0 even when drifts
+are found -- the step is advisory, a trend signal in CI logs, not a gate.
+--strict turns any reported drift into exit 1 (for local perf work on a
+quiet machine). Structural mismatches (missing keys, type changes) always
+exit 1: those mean the bench's schema changed without the baseline being
+regenerated.
+
+Exit status: 0 ok / advisory drift, 1 structural mismatch or (with
+--strict) any drift.
+"""
+
+import argparse
+import json
+import sys
+
+EPSILON = 1e-9
+
+
+def walk(base, cur, path, drifts, structural):
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key in sorted(set(base) | set(cur)):
+            where = f"{path}.{key}" if path else key
+            if key not in base:
+                structural.append(f"{where}: only in current")
+            elif key not in cur:
+                structural.append(f"{where}: only in baseline")
+            else:
+                walk(base[key], cur[key], where, drifts, structural)
+        return
+    if isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            structural.append(
+                f"{path}: length {len(base)} -> {len(cur)}")
+        for i, (b, c) in enumerate(zip(base, cur)):
+            walk(b, c, f"{path}[{i}]", drifts, structural)
+        return
+    base_num = isinstance(base, (int, float)) and not isinstance(base, bool)
+    cur_num = isinstance(cur, (int, float)) and not isinstance(cur, bool)
+    if base_num and cur_num:
+        rel = abs(cur - base) / max(abs(base), EPSILON)
+        drifts.append((path, base, cur, rel))
+        return
+    if type(base) is not type(cur):
+        structural.append(
+            f"{path}: type {type(base).__name__} -> {type(cur).__name__}")
+    elif base != cur:
+        drifts.append((path, base, cur, None))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced bench JSON")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="relative tolerance band (default 0.5 = 50%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any drift outside the band")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            base = json.load(f)
+        with open(args.current, "r", encoding="utf-8") as f:
+            cur = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"compare_bench: {exc}", file=sys.stderr)
+        return 1
+
+    drifts = []
+    structural = []
+    walk(base, cur, "", drifts, structural)
+
+    out_of_band = []
+    for path, b, c, rel in drifts:
+        if rel is None:
+            out_of_band.append(f"{path}: {b!r} -> {c!r}")
+        elif rel > args.tolerance:
+            out_of_band.append(f"{path}: {b:g} -> {c:g} ({100 * rel:+.0f}%)")
+
+    name = args.current
+    if structural:
+        print(f"bench {name}: SCHEMA MISMATCH vs {args.baseline}",
+              file=sys.stderr)
+        for s in structural[:20]:
+            print(f"  - {s}", file=sys.stderr)
+        return 1
+    if out_of_band:
+        print(f"bench {name}: {len(out_of_band)} leaf/leaves outside the "
+              f"{100 * args.tolerance:.0f}% band vs {args.baseline}"
+              f"{' (advisory)' if not args.strict else ''}")
+        for s in out_of_band:
+            print(f"  - {s}")
+        return 1 if args.strict else 0
+    checked = sum(1 for _, _, _, rel in drifts if rel is not None)
+    print(f"bench {name}: {checked} numeric leaves within "
+          f"{100 * args.tolerance:.0f}% of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -308,6 +308,31 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t c = counts[i];
+    if (c == 0) continue;
+    const double prev = static_cast<double>(cum);
+    cum += c;
+    if (static_cast<double>(cum) >= target) {
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      // The overflow bucket has no upper edge; the observed max is the
+      // tightest one available.
+      double upper = i < bounds.size() ? bounds[i] : max;
+      if (upper < lower) upper = lower;
+      double frac = (target - prev) / static_cast<double>(c);
+      if (frac > 1.0) frac = 1.0;
+      return lower + frac * (upper - lower);
+    }
+  }
+  return max;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;

@@ -106,6 +106,15 @@ struct HistogramSnapshot {
   double max = 0.0;
 
   bool operator==(const HistogramSnapshot&) const = default;
+
+  /// Estimate the q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket holding rank ceil(q * count). The first bucket interpolates
+  /// from 0; the overflow bucket interpolates up to the observed max. An
+  /// empty histogram returns 0. The estimate is only as precise as the
+  /// bucket layout: it always lands inside the bucket that contains the
+  /// exact sample quantile (tests/test_obs.cpp checks this against a
+  /// brute-force oracle).
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Point-in-time aggregation over every thread's shard.

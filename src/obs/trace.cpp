@@ -138,4 +138,23 @@ std::string Tracer::to_chrome_json() const {
   return out;
 }
 
+std::string Tracer::to_jsonl() const {
+  std::string out;
+  for (const TraceEvent& e : events()) {
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "{\"ts_us\": %.3f, \"tid\": %d, \"ph\": \"%c\", \"name\": \"",
+                  e.ts_us, e.tid, e.phase);
+    out += head;
+    json_escape_into(out, e.name);
+    out += "\"";
+    if (!e.args.empty()) {
+      out += ", \"args\": ";
+      out += e.args;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
 }  // namespace rta::obs

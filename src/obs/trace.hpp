@@ -110,6 +110,12 @@ class Tracer {
   /// Chrome trace_event JSON ({"traceEvents": [...]}).
   [[nodiscard]] std::string to_chrome_json() const;
 
+  /// Structured JSONL event log: one {"ts_us", "tid", "ph", "name"[, "args"]}
+  /// object per line, in the same per-thread order as events(). Meant for
+  /// line-oriented tooling (grep, jq) where the Chrome format's enclosing
+  /// array gets in the way.
+  [[nodiscard]] std::string to_jsonl() const;
+
  private:
   struct Impl;
   void emit(char phase, void* buf, const std::string& name,

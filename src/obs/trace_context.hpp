@@ -1,0 +1,46 @@
+// Deterministic request trace context.
+//
+// Every JSONL request line gets a trace_id: either propagated from a
+// "trace_id" string field on the request itself, or minted here from the
+// line number and the raw line bytes. Minting is a pure hash -- no clock,
+// no randomness -- so the sequential runner and the concurrent scheduler
+// stamp byte-identical ids onto their responses, which keeps trace_id
+// inside the drivers' byte-identity contract (unlike latency_us).
+//
+// The id doubles as the span correlation key: the driver attaches it to the
+// args of the per-request "service.request" span, so a Chrome trace or the
+// JSONL event log can be joined against the response stream
+// (scripts/check_trace.py --responses does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rta::obs {
+
+/// Mint a 16-hex-character trace id from a request's line number and raw
+/// bytes. FNV-1a over the bytes, mixed with the line number through a
+/// splitmix64 finalizer: two byte-identical lines at different line numbers
+/// (coalescing duplicates) still get distinct ids.
+[[nodiscard]] inline std::string mint_trace_id(int line_no,
+                                               const std::string& raw) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (char c : raw) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  std::uint64_t z = h + 0x9e3779b97f4a7c15ull *
+                            (static_cast<std::uint64_t>(line_no) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  std::string out(16, '0');
+  static const char* kHex = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[z & 0xf];
+    z >>= 4;
+  }
+  return out;
+}
+
+}  // namespace rta::obs

@@ -9,6 +9,7 @@
 #include "analysis/order.hpp"
 #include "obs/kernel_sink.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rta::service {
 
@@ -246,7 +247,31 @@ ReadDecision AdmissionSession::summarize(const Decision& d) {
   rd.schedulable = d.analysis.all_schedulable();
   rd.max_wcrt = d.analysis.max_wcrt();
   rd.horizon = d.analysis.horizon;
+  rd.explain = d.explain;
   return rd;
+}
+
+void AdmissionSession::fill_explain(Decision& d, std::size_t k_new) const {
+  if (!d.ok || k_new >= d.analysis.jobs.size()) return;
+  const Job& job = system_.job(static_cast<int>(k_new));
+  const JobReport& report = d.analysis.jobs[k_new];
+  d.explain.available = true;
+  d.explain.wcrt = report.wcrt;
+  d.explain.deadline = job.deadline;
+  d.explain.hops.clear();
+  d.explain.dominant_hop = -1;
+  Time best = -1.0;  // any local bound (finite or +inf) beats this
+  for (std::size_t h = 0; h < report.hops.size(); ++h) {
+    ExplainHop eh;
+    eh.hop = static_cast<int>(h);
+    eh.processor = h < job.chain.size() ? job.chain[h].processor : 0;
+    eh.bound = report.hops[h].local_bound;
+    if (eh.bound > best) {
+      best = eh.bound;
+      d.explain.dominant_hop = eh.hop;
+    }
+    d.explain.hops.push_back(eh);
+  }
 }
 
 ReadDecision AdmissionSession::read_what_if(Job job) {
@@ -331,11 +356,16 @@ bool AdmissionSession::try_fast_what_if(const Job& job, ReadDecision& rd) {
   const std::uint64_t saved_next_id = system_.next_job_id();
   const int k_new = system_.add_job(job);
   Time candidate_wcrt = 0.0;
+  std::vector<ExplainHop> explain_hops;
+  explain_hops.reserve(static_cast<std::size_t>(hops));
   {
     detail::EngineObs::AnalyzeScope scope(eobs_.get(), pool_.get(),
                                           cache_.get());
     obs::KernelSinkScope sink_scope(eobs_ != nullptr ? eobs_->kernel_sink()
                                                      : nullptr);
+    obs::Tracer::Span fast_span = obs::Tracer::span_if(
+        eobs_ != nullptr ? eobs_->tracer() : nullptr, "service.fast_what_if",
+        "{\"hops\": " + std::to_string(hops) + "}");
     for (int hh = 0; hh < hops; ++hh) {
       detail::BoundState& st = states_[{k_new, hh}];
       if (hh == 0) {
@@ -351,7 +381,11 @@ bool AdmissionSession::try_fast_what_if(const Job& job, ReadDecision& rd) {
                                              states_,
                                              config_.analysis.bounds_variant,
                                              cache_.get());
-      candidate_wcrt += states_.at({k_new, hh}).local_bound;  // Eq. 11
+      const Time hop_bound = states_.at({k_new, hh}).local_bound;
+      candidate_wcrt += hop_bound;  // Eq. 11
+      explain_hops.push_back(
+          {hh, system_.job(k_new).chain[static_cast<std::size_t>(hh)].processor,
+           hop_bound});
     }
   }
   const std::uint64_t assigned_id = system_.job(k_new).id;
@@ -376,6 +410,19 @@ bool AdmissionSession::try_fast_what_if(const Job& job, ReadDecision& rd) {
   rd.admitted = rd.schedulable;
   rd.max_wcrt = std::max(rc.committed_max_wcrt, candidate_wcrt);
   rd.horizon = horizon_;
+  rd.explain.available = true;
+  rd.explain.hops = std::move(explain_hops);
+  rd.explain.wcrt = candidate_wcrt;
+  rd.explain.deadline = job.deadline;
+  rd.explain.horizon_doublings = 0;
+  rd.explain.dominant_hop = -1;
+  Time best = -1.0;
+  for (const ExplainHop& eh : rd.explain.hops) {
+    if (eh.bound > best) {
+      best = eh.bound;
+      rd.explain.dominant_hop = eh.hop;
+    }
+  }
   if (eobs_ != nullptr && eobs_->metrics() != nullptr) {
     eobs_->metrics()->counter("service.incremental").inc();
     eobs_->metrics()
@@ -426,6 +473,7 @@ void AdmissionSession::double_horizon_if_unbounded(Decision& d,
        ++round) {
     if (!d.analysis.ok || !any_unbounded(d.analysis)) break;
     h *= 2.0;
+    ++d.explain.horizon_doublings;
     detail::BoundStateMap scratch;
     detail::run_bounds_wavefront(system_, h, config_.analysis.bounds_variant,
                                  pool_.get(), cache_.get(), eobs_.get(),
@@ -480,8 +528,14 @@ Decision AdmissionSession::run_candidate(Job job, bool commit_on_admit) {
   // rta-lint: allow(float-eq) cache identity: incremental reuse requires a
   // bit-identical horizon (see can_incremental)
   if (have_states_ && h == horizon_) {
+    obs::Tracer::Span closure_span = obs::Tracer::span_if(
+        eobs_ != nullptr ? eobs_->tracer() : nullptr, "service.dirty_closure");
     const DependencyGraph graph = build_dependency_graph(system_);
     const DirtySet dirty = dirty_for_added_job(system_, graph, k_new);
+    closure_span.annotate("{\"dirty\": " + std::to_string(dirty.count) +
+                          ", \"nodes\": " + std::to_string(graph.node_count()) +
+                          "}");
+    closure_span.finish();
     if (dirty.count <=
         config_.full_analysis_threshold * graph.node_count()) {
       // Save the dirty existing states so a rejected candidate (or a
@@ -508,6 +562,7 @@ Decision AdmissionSession::run_candidate(Job job, bool commit_on_admit) {
       incremental_counter.inc();
       dirty_counter.add(static_cast<std::uint64_t>(dirty.count));
       double_horizon_if_unbounded(d, h);
+      fill_explain(d, static_cast<std::size_t>(k_new));
 
       d.admitted = d.analysis.all_schedulable();
       if (commit_on_admit && d.admitted) {
@@ -530,6 +585,7 @@ Decision AdmissionSession::run_candidate(Job job, bool commit_on_admit) {
   full_counter.inc();
   detail::BoundStateMap fresh;
   full_pass(d, h, fresh);
+  fill_explain(d, static_cast<std::size_t>(k_new));
   d.admitted = d.analysis.all_schedulable();
   if (commit_on_admit && d.admitted) {
     d.committed = true;
@@ -601,9 +657,15 @@ Decision AdmissionSession::remove(std::uint64_t job_id) {
   // rta-lint: allow(float-eq) cache identity: incremental reuse requires a
   // bit-identical horizon (see can_incremental)
   if (have_states_ && h == horizon_) {
+    obs::Tracer::Span closure_span = obs::Tracer::span_if(
+        eobs_ != nullptr ? eobs_->tracer() : nullptr, "service.dirty_closure");
     const DependencyGraph graph = build_dependency_graph(system_);
     const DirtySet dirty =
         dirty_for_removed_job(system_, graph, removed_chain, old_blocking);
+    closure_span.annotate("{\"dirty\": " + std::to_string(dirty.count) +
+                          ", \"nodes\": " + std::to_string(graph.node_count()) +
+                          "}");
+    closure_span.finish();
     if (dirty.count <=
         config_.full_analysis_threshold * graph.node_count()) {
       detail::run_bounds_wavefront(system_, h, config_.analysis.bounds_variant,

@@ -60,6 +60,27 @@ struct SessionConfig {
   double full_analysis_threshold = 0.75;
 };
 
+/// Per-hop bound provenance for the candidate job of an admit / what_if
+/// call: which hop dominates the end-to-end bound and what each hop's
+/// Eq. 12 local term contributed to the Eq. 11 sum. Filled from the same
+/// per-subjob states both analysis paths compute, so the fast what-if path
+/// and the general wavefront produce bit-identical explains (part of the
+/// response byte-identity contract).
+struct ExplainHop {
+  int hop = 0;        ///< index into the candidate's chain
+  int processor = 0;  ///< processor the hop runs on
+  Time bound = 0.0;   ///< Eq. 12 local response bound of this subjob
+};
+
+struct Explain {
+  bool available = false;     ///< filled for ok admit/what_if decisions
+  std::vector<ExplainHop> hops;
+  int dominant_hop = -1;      ///< argmax of hops[].bound (first wins)
+  Time wcrt = 0.0;            ///< Eq. 11 sum of the hop bounds
+  Time deadline = 0.0;        ///< the candidate's end-to-end deadline
+  int horizon_doublings = 0;  ///< horizon-search iterations this call ran
+};
+
 /// Outcome of one admit / what_if / remove call.
 struct Decision {
   bool ok = false;           ///< analysis ran (candidate structurally valid)
@@ -71,6 +92,7 @@ struct Decision {
   int dirty_subjobs = 0;     ///< recomputed closure size (0 on full runs)
   int total_subjobs = 0;     ///< subjobs in the candidate system
   AnalysisResult analysis;   ///< bit-identical to a fresh full analysis
+  Explain explain;           ///< candidate bound provenance (admit/what_if)
 };
 
 /// Aggregate-only view of a Decision: exactly the fields the JSONL response
@@ -90,6 +112,7 @@ struct ReadDecision {
   bool schedulable = false;  ///< analysis.all_schedulable()
   Time max_wcrt = 0.0;       ///< analysis.max_wcrt()
   Time horizon = 0.0;        ///< analysis.horizon
+  Explain explain;           ///< candidate bound provenance (what_if)
 };
 
 class AdmissionSession {
@@ -160,6 +183,7 @@ class AdmissionSession {
 
   Decision run_candidate(Job job, bool commit_on_admit);
   bool try_fast_what_if(const Job& job, ReadDecision& rd);
+  void fill_explain(Decision& d, std::size_t k_new) const;
   const ReadCache& read_cache();
   void full_pass(Decision& d, Time base_horizon,
                  detail::BoundStateMap& states) const;

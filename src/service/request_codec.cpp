@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "io/system_json.hpp"
+#include "obs/metrics.hpp"
+#include "service/metrics_export.hpp"
 
 namespace rta::service::detail {
 
@@ -22,6 +24,8 @@ ParsedRequest parse_request(const std::string& line) {
 
   const json::ParseResult doc = json::parse(line);
   if (!doc.ok) return immediate("bad request json: " + doc.error);
+  const json::Value* trace = doc.value.find("trace_id");
+  if (trace != nullptr && trace->is_string()) req.trace_id = trace->as_string();
   const json::Value* op = doc.value.find("op");
   if (op == nullptr || !op->is_string()) {
     return immediate("missing string 'op'");
@@ -53,12 +57,12 @@ ParsedRequest parse_request(const std::string& line) {
     req.cls = RequestClass::kMutate;
     return req;
   }
-  if (req.op == "query") {
+  if (req.op == "query" || req.op == "stats") {
     req.cls = RequestClass::kRead;
     return req;
   }
   return immediate("unknown op '" + req.op +
-                   "' (admit, what_if, remove, query)");
+                   "' (admit, what_if, remove, query, stats)");
 }
 
 void read_decision_into(json::Value& response, const ReadDecision& rd) {
@@ -74,6 +78,23 @@ void read_decision_into(json::Value& response, const ReadDecision& rd) {
     response.set("schedulable", rd.schedulable);
     response.set("max_wcrt", time_value(rd.max_wcrt));
     response.set("horizon", time_value(rd.horizon));
+  }
+  if (rd.ok && rd.explain.available) {
+    json::Value hops{json::Value::Array{}};
+    for (const ExplainHop& eh : rd.explain.hops) {
+      json::Value hop{json::Value::Object{}};
+      hop.set("hop", eh.hop);
+      hop.set("processor", eh.processor);
+      hop.set("bound", time_value(eh.bound));
+      hops.as_array().push_back(std::move(hop));
+    }
+    json::Value explain{json::Value::Object{}};
+    explain.set("wcrt", time_value(rd.explain.wcrt));
+    explain.set("deadline", time_value(rd.explain.deadline));
+    explain.set("dominant_hop", rd.explain.dominant_hop);
+    explain.set("doublings", rd.explain.horizon_doublings);
+    explain.set("hops", std::move(hops));
+    response.set("explain", std::move(explain));
   }
 }
 
@@ -107,6 +128,26 @@ bool execute_request(AdmissionSession& session, const ParsedRequest& req,
     const ReadDecision rd = AdmissionSession::summarize(session.remove(job_id));
     read_decision_into(response, rd);
     return rd.ok;
+  }
+  if (req.op == "stats") {
+    // Live introspection of the shared MetricsRegistry. The payload is
+    // wall-clock-derived (latency quantiles, scrape-time counters), so this
+    // is the one verb outside the drivers' byte-identity contract -- except
+    // for this deterministic error when no registry is attached.
+    obs::MetricsRegistry* metrics = session.config().analysis.observer.metrics;
+    if (metrics == nullptr) {
+      response.set("ok", false);
+      response.set("error",
+                   "stats: no metrics registry attached (run serve with "
+                   "--stats, --metrics-json or --metrics-prom)");
+      return false;
+    }
+    response.set("ok", true);
+    const json::Value payload = stats_payload(metrics->snapshot());
+    for (const auto& [key, value] : payload.as_object()) {
+      response.set(key, value);
+    }
+    return true;
   }
   // query: committed-system summary straight off the retained analysis.
   const AnalysisResult& r = session.last();

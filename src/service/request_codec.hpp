@@ -22,7 +22,7 @@ namespace rta::service::detail {
 /// session at all.
 enum class RequestClass {
   kImmediate,
-  kRead,    ///< what_if, query
+  kRead,    ///< what_if, query, stats
   kMutate,  ///< admit, remove
 };
 
@@ -31,6 +31,13 @@ struct ParsedRequest {
   RequestClass cls = RequestClass::kImmediate;
   std::string op;     ///< empty when the line had no usable string "op"
   std::string error;  ///< set iff cls == kImmediate
+
+  /// Propagated trace context: a non-empty string "trace_id" field on the
+  /// request, echoed verbatim into the response. Empty when absent (or the
+  /// line failed to parse); the driver then mints one deterministically
+  /// (obs/trace_context.hpp), so minted ids are byte-identical across the
+  /// sequential runner and the scheduler.
+  std::string trace_id;
 
   // admit / what_if payload.
   Job job;

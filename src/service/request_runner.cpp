@@ -7,6 +7,8 @@
 
 #include "io/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "service/request_codec.hpp"
 
 namespace rta::service {
@@ -16,6 +18,7 @@ RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
   RunnerStats stats;
   obs::Histogram latency;
   obs::MetricsRegistry* metrics = session.config().analysis.observer.metrics;
+  obs::Tracer* tracer = session.config().analysis.observer.tracer;
   if (metrics != nullptr) {
     latency = metrics->histogram("service.request_us",
                                  obs::MetricsRegistry::latency_buckets_us());
@@ -36,15 +39,29 @@ RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
     const auto start = std::chrono::steady_clock::now();
     const detail::ParsedRequest req = detail::parse_request(line);
     if (!req.op.empty()) response.set("op", req.op);
+    const std::string trace_id = req.trace_id.empty()
+                                     ? obs::mint_trace_id(line_no, line)
+                                     : req.trace_id;
+    response.set("trace_id", trace_id);
     if (req.cls == detail::RequestClass::kImmediate) {
       response.set("ok", false);
       response.set("error", req.error);
       ++stats.errors;
     } else {
+      obs::Tracer::Span req_span = obs::Tracer::span_if(
+          tracer, "service.request",
+          tracer != nullptr
+              ? "{\"trace_id\": " + json::Value(trace_id).dump() +
+                    ", \"op\": \"" + req.op + "\"}"
+              : std::string());
       // Fail-safe isolation: a throwing request yields an error response
       // for its line, never a terminated stream.
       bool ok = false;
       try {
+        obs::Tracer::Span class_span = obs::Tracer::span_if(
+            tracer, req.cls == detail::RequestClass::kMutate
+                        ? "service.mutate"
+                        : "service.read");
         ok = detail::execute_request(session, req, response,
                                      /*fast_reads=*/false);
       } catch (const std::exception& e) {

@@ -1,11 +1,14 @@
 #include "service/request_scheduler.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <thread>
 #include <unordered_map>
 #include <utility>
+
+#include "obs/trace_context.hpp"
 
 namespace rta::service {
 
@@ -34,6 +37,7 @@ RequestScheduler::RequestScheduler(AdmissionSession& session,
       out_(out),
       options_(options),
       read_workers_(resolve_read_workers(options.parallel_reads)) {
+  tracer_ = session.config().analysis.observer.tracer;
   obs::MetricsRegistry* metrics = session.config().analysis.observer.metrics;
   if (metrics != nullptr) {
     const std::vector<double>& buckets =
@@ -69,6 +73,9 @@ void RequestScheduler::submit_line(const std::string& line) {
   p.response.set("request", submitted_);
   p.response.set("line", line_no_);
   if (!p.req.op.empty()) p.response.set("op", p.req.op);
+  p.trace_id = p.req.trace_id.empty() ? obs::mint_trace_id(line_no_, line)
+                                      : p.req.trace_id;
+  p.response.set("trace_id", p.trace_id);
 
   if (p.req.cls == detail::RequestClass::kImmediate) {
     // Parse-time errors never touch a session: buffered in place so the
@@ -103,6 +110,18 @@ void RequestScheduler::submit_line(const std::string& line) {
 }
 
 void RequestScheduler::execute_one(AdmissionSession& session, Pending& p) {
+  // The span tree correlation point: the per-request span carries the
+  // trace_id the response echoes, and the queue wait (arrival -> execution
+  // start) rides along as args.
+  obs::Tracer::Span req_span;
+  if (tracer_ != nullptr) {
+    char queue_args[64];
+    std::snprintf(queue_args, sizeof(queue_args), ", \"queue_us\": %.3f}",
+                  micros_since(p.arrival));
+    req_span = tracer_->span("service.request",
+                             "{\"trace_id\": " + json::Value(p.trace_id).dump() +
+                                 ", \"op\": \"" + p.req.op + "\"" + queue_args);
+  }
   if (options_.request_timeout_ms > 0.0 &&
       micros_since(p.arrival) > options_.request_timeout_ms * 1000.0) {
     p.response.set("ok", false);
@@ -110,9 +129,13 @@ void RequestScheduler::execute_one(AdmissionSession& session, Pending& p) {
     p.response.set("timeout", true);
     p.timed_out = true;
     p.latency_us = micros_since(p.arrival);
+    req_span.annotate("{\"timeout\": true}");
     return;
   }
   try {
+    obs::Tracer::Span class_span = obs::Tracer::span_if(
+        tracer_, p.req.cls == detail::RequestClass::kMutate ? "service.mutate"
+                                                            : "service.read");
     p.ok = detail::execute_request(session, p.req, p.response,
                                    /*fast_reads=*/true);
   } catch (const std::exception& e) {
@@ -185,6 +208,9 @@ void RequestScheduler::execute_reads() {
       std::min<std::size_t>(static_cast<std::size_t>(read_workers_), n);
   if (chunks > 1) {
     if (!replicas_fresh_) {
+      obs::Tracer::Span clone_span = obs::Tracer::span_if(
+          tracer_, "service.snapshot_clone",
+          "{\"replicas\": " + std::to_string(read_workers_ - 1) + "}");
       replicas_.clear();
       for (int r = 0; r + 1 < read_workers_; ++r) {
         replicas_.push_back(session_.clone_committed());
@@ -224,6 +250,7 @@ void RequestScheduler::execute_reads() {
     d.response = p.response;
     d.response.set("request", request_no);
     d.response.set("line", input_line);
+    d.response.set("trace_id", d.trace_id);
     if (d.auto_id && d.response.find("job_id") != nullptr) {
       d.response.set("job_id", static_cast<double>(d.req.job.id));
     }
@@ -232,6 +259,12 @@ void RequestScheduler::execute_reads() {
     d.latency_us = micros_since(d.arrival);
     ++stats_.coalesced;
     coalesced_counter_.inc();
+    obs::Tracer::instant_if(
+        tracer_, "service.coalesced",
+        tracer_ != nullptr
+            ? "{\"trace_id\": " + json::Value(d.trace_id).dump() +
+                  ", \"primary\": " + json::Value(p.trace_id).dump() + "}"
+            : std::string());
   }
 
   session_.set_next_job_id(cur);

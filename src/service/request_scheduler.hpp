@@ -67,6 +67,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/admission_session.hpp"
 #include "service/request_codec.hpp"
 #include "service/request_runner.hpp"
@@ -104,7 +105,8 @@ class RequestScheduler {
   struct Pending {
     detail::ParsedRequest req;
     json::Value response;
-    std::string raw;  ///< the input line, the read-coalescing identity key
+    std::string raw;       ///< the input line, the read-coalescing identity key
+    std::string trace_id;  ///< propagated or minted at submit (deterministic)
     std::chrono::steady_clock::time_point arrival;
     bool executable = false;  ///< false: response completed at submit time
     bool auto_id = false;     ///< job_id was simulated, not client-supplied
@@ -140,6 +142,7 @@ class RequestScheduler {
   int submitted_ = 0;  ///< responses owed (skipped lines excluded)
   RunnerStats stats_;
 
+  obs::Tracer* tracer_ = nullptr;  ///< per-request span tree (may be null)
   obs::Histogram request_us_;
   obs::Histogram read_us_;
   obs::Histogram mutate_us_;

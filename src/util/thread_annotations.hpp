@@ -20,6 +20,7 @@
 // discipline cannot silently erode.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -135,6 +136,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's scope
+  }
+
+  /// wait() with a timeout: returns true when notified, false on timeout.
+  /// Same capability story as wait(); callers still loop on their guarded
+  /// predicate.
+  template <class Rep, class Period>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      RTA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();  // ownership stays with the caller's scope
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() { cv_.notify_one(); }

@@ -3,11 +3,14 @@
 // system at threads = 1, trace-event schema guarantees, and the referee for
 // the whole layer -- instrumented and uninstrumented analyses are
 // bit-identical for every thread count.
+#include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,11 +19,13 @@
 
 #include "analysis/bounds.hpp"
 #include "analysis/iterative.hpp"
+#include "io/json.hpp"
 #include "model/priority.hpp"
 #include "obs/kernel_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "util/rng.hpp"
 #include "workload/jobshop.hpp"
 
@@ -160,6 +165,80 @@ TEST(Metrics, DefaultConstructedHandlesAreInertAndUnbound) {
           .bound());
 }
 
+TEST(Metrics, HistogramQuantileMatchesBruteForceOracle) {
+  // quantile(q) promises an estimate inside the bucket containing the exact
+  // sample quantile. Randomized streams over the shared latency layout,
+  // checked against a sorted-sample oracle.
+  const std::vector<double>& bounds =
+      obs::MetricsRegistry::latency_buckets_us();
+  const RngFactory factory(0x0B5E55ED);
+  for (int trial = 0; trial < 25; ++trial) {
+    Rng rng = factory.stream(static_cast<std::uint64_t>(trial));
+    obs::MetricsRegistry registry;
+    const obs::Histogram h = registry.histogram("test.q", bounds);
+    const int n = rng.uniform_int(1, 300);
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      // Spread across the buckets and past the last bound (overflow).
+      const double v = rng.uniform(0.0, 2.0 * bounds.back());
+      samples.push_back(v);
+      h.observe(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    const obs::HistogramSnapshot snap =
+        registry.snapshot().histograms.at("test.q");
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      // Exact sample quantile: the ceil(q*n)-th order statistic.
+      const std::size_t rank =
+          q <= 0.0 ? 0
+                   : static_cast<std::size_t>(
+                         std::ceil(q * static_cast<double>(n))) -
+                         1;
+      const double exact = samples[std::min<std::size_t>(
+          rank, static_cast<std::size_t>(n) - 1)];
+      // The bucket holding that sample.
+      const std::size_t bucket = static_cast<std::size_t>(
+          std::lower_bound(bounds.begin(), bounds.end(), exact) -
+          bounds.begin());
+      const double lower = bucket == 0 ? 0.0 : bounds[bucket - 1];
+      const double upper =
+          bucket < bounds.size() ? bounds[bucket] : std::max(snap.max, lower);
+      const double est = snap.quantile(q);
+      EXPECT_GE(est, lower) << "trial " << trial << " q " << q;
+      EXPECT_LE(est, upper) << "trial " << trial << " q " << q;
+    }
+    if (n > 0) {
+      EXPECT_GT(snap.quantile(0.5), 0.0);
+      EXPECT_LE(snap.quantile(0.5), snap.quantile(0.9));
+      EXPECT_LE(snap.quantile(0.9), snap.quantile(0.99));
+    }
+  }
+}
+
+TEST(Metrics, HistogramQuantileOnEmptyHistogramIsZero) {
+  obs::MetricsRegistry registry;
+  const obs::Histogram h = registry.histogram(
+      "test.empty", obs::MetricsRegistry::latency_buckets_us());
+  EXPECT_TRUE(h.bound());  // registered but never observed
+  const obs::HistogramSnapshot snap =
+      registry.snapshot().histograms.at("test.empty");
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 0.0);
+}
+
+TEST(Metrics, HistogramQuantileClampsOutOfRangeProbabilities) {
+  obs::MetricsRegistry registry;
+  const obs::Histogram h = registry.histogram("test.clamp", {10.0, 20.0});
+  h.observe(5.0);
+  h.observe(15.0);
+  const obs::HistogramSnapshot snap =
+      registry.snapshot().histograms.at("test.clamp");
+  EXPECT_DOUBLE_EQ(snap.quantile(-1.0), snap.quantile(0.0));
+  EXPECT_DOUBLE_EQ(snap.quantile(2.0), snap.quantile(1.0));
+}
+
 TEST(Metrics, LatencyBucketsAreSharedAndExponential) {
   const std::vector<double>& buckets =
       obs::MetricsRegistry::latency_buckets_us();
@@ -239,6 +318,61 @@ TEST(Trace, EventsFromWorkerThreadsGetDistinctTids) {
 
 // ---------------------------------------------------------------------------
 // Kernel sink plumbing
+
+TEST(Trace, JsonlEmitsOneParseableEventPerLine) {
+  obs::Tracer tracer;
+  {
+    obs::Tracer::Span outer = tracer.span("outer", "{\"k\": 1}");
+    tracer.instant("tick");
+    obs::Tracer::Span inner = tracer.span("inner");
+  }
+  const std::string jsonl = tracer.to_jsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  int events = 0;
+  int depth = 0;
+  bool saw_args = false;
+  while (std::getline(lines, line)) {
+    ++events;
+    const json::ParseResult doc = json::parse(line);
+    ASSERT_TRUE(doc.ok) << line;
+    const json::Value* ts = doc.value.find("ts_us");
+    ASSERT_NE(ts, nullptr) << line;
+    EXPECT_TRUE(ts->is_number()) << line;
+    const json::Value* name = doc.value.find("name");
+    ASSERT_NE(name, nullptr) << line;
+    EXPECT_FALSE(name->as_string().empty()) << line;
+    const json::Value* ph = doc.value.find("ph");
+    ASSERT_NE(ph, nullptr) << line;
+    const std::string phase = ph->as_string();
+    if (phase == "B") ++depth;
+    if (phase == "E") --depth;
+    EXPECT_GE(depth, 0) << line;
+    if (doc.value.find("args") != nullptr) saw_args = true;
+  }
+  // outer B/E, inner B/E, one instant -- all on one thread, balanced.
+  EXPECT_EQ(events, 5);
+  EXPECT_EQ(depth, 0);
+  EXPECT_TRUE(saw_args);  // outer's args round-trip as real JSON
+}
+
+// ---------------------------------------------------------------------------
+// Trace context
+
+TEST(TraceContext, MintedIdsAreDeterministicSixteenHexChars) {
+  const std::string id = obs::mint_trace_id(3, "{\"op\": \"query\"}");
+  EXPECT_EQ(id, obs::mint_trace_id(3, "{\"op\": \"query\"}"));
+  ASSERT_EQ(id.size(), 16u);
+  for (const char c : id) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)) &&
+                !std::isupper(static_cast<unsigned char>(c)))
+        << id;
+  }
+  // Byte-identical lines at different line numbers (a polling client) get
+  // distinct ids; different bytes at one line number do too.
+  EXPECT_NE(id, obs::mint_trace_id(4, "{\"op\": \"query\"}"));
+  EXPECT_NE(id, obs::mint_trace_id(3, "{\"op\": \"stats\"}"));
+}
 
 TEST(KernelSink, ScopeInstallsAndRestores) {
   obs::MetricsRegistry registry;

@@ -112,12 +112,15 @@ std::string build_stream(Rng& rng, const System& base, int n,
     const double r = rng.uniform(0.0, 1.0);
     if (i % 17 == 5) {
       // Error salt: one malformed shape each pass through the stream.
-      switch (rng.uniform_int(0, 5)) {
+      // stats belongs here: these sessions carry no metrics registry, so
+      // both drivers answer it with the same deterministic error.
+      switch (rng.uniform_int(0, 6)) {
         case 0: out << "{not json at all\n"; continue;
         case 1: out << "{\"no_op\": 1}\n"; continue;
         case 2: out << "{\"op\": \"frobnicate\"}\n"; continue;
         case 3: out << "{\"op\": \"what_if\", \"job\": {\"name\": \"x\"}}\n"; continue;
         case 4: out << "{\"op\": \"remove\"}\n"; continue;
+        case 5: out << "{\"op\": \"stats\"}\n"; continue;
         default: out << "# comment line\n\n"; continue;
       }
     }
@@ -296,6 +299,46 @@ TEST(ServiceScheduler, ErrorStreamCompletesWithPerLineResponses) {
   }
   EXPECT_EQ(parsed, 9);
   EXPECT_TRUE(saw_ok);  // the trailing query succeeded
+}
+
+/// Trace context: a client-supplied trace_id is echoed verbatim; absent
+/// one, a deterministic id is minted from the line's position and bytes --
+/// identically in both drivers, parse-error lines included, so trace_id
+/// sits inside the byte-identity contract the differential test enforces.
+TEST(ServiceScheduler, TraceIdsPropagateOrMintDeterministically) {
+  const System base = make_base(5);
+  const std::string stream =
+      "{\"op\": \"query\", \"trace_id\": \"client-abc\"}\n"
+      "{\"op\": \"query\"}\n"
+      "{broken\n";
+
+  std::string sequential;
+  run_sequential(base, stream, sequential);
+  StreamOptions options;
+  options.parallel_reads = 2;
+  std::string scheduled;
+  run_scheduled(base, stream, options, scheduled);
+
+  const auto trace_ids = [](const std::string& responses) {
+    std::vector<std::string> ids;
+    std::istringstream lines(responses);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const json::ParseResult doc = json::parse(line);
+      EXPECT_TRUE(doc.ok) << line;
+      const json::Value* id = doc.value.find("trace_id");
+      EXPECT_NE(id, nullptr) << line;
+      ids.push_back(id != nullptr ? id->as_string() : std::string());
+    }
+    return ids;
+  };
+  const std::vector<std::string> seq_ids = trace_ids(sequential);
+  ASSERT_EQ(seq_ids.size(), 3u);
+  EXPECT_EQ(seq_ids[0], "client-abc");  // propagated verbatim
+  EXPECT_EQ(seq_ids[1].size(), 16u);    // minted: 16 hex chars
+  EXPECT_FALSE(seq_ids[2].empty());     // even the parse error carries one
+  EXPECT_NE(seq_ids[1], seq_ids[2]);
+  EXPECT_EQ(seq_ids, trace_ids(scheduled));  // drivers agree id-for-id
 }
 
 /// Backpressure is batch-depth based, hence deterministic: with

@@ -233,6 +233,73 @@ TEST(ServiceDifferential, PinnedHorizonTakesIncrementalPath) {
   EXPECT_GT(incremental, 0);
 }
 
+// The explain payload (per-hop bound provenance, docs/observability.md) is
+// filled from the same per-subjob states both what-if paths compute, so the
+// fast read path and the general path must agree on every field exactly --
+// double-equality on the bounds, not approximate.
+TEST(Service, ExplainBitIdenticalBetweenFastAndGeneralWhatIf) {
+  Rng rng(29);
+  const System base = random_base(rng, SchedulerKind::kSpp, false);
+  SessionConfig cfg;
+  cfg.analysis.horizon = 4.0 * default_horizon(base, AnalysisConfig{});
+  AdmissionSession session(base, cfg);
+  for (int i = 0; i < 8; ++i) {
+    const Job job = random_job(rng, base, i);
+    const service::ReadDecision fast = session.read_what_if(job);
+    const service::ReadDecision general =
+        AdmissionSession::summarize(session.what_if(job));
+    ASSERT_EQ(fast.ok, general.ok) << "candidate " << i;
+    if (!fast.ok) continue;
+    ASSERT_TRUE(fast.explain.available) << "candidate " << i;
+    ASSERT_TRUE(general.explain.available) << "candidate " << i;
+    EXPECT_EQ(fast.explain.wcrt, general.explain.wcrt) << "candidate " << i;
+    EXPECT_EQ(fast.explain.deadline, general.explain.deadline);
+    EXPECT_EQ(fast.explain.dominant_hop, general.explain.dominant_hop);
+    ASSERT_EQ(fast.explain.hops.size(), general.explain.hops.size());
+    for (std::size_t h = 0; h < fast.explain.hops.size(); ++h) {
+      EXPECT_EQ(fast.explain.hops[h].hop, general.explain.hops[h].hop);
+      EXPECT_EQ(fast.explain.hops[h].processor,
+                general.explain.hops[h].processor);
+      EXPECT_EQ(fast.explain.hops[h].bound, general.explain.hops[h].bound)
+          << "candidate " << i << " hop " << h;
+    }
+  }
+}
+
+// Explain invariants on the general path: one provenance entry per chain
+// hop, the candidate's wcrt is the hop-order sum of the local bounds
+// (Eq. 11/12 structure), and dominant_hop points at the largest term.
+TEST(Service, ExplainDecomposesWcrtAcrossHops) {
+  Rng rng(31);
+  const System base = random_base(rng, SchedulerKind::kSpp, false);
+  AdmissionSession session(base, SessionConfig{});
+  for (int i = 0; i < 6; ++i) {
+    const Job job = random_job(rng, base, i);
+    const service::ReadDecision rd =
+        AdmissionSession::summarize(session.what_if(job));
+    ASSERT_TRUE(rd.ok) << rd.error;
+    ASSERT_TRUE(rd.explain.available);
+    EXPECT_EQ(rd.explain.deadline, job.deadline);
+    ASSERT_EQ(rd.explain.hops.size(), job.chain.size());
+    if (!std::isfinite(rd.explain.wcrt)) continue;  // unbounded candidate
+    Time sum = 0.0;
+    Time best = -1.0;
+    int best_hop = -1;
+    for (const service::ExplainHop& hop : rd.explain.hops) {
+      EXPECT_EQ(hop.processor,
+                job.chain[static_cast<std::size_t>(hop.hop)].processor);
+      sum += hop.bound;
+      if (hop.bound > best) {
+        best = hop.bound;
+        best_hop = hop.hop;
+      }
+    }
+    EXPECT_EQ(sum, rd.explain.wcrt) << "candidate " << i;
+    EXPECT_EQ(best_hop, rd.explain.dominant_hop) << "candidate " << i;
+    EXPECT_GE(rd.explain.horizon_doublings, 0);
+  }
+}
+
 TEST(Service, WhatIfNeverCommits) {
   Rng rng(7);
   const System base = random_base(rng, SchedulerKind::kSpp, false);

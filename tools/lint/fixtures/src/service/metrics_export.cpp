@@ -1,0 +1,14 @@
+// Fixture: the Prometheus exporter stamps scrape time -- exempt from
+// wallclock (prefix src/service/metrics_export; the rest of src/service/
+// stays under the rule).
+#include <chrono>
+
+namespace rta::service {
+
+double scrape_time_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace rta::service

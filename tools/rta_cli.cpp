@@ -15,8 +15,9 @@
 // (io/system_json.hpp); everything else through the text format.
 //
 // The analysis subcommands (analyze, validate, curves, serve) share one flag
-// table: --threads, --no-cache, --stats, --metrics-json, --trace-json (see
-// docs/observability.md). Unknown flags are rejected with the valid set.
+// table: --threads, --no-cache, --stats, --metrics-json, --trace-json,
+// --trace-jsonl (see docs/observability.md). Unknown flags are rejected with
+// the valid set.
 //
 // Exit status: 0 = ok / schedulable, 1 = not schedulable (serve: some
 // request failed), 2 = usage or input error.
@@ -36,6 +37,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rta/rta.hpp"
+#include "service/metrics_export.hpp"
 #include "util/options.hpp"
 
 namespace {
@@ -56,8 +58,10 @@ int usage() {
       "  serve    FILE --requests FILE [--out FILE] [--priorities ...]\n"
       "           [--horizon H] [--threshold F] [--parallel-reads N]\n"
       "           [--max-inflight N] [--request-timeout-ms MS]\n"
-      "           JSONL admit/remove/what_if stream against an incremental\n"
-      "           session; reads fan out over snapshots (docs/api.md)\n"
+      "           [--metrics-prom FILE [--prom-interval-ms MS]]\n"
+      "           JSONL admit/remove/what_if/query/stats stream against an\n"
+      "           incremental session; reads fan out over snapshots\n"
+      "           (docs/api.md); every response echoes a trace_id\n"
       "  generate [--stages N --procs N --jobs N --util U --seed S\n"
       "            --aperiodic --scheduler SPP|SPNP|FCFS] [--out FILE]\n"
       "  FILEs ending in .json use the JSON system format (docs/api.md).\n"
@@ -69,14 +73,20 @@ int usage() {
       "  --metrics-json FILE: write aggregated engine metrics as JSON.\n"
       "  --trace-json FILE:   write a Chrome trace_event JSON timeline\n"
       "                       (open in chrome://tracing or Perfetto).\n"
+      "  --trace-jsonl FILE:  write the same span timeline as structured\n"
+      "                       JSONL events (one object per line).\n"
       "  --stats:             print cache/kernel/pool statistics; never\n"
-      "                       changes the computed bounds.\n");
+      "                       changes the computed bounds.\n"
+      "  serve only: --metrics-prom FILE writes a Prometheus text-format\n"
+      "  snapshot every --prom-interval-ms (default 1000), plus a final\n"
+      "  flush on every exit path.\n");
   return 2;
 }
 
 /// The flag table shared by every analysis subcommand.
 constexpr const char* kSharedAnalysisFlags[] = {
     "threads", "no-cache", "stats", "metrics-json", "trace-json",
+    "trace-jsonl",
 };
 
 /// Reject flags outside `specific` (+ the shared table when `with_shared`).
@@ -119,12 +129,14 @@ bool write_text_file(const std::string& path, const std::string& content) {
   return wrote && closed;
 }
 
-/// Sinks and export paths behind --metrics-json / --trace-json / --stats.
-/// The registry also backs --stats on its own (no file needed): the
-/// analyzers flush their cache/pool/kernel counters into it per analyze().
+/// Sinks and export paths behind --metrics-json / --trace-json /
+/// --trace-jsonl / --stats. The registry also backs --stats on its own (no
+/// file needed): the analyzers flush their cache/pool/kernel counters into
+/// it per analyze().
 struct ObsSession {
   std::string metrics_path;
   std::string trace_path;
+  std::string trace_jsonl_path;
   bool stats = false;
   std::unique_ptr<obs::MetricsRegistry> metrics;
   std::unique_ptr<obs::Tracer> tracer;
@@ -133,11 +145,14 @@ struct ObsSession {
     ObsSession s;
     s.metrics_path = opts.get("metrics-json", "");
     s.trace_path = opts.get("trace-json", "");
+    s.trace_jsonl_path = opts.get("trace-jsonl", "");
     s.stats = opts.get_bool("stats", false);
     if (!s.metrics_path.empty() || s.stats) {
       s.metrics = std::make_unique<obs::MetricsRegistry>();
     }
-    if (!s.trace_path.empty()) s.tracer = std::make_unique<obs::Tracer>();
+    if (!s.trace_path.empty() || !s.trace_jsonl_path.empty()) {
+      s.tracer = std::make_unique<obs::Tracer>();
+    }
     return s;
   }
 
@@ -217,6 +232,11 @@ struct ObsSession {
     if (tracer != nullptr && !trace_path.empty() &&
         !write_text_file(trace_path, tracer->to_chrome_json())) {
       std::fprintf(stderr, "cannot write '%s'\n", trace_path.c_str());
+      return false;
+    }
+    if (tracer != nullptr && !trace_jsonl_path.empty() &&
+        !write_text_file(trace_jsonl_path, tracer->to_jsonl())) {
+      std::fprintf(stderr, "cannot write '%s'\n", trace_jsonl_path.c_str());
       return false;
     }
     return true;
@@ -447,7 +467,8 @@ int cmd_trace(const Options& opts, System system) {
 int cmd_serve(const Options& opts, System system) {
   if (!check_flags("serve", opts,
                    {"requests", "out", "horizon", "threshold", "priorities",
-                    "parallel-reads", "max-inflight", "request-timeout-ms"})) {
+                    "parallel-reads", "max-inflight", "request-timeout-ms",
+                    "metrics-prom", "prom-interval-ms"})) {
     return 2;
   }
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
@@ -463,6 +484,12 @@ int cmd_serve(const Options& opts, System system) {
   }
 
   ObsSession session = ObsSession::from_options(opts);
+  // --metrics-prom implies a registry: the periodic flusher and the in-band
+  // `stats` verb both read from it.
+  const std::string prom_path = opts.get("metrics-prom", "");
+  if (!prom_path.empty() && session.metrics == nullptr) {
+    session.metrics = std::make_unique<obs::MetricsRegistry>();
+  }
   service::SessionConfig cfg;
   cfg.analysis = analysis_config(opts);
   cfg.analysis.observer = session.observer();
@@ -474,53 +501,74 @@ int cmd_serve(const Options& opts, System system) {
       opts.get_double("threshold", cfg.full_analysis_threshold);
 
   service::AdmissionSession admission(std::move(system), cfg);
-  if (!admission.last().ok) {
-    std::fprintf(stderr, "base system analysis failed: %s\n",
-                 admission.last().error.c_str());
-    return 2;
+
+  std::unique_ptr<service::PromFlusher> prom;
+  if (!prom_path.empty()) {
+    prom = std::make_unique<service::PromFlusher>(
+        *session.metrics, prom_path,
+        opts.get_double("prom-interval-ms", 1000.0));
   }
 
-  service::StreamOptions stream;
-  stream.parallel_reads =
-      static_cast<int>(opts.get_int("parallel-reads", stream.parallel_reads));
-  stream.max_inflight =
-      static_cast<int>(opts.get_int("max-inflight", stream.max_inflight));
-  stream.request_timeout_ms =
-      opts.get_double("request-timeout-ms", stream.request_timeout_ms);
+  // Everything past this point funnels through one exit so the observability
+  // exports (--metrics-json/--trace-json/--trace-jsonl/--metrics-prom) are
+  // flushed on EVERY path out -- stream write failures and timeout-heavy
+  // error runs included, not just the happy path.
+  const int stream_rc = [&]() -> int {
+    if (!admission.last().ok) {
+      std::fprintf(stderr, "base system analysis failed: %s\n",
+                   admission.last().error.c_str());
+      return 2;
+    }
 
-  const std::string out_path = opts.get("out", "");
-  service::RunnerStats stats;
-  if (out_path.empty()) {
-    stats = service::run_request_stream(admission, in, std::cout, stream);
-    std::cout.flush();
-    if (!std::cout) {
-      std::fprintf(stderr, "write to stdout failed\n");
-      return 2;
-    }
-  } else {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
-      return 2;
-    }
-    stats = service::run_request_stream(admission, in, out, stream);
-    out.flush();
-    if (!out) {
-      std::fprintf(stderr, "write to '%s' failed\n", out_path.c_str());
-      return 2;
-    }
-  }
+    service::StreamOptions stream;
+    stream.parallel_reads = static_cast<int>(
+        opts.get_int("parallel-reads", stream.parallel_reads));
+    stream.max_inflight =
+        static_cast<int>(opts.get_int("max-inflight", stream.max_inflight));
+    stream.request_timeout_ms =
+        opts.get_double("request-timeout-ms", stream.request_timeout_ms);
 
-  // Responses own stdout (JSONL); the human-facing summary goes to stderr.
-  std::fprintf(stderr,
-               "served %d requests (%d failed, %d threw, %d timed out, %d "
-               "rejected, %d coalesced); %d jobs admitted\n",
-               stats.requests, stats.errors, stats.failures, stats.timeouts,
-               stats.rejected, stats.coalesced,
-               admission.system().job_count());
+    const std::string out_path = opts.get("out", "");
+    service::RunnerStats stats;
+    if (out_path.empty()) {
+      stats = service::run_request_stream(admission, in, std::cout, stream);
+      std::cout.flush();
+      if (!std::cout) {
+        std::fprintf(stderr, "write to stdout failed\n");
+        return 2;
+      }
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+        return 2;
+      }
+      stats = service::run_request_stream(admission, in, out, stream);
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "write to '%s' failed\n", out_path.c_str());
+        return 2;
+      }
+    }
+
+    // Responses own stdout (JSONL); the human-facing summary goes to stderr.
+    std::fprintf(stderr,
+                 "served %d requests (%d failed, %d threw, %d timed out, %d "
+                 "rejected, %d coalesced); %d jobs admitted\n",
+                 stats.requests, stats.errors, stats.failures, stats.timeouts,
+                 stats.rejected, stats.coalesced,
+                 admission.system().job_count());
+    return stats.errors == 0 ? 0 : 1;
+  }();
+
   session.print_stats(stderr);
-  if (!session.write_exports()) return 2;
-  return stats.errors == 0 ? 0 : 1;
+  bool exported = session.write_exports();
+  if (prom != nullptr && !prom->stop_and_flush()) {
+    std::fprintf(stderr, "cannot write '%s'\n", prom_path.c_str());
+    exported = false;
+  }
+  if (stream_rc == 0 && !exported) return 2;
+  return stream_rc;
 }
 
 /// Whether a system path selects the JSON on-disk format (docs/api.md).
