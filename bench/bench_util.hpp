@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
-#include "eval/admission.hpp"  // AdmissionPoint
+#include "eval/experiment.hpp"  // AdmissionPoint
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 

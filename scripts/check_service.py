@@ -3,12 +3,28 @@
 
 Usage:
     check_service.py --responses out.jsonl [--requests in.jsonl]
+                     [--expect-schema {1,2}]
 
-Checks, per response line:
+The service speaks two envelopes (docs/api.md "Request schema v2"):
+
+  * v2 (default): every response leads with "schema_version": 2 and
+    reports failures as an 'error' OBJECT {code, message, retryable}
+    with code drawn from a closed set and retryable true only for
+    overloaded/timeout.  The legacy top-level retry/timeout markers
+    are forbidden.
+  * v1 (`rta_cli serve --compat-v1`): no schema_version, failures are
+    a non-empty error STRING, backpressure/timeout are signalled by
+    the top-level 'retry'/'timeout': true markers.
+
+Each line is classified by the presence of schema_version, so mixed
+files validate too; --expect-schema pins every line to one envelope.
+
+Envelope-independent checks, per response line:
   * valid JSON object with request (1-based, consecutive), line, op;
   * trace_id is a non-empty string on EVERY response (parse errors
     included) -- the service echoes the propagated id or mints one;
-  * ok is a bool; ok=false responses carry a non-empty error string;
+  * ok is a bool; ok=false responses carry an error (string or object
+    per the envelope);
   * admit/what_if/remove responses with ok=true carry admitted/committed/
     incremental bools, integer job_id/dirty_subjobs/total_subjobs, and
     numeric schedulable/max_wcrt/horizon fields ("inf" allowed for wcrt);
@@ -16,14 +32,15 @@ Checks, per response line:
     numeric wcrt/deadline, integer dominant_hop/doublings, and a per-hop
     bound provenance list (docs/observability.md);
   * what_if never commits; admit commits iff admitted;
+  * what_if_region responses with ok=true carry a 'region' object with
+    an axes list, integer probes/incremental_probes, and exactly one of
+    a 'boundary' object or a 'columns' array of {value, boundary};
   * query responses carry jobs/schedulable/max_wcrt/horizon;
   * stats responses with ok=true carry counters/gauges/histograms objects
     plus a numeric cache_hit_rate; each histogram summary has numeric
     count/p50/p90/p99/max with p50 <= p90 <= p99;
   * latency_us is a non-negative number on EVERY response (parse errors
-    included);
-  * the backpressure/timeout markers 'retry' and 'timeout' only appear on
-    ok=false responses, and only with value true (docs/api.md schema).
+    included).
 
 With --requests, additionally checks that the number of responses equals
 the number of request lines (blank and '#' lines skipped) and that the ops
@@ -36,7 +53,14 @@ import argparse
 import json
 import sys
 
-KNOWN_OPS = {"admit", "what_if", "remove", "query", "stats"}
+KNOWN_OPS = {"admit", "what_if", "what_if_region", "remove", "query", "stats"}
+
+# Closed error-code vocabulary of the v2 envelope (docs/api.md).
+ERROR_CODES = {
+    "bad_request", "not_found", "conflict", "invalid_argument",
+    "unavailable", "overloaded", "timeout", "internal",
+}
+RETRYABLE_CODES = {"overloaded", "timeout"}
 
 
 def load_jsonl(path):
@@ -54,6 +78,60 @@ def load_jsonl(path):
 
 def is_time(value):
     return isinstance(value, (int, float)) or value == "inf"
+
+
+def check_envelope(resp, where, expect_schema, errors):
+    """Classify the line's envelope and validate its error shape.
+
+    Returns the detected schema (1 or 2).  Error-shape problems are
+    appended to `errors`; the envelope-independent "ok=false must carry
+    an error" check lives here too since its form depends on the schema.
+    """
+    schema = 2 if "schema_version" in resp else 1
+    if schema == 2 and resp.get("schema_version") != 2:
+        errors.append(
+            f"{where}: schema_version {resp.get('schema_version')!r}, "
+            f"expected 2")
+    if expect_schema is not None and schema != expect_schema:
+        errors.append(
+            f"{where}: v{schema} envelope, --expect-schema {expect_schema}")
+    ok = resp.get("ok")
+    if schema == 2:
+        for marker in ("retry", "timeout"):
+            if marker in resp:
+                errors.append(
+                    f"{where}: legacy '{marker}' marker in a v2 response")
+        err = resp.get("error")
+        if ok is False:
+            if not isinstance(err, dict):
+                errors.append(f"{where}: ok=false without an error object")
+            else:
+                code = err.get("code")
+                if code not in ERROR_CODES:
+                    errors.append(f"{where}: unknown error code {code!r}")
+                message = err.get("message")
+                if not isinstance(message, str) or not message:
+                    errors.append(
+                        f"{where}: error missing non-empty 'message'")
+                retryable = err.get("retryable")
+                if not isinstance(retryable, bool):
+                    errors.append(f"{where}: error missing bool 'retryable'")
+                elif retryable and code not in RETRYABLE_CODES:
+                    errors.append(
+                        f"{where}: retryable=true with code {code!r}")
+        elif err is not None:
+            errors.append(f"{where}: 'error' on an ok response")
+    else:
+        for marker in ("retry", "timeout"):
+            if marker in resp:
+                if resp[marker] is not True:
+                    errors.append(f"{where}: '{marker}' must be true")
+                if ok:
+                    errors.append(f"{where}: '{marker}' on an ok response")
+        if ok is False:
+            if not (isinstance(resp.get("error"), str) and resp["error"]):
+                errors.append(f"{where}: ok=false without an error string")
+    return schema
 
 
 def check_decision_fields(resp, where, errors):
@@ -109,6 +187,62 @@ def check_explain(explain, where, errors):
         errors.append(f"{where}: dominant_hop {dom} outside hops")
 
 
+def check_boundary(boundary, where, errors):
+    """1-D feasibility boundary (docs/api.md what_if_region contract)."""
+    if not isinstance(boundary, dict):
+        errors.append(f"{where}: boundary is not an object")
+        return
+    for key in ("empty", "open"):
+        if not isinstance(boundary.get(key), bool):
+            errors.append(f"{where}: boundary missing bool '{key}'")
+    if not isinstance(boundary.get("probes"), int):
+        errors.append(f"{where}: boundary missing integer 'probes'")
+    # feasible is reported unless the region is empty; infeasible unless
+    # it is open (the bracket's hi end was still feasible).
+    if boundary.get("empty") is False and \
+            not isinstance(boundary.get("feasible"), (int, float)):
+        errors.append(f"{where}: non-empty boundary missing 'feasible'")
+    if boundary.get("open") is False and \
+            not isinstance(boundary.get("infeasible"), (int, float)):
+        errors.append(f"{where}: closed boundary missing 'infeasible'")
+
+
+def check_region_fields(resp, where, errors):
+    region = resp.get("region")
+    if not isinstance(region, dict):
+        errors.append(f"{where}: missing 'region' object")
+        return
+    axes = region.get("axes")
+    if not isinstance(axes, list) or not axes:
+        errors.append(f"{where}: region needs a non-empty 'axes' list")
+    else:
+        for i, axis in enumerate(axes):
+            if not isinstance(axis, dict) or \
+                    not isinstance(axis.get("param"), str):
+                errors.append(f"{where}: region axis {i} missing 'param'")
+    for key in ("probes", "incremental_probes"):
+        if not isinstance(region.get(key), int):
+            errors.append(f"{where}: region missing integer '{key}'")
+    if not isinstance(region.get("horizon"), (int, float)):
+        errors.append(f"{where}: region missing numeric 'horizon'")
+    boundary = region.get("boundary")
+    columns = region.get("columns")
+    if (boundary is None) == (columns is None):
+        errors.append(
+            f"{where}: region needs exactly one of 'boundary'/'columns'")
+    elif boundary is not None:
+        check_boundary(boundary, where, errors)
+    elif not isinstance(columns, list) or not columns:
+        errors.append(f"{where}: region 'columns' must be a non-empty list")
+    else:
+        for i, col in enumerate(columns):
+            if not isinstance(col, dict) or \
+                    not isinstance(col.get("value"), (int, float)):
+                errors.append(f"{where}: region column {i} missing 'value'")
+                continue
+            check_boundary(col.get("boundary"), f"{where} column {i}", errors)
+
+
 def check_stats_fields(resp, where, errors):
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(resp.get(section), dict):
@@ -136,7 +270,7 @@ def check_stats_fields(resp, where, errors):
                     f"but p99 <= 0")
 
 
-def check_responses(path, expected_ops):
+def check_responses(path, expected_ops, expect_schema):
     errors = []
     seen = 0
     for n, resp, raw in load_jsonl(path):
@@ -165,18 +299,11 @@ def check_responses(path, expected_ops):
         latency = resp.get("latency_us")
         if not isinstance(latency, (int, float)) or latency < 0:
             errors.append(f"{where}: bad latency_us {latency!r}")
-        for marker in ("retry", "timeout"):
-            if marker in resp:
-                if resp[marker] is not True:
-                    errors.append(f"{where}: '{marker}' must be true")
-                if ok:
-                    errors.append(f"{where}: '{marker}' on an ok response")
+        check_envelope(resp, where, expect_schema, errors)
         if not isinstance(op, str):
             # op is omitted only for requests too malformed to echo one.
             if ok:
                 errors.append(f"{where}: ok=true without 'op'")
-            elif not (isinstance(resp.get("error"), str) and resp["error"]):
-                errors.append(f"{where}: ok=false without an error string")
             continue
         if expected_ops is not None:
             if seen > len(expected_ops):
@@ -186,8 +313,6 @@ def check_responses(path, expected_ops):
                     f"{where}: op {op!r}, request file says "
                     f"{expected_ops[seen - 1]!r}")
         if not ok:
-            if not (isinstance(resp.get("error"), str) and resp["error"]):
-                errors.append(f"{where}: ok=false without an error string")
             continue
         if op not in KNOWN_OPS:
             errors.append(f"{where}: ok=true for unknown op {op!r}")
@@ -200,6 +325,8 @@ def check_responses(path, expected_ops):
                 errors.append(f"{where}: query missing time 'max_wcrt'")
         elif op == "stats":
             check_stats_fields(resp, where, errors)
+        elif op == "what_if_region":
+            check_region_fields(resp, where, errors)
         else:
             check_decision_fields(resp, where, errors)
     if seen == 0:
@@ -226,11 +353,14 @@ def main():
                         help="JSONL written by `rta_cli serve --out`")
     parser.add_argument("--requests",
                         help="the request JSONL that produced the responses")
+    parser.add_argument("--expect-schema", type=int, choices=(1, 2),
+                        help="require every response to use this envelope "
+                             "(default: classify per line)")
     args = parser.parse_args()
 
     expected = request_ops(args.requests) if args.requests else None
     try:
-        errors = check_responses(args.responses, expected)
+        errors = check_responses(args.responses, expected, args.expect_schema)
     except OSError as exc:
         errors = [str(exc)]
     if errors:

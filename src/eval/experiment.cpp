@@ -1,4 +1,4 @@
-#include "eval/admission.hpp"
+#include "eval/experiment.hpp"
 
 #include <atomic>
 #include <thread>

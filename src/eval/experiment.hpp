@@ -17,11 +17,6 @@
 
 namespace rta {
 
-// DEPRECATED location: Method, method_name, method_scheduler and
-// analyze_with moved to analysis/analyzer.hpp (the rta::Analyzer facade).
-// They are re-exported here -- same names, same namespace -- so existing
-// call sites keep compiling; new code should include the facade directly.
-
 /// One cell of an admission-probability table.
 struct AdmissionPoint {
   double utilization = 0.0;

@@ -16,7 +16,8 @@
 #include "model/system.hpp"
 
 // Analyzers (§4) and the classical baselines. analysis/analyzer.hpp is the
-// unified facade (engine + paper-method dispatch); see docs/api.md.
+// unified facade (engine + paper-method dispatch) and the single public
+// entry point for running an analysis; see docs/api.md.
 #include "analysis/analyzer.hpp"
 #include "analysis/bounds.hpp"
 #include "analysis/holistic.hpp"
@@ -40,11 +41,13 @@
 #include "sim/simulator.hpp"
 
 // Incremental admission service (docs/api.md): long-lived sessions answering
-// admit / remove / what-if by dirty-set propagation over retained curves.
+// admit / remove / what-if by dirty-set propagation over retained curves,
+// plus parametric schedulability regions over the same sessions.
+#include "analysis/region.hpp"
 #include "service/admission_session.hpp"
 #include "service/request_runner.hpp"
 
 // Workload generation (§5.1) and evaluation harness (§5.2).
-#include "eval/admission.hpp"
+#include "eval/experiment.hpp"
 #include "eval/validation.hpp"
 #include "workload/jobshop.hpp"

@@ -156,7 +156,7 @@ AdmissionSession::AdmissionSession(System base, SessionConfig config)
     : system_(std::move(base)), config_(config) {
   const std::size_t workers = analysis_worker_count(config_.analysis.threads);
   if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers);
-  if (config_.analysis.use_curve_cache) cache_ = std::make_unique<CurveCache>();
+  if (config_.analysis.use_curve_cache) cache_ = std::make_shared<CurveCache>();
   eobs_ = detail::EngineObs::make_if(config_.analysis.observer, "service");
 
   Decision d;
@@ -218,15 +218,18 @@ const AdmissionSession::ReadCache& AdmissionSession::read_cache() {
 AdmissionSession::AdmissionSession(const SessionConfig& config)
     : config_(config) {
   // Worker-replica shell: clone_committed fills in the state. Replicas run
-  // serial with their own cache -- pure go-faster knobs, answers identical.
+  // serial -- a pure go-faster knob, answers identical.
   config_.analysis.threads = 1;
-  if (config_.analysis.use_curve_cache) cache_ = std::make_unique<CurveCache>();
   eobs_ = detail::EngineObs::make_if(config_.analysis.observer, "service");
 }
 
 std::unique_ptr<AdmissionSession> AdmissionSession::clone_committed() const {
   auto clone = std::unique_ptr<AdmissionSession>(new AdmissionSession(config_));
   clone->system_ = system_;
+  // Share the cache: it is thread-safe and verifies hits bitwise, so
+  // replicas reuse the parent's (and each other's) curve work while every
+  // answer stays bit-identical to a private-cache run.
+  clone->cache_ = cache_;
   clone->states_ = states_;
   clone->horizon_ = horizon_;
   clone->have_states_ = have_states_;

@@ -163,8 +163,10 @@ class AdmissionSession {
   /// for snapshot-isolated read execution: the replica answers what_if /
   /// query exactly like the original at its creation instant and is mutated
   /// only by its single owning worker. Worker replicas are forced serial
-  /// (threads = 1) with a fresh cache -- pure go-faster knobs, so answers
-  /// stay bit-identical.
+  /// (threads = 1) but SHARE the parent's CurveCache -- it is thread-safe,
+  /// and every hit is verified bitwise against the operands, so sharing is
+  /// a pure go-faster knob: answers stay bit-identical while replicas (and
+  /// region probes, analysis/region.hpp) reuse each other's curve work.
   [[nodiscard]] std::unique_ptr<AdmissionSession> clone_committed() const;
 
   /// Stable-id counter passthrough, so a scheduler fanning reads over
@@ -193,7 +195,7 @@ class AdmissionSession {
   System system_;
   SessionConfig config_;
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<CurveCache> cache_;
+  std::shared_ptr<CurveCache> cache_;  ///< shared with clone_committed()
   std::unique_ptr<detail::EngineObs> eobs_;
 
   detail::BoundStateMap states_;  ///< committed system's curves at horizon_

@@ -1,6 +1,7 @@
 #include "service/request_codec.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "io/system_json.hpp"
@@ -12,6 +13,103 @@ namespace rta::service::detail {
 json::Value time_value(Time t) {
   if (std::isinf(t)) return json::Value("inf");
   return json::Value(t);
+}
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Map a session / region error message onto a stable v2 code. The strings
+/// are the codec's own deterministic vocabulary, so prefix matching is
+/// exact, not heuristic.
+const char* classify_error(const std::string& message) {
+  if (starts_with(message, "duplicate job id")) return "conflict";
+  if (starts_with(message, "no job with id") ||
+      starts_with(message, "no job named")) {
+    return "not_found";
+  }
+  return "invalid_argument";
+}
+
+/// Parse one axis object of a what_if_region request. Errors mirror the
+/// parse_request style ("bad axis: ...") and are deterministic.
+bool parse_region_axis(const json::Value& value, RegionAxis& axis,
+                       std::string& error) {
+  if (!value.is_object()) {
+    error = "axis is not an object";
+    return false;
+  }
+  const json::Value* param = value.find("param");
+  if (param == nullptr || !param->is_string()) {
+    error = "axis needs a string 'param'";
+    return false;
+  }
+  const std::optional<RegionParam> p = parse_region_param(param->as_string());
+  if (!p) {
+    error = "unknown param '" + param->as_string() +
+            "' (exec_scale, burst, rate_scale)";
+    return false;
+  }
+  axis.param = *p;
+  axis.scope = RegionScope::kJob;
+  if (const json::Value* scope = value.find("scope"); scope != nullptr) {
+    if (!scope->is_string()) {
+      error = "axis 'scope' must be a string";
+      return false;
+    }
+    const std::optional<RegionScope> s = parse_region_scope(scope->as_string());
+    if (!s) {
+      error = "unknown scope '" + scope->as_string() +
+              "' (job, processor, global)";
+      return false;
+    }
+    axis.scope = *s;
+  }
+  if (const json::Value* proc = value.find("processor"); proc != nullptr) {
+    if (!proc->is_number()) {
+      error = "axis 'processor' must be a number";
+      return false;
+    }
+    axis.processor = static_cast<int>(proc->as_number());
+  }
+  region_default_bracket(axis.param, axis.lo, axis.hi);
+  if (const json::Value* lo = value.find("lo"); lo != nullptr) {
+    if (!lo->is_number()) {
+      error = "axis 'lo' must be a number";
+      return false;
+    }
+    axis.lo = lo->as_number();
+  }
+  if (const json::Value* hi = value.find("hi"); hi != nullptr) {
+    if (!hi->is_number()) {
+      error = "axis 'hi' must be a number";
+      return false;
+    }
+    axis.hi = hi->as_number();
+  }
+  return true;
+}
+
+}  // namespace
+
+void set_error(json::Value& response, Envelope envelope, const char* code,
+               const std::string& message, bool retryable) {
+  response.set("ok", false);
+  if (envelope == Envelope::kV1) {
+    // The legacy shapes, byte-for-byte: string error plus the ad-hoc
+    // markers the v1 clients poll for.
+    response.set("error", message);
+    if (std::strcmp(code, "overloaded") == 0) response.set("retry", true);
+    if (std::strcmp(code, "timeout") == 0) response.set("timeout", true);
+    return;
+  }
+  json::Value err{json::Value::Object{}};
+  err.set("code", code);
+  err.set("message", message);
+  err.set("retryable", retryable);
+  response.set("error", std::move(err));
 }
 
 ParsedRequest parse_request(const std::string& line) {
@@ -57,17 +155,56 @@ ParsedRequest parse_request(const std::string& line) {
     req.cls = RequestClass::kMutate;
     return req;
   }
+  if (req.op == "what_if_region") {
+    if (const json::Value* target = doc.value.find("target");
+        target != nullptr && target->is_string()) {
+      req.region.target = target->as_string();
+    }
+    const json::Value* axes = doc.value.find("axes");
+    if (axes == nullptr || !axes->is_array() || axes->as_array().empty()) {
+      return immediate("what_if_region needs a non-empty 'axes' array");
+    }
+    std::string error;
+    for (const json::Value& av : axes->as_array()) {
+      RegionAxis axis;
+      if (!parse_region_axis(av, axis, error)) {
+        return immediate("bad axis: " + error);
+      }
+      req.region.axes.push_back(axis);
+    }
+    if (const json::Value* tol = doc.value.find("tolerance");
+        tol != nullptr && tol->is_number()) {
+      req.region.tolerance = tol->as_number();
+    }
+    if (const json::Value* cols = doc.value.find("columns");
+        cols != nullptr && cols->is_number()) {
+      req.region.columns = static_cast<int>(cols->as_number());
+    }
+    req.cls = RequestClass::kRead;
+    return req;
+  }
   if (req.op == "query" || req.op == "stats") {
     req.cls = RequestClass::kRead;
     return req;
   }
   return immediate("unknown op '" + req.op +
-                   "' (admit, what_if, remove, query, stats)");
+                   "' (admit, what_if, what_if_region, remove, query, stats)");
 }
 
-void read_decision_into(json::Value& response, const ReadDecision& rd) {
+void read_decision_into(json::Value& response, const ReadDecision& rd,
+                        Envelope envelope) {
   response.set("ok", rd.ok);
-  if (!rd.error.empty()) response.set("error", rd.error);
+  if (!rd.error.empty()) {
+    if (envelope == Envelope::kV1) {
+      response.set("error", rd.error);
+    } else {
+      json::Value err{json::Value::Object{}};
+      err.set("code", classify_error(rd.error));
+      err.set("message", rd.error);
+      err.set("retryable", false);
+      response.set("error", std::move(err));
+    }
+  }
   response.set("admitted", rd.admitted);
   response.set("committed", rd.committed);
   response.set("incremental", rd.incremental);
@@ -99,7 +236,8 @@ void read_decision_into(json::Value& response, const ReadDecision& rd) {
 }
 
 bool execute_request(AdmissionSession& session, const ParsedRequest& req,
-                     json::Value& response, bool fast_reads) {
+                     json::Value& response, bool fast_reads,
+                     Envelope envelope) {
   if (req.op == "admit" || req.op == "what_if") {
     Job job = req.job;
     if (!req.saw_priority) assign_lowest_priorities(session.system(), job);
@@ -111,7 +249,7 @@ bool execute_request(AdmissionSession& session, const ParsedRequest& req,
     } else {
       rd = AdmissionSession::summarize(session.what_if(std::move(job)));
     }
-    read_decision_into(response, rd);
+    read_decision_into(response, rd, envelope);
     return rd.ok;
   }
   if (req.op == "remove") {
@@ -119,15 +257,31 @@ bool execute_request(AdmissionSession& session, const ParsedRequest& req,
     if (!req.remove_by_id) {
       const int k = session.system().job_index_by_name(req.remove_name);
       if (k < 0) {
-        response.set("ok", false);
-        response.set("error", "no job named '" + req.remove_name + "'");
+        set_error(response, envelope, "not_found",
+                  "no job named '" + req.remove_name + "'",
+                  /*retryable=*/false);
         return false;
       }
       job_id = session.system().job(k).id;
     }
     const ReadDecision rd = AdmissionSession::summarize(session.remove(job_id));
-    read_decision_into(response, rd);
+    read_decision_into(response, rd, envelope);
     return rd.ok;
+  }
+  if (req.op == "what_if_region") {
+    // Read-class sensitivity sweep: probes run on clones of `session`, so
+    // the response is a pure function of the committed state and the
+    // request -- byte-identical across drivers and widths.
+    RegionAnalyzer region(session);
+    const RegionResult r = region.run(req.region);
+    if (!r.ok) {
+      set_error(response, envelope, classify_error(r.error), r.error,
+                /*retryable=*/false);
+      return false;
+    }
+    response.set("ok", true);
+    response.set("region", region_result_value(r));
+    return true;
   }
   if (req.op == "stats") {
     // Live introspection of the shared MetricsRegistry. The payload is
@@ -136,10 +290,10 @@ bool execute_request(AdmissionSession& session, const ParsedRequest& req,
     // for this deterministic error when no registry is attached.
     obs::MetricsRegistry* metrics = session.config().analysis.observer.metrics;
     if (metrics == nullptr) {
-      response.set("ok", false);
-      response.set("error",
-                   "stats: no metrics registry attached (run serve with "
-                   "--stats, --metrics-json or --metrics-prom)");
+      set_error(response, envelope, "unavailable",
+                "stats: no metrics registry attached (run serve with "
+                "--stats, --metrics-json or --metrics-prom)",
+                /*retryable=*/false);
       return false;
     }
     response.set("ok", true);
@@ -151,13 +305,18 @@ bool execute_request(AdmissionSession& session, const ParsedRequest& req,
   }
   // query: committed-system summary straight off the retained analysis.
   const AnalysisResult& r = session.last();
-  response.set("ok", r.ok);
-  if (!r.error.empty()) response.set("error", r.error);
+  if (!r.ok) {
+    set_error(response, envelope, "internal",
+              r.error.empty() ? "base analysis failed" : r.error,
+              /*retryable=*/false);
+    return false;
+  }
+  response.set("ok", true);
   response.set("jobs", session.system().job_count());
   response.set("schedulable", r.all_schedulable());
   response.set("max_wcrt", time_value(r.max_wcrt()));
   response.set("horizon", time_value(r.horizon));
-  return r.ok;
+  return true;
 }
 
 }  // namespace rta::service::detail

@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <string>
 
+#include "analysis/region.hpp"
 #include "io/json.hpp"
 #include "service/admission_session.hpp"
+#include "service/request_runner.hpp"
 
 namespace rta::service::detail {
 
@@ -22,7 +24,7 @@ namespace rta::service::detail {
 /// session at all.
 enum class RequestClass {
   kImmediate,
-  kRead,    ///< what_if, query, stats
+  kRead,    ///< what_if, what_if_region, query, stats
   kMutate,  ///< admit, remove
 };
 
@@ -48,6 +50,10 @@ struct ParsedRequest {
   bool remove_by_id = false;
   std::uint64_t remove_id = 0;
   std::string remove_name;
+
+  // what_if_region payload (analysis/region.hpp); range/target validation
+  // happens at execution time against the committed system.
+  RegionQuery region;
 };
 
 /// Parse and classify one request line. Errors detectable without a session
@@ -58,15 +64,29 @@ struct ParsedRequest {
 /// JSON encoding for possibly-unbounded times (the "inf" convention).
 [[nodiscard]] json::Value time_value(Time t);
 
+/// Stable machine-readable failure codes of the v2 envelope (docs/api.md):
+/// bad_request, not_found, conflict, invalid_argument, unavailable,
+/// overloaded, timeout, internal. Exactly overloaded and timeout are
+/// retryable.
+///
+/// Write `response`'s failure fields for the chosen envelope:
+///   v2: "ok": false, "error": {"code", "message", "retryable"}
+///   v1: "ok": false, "error": message, plus the legacy "retry" / "timeout"
+///       markers for the overloaded / timeout codes.
+void set_error(json::Value& response, Envelope envelope, const char* code,
+               const std::string& message, bool retryable);
+
 /// Serialize the aggregate decision fields into `response` -- the one field
 /// order every execution path shares.
-void read_decision_into(json::Value& response, const ReadDecision& rd);
+void read_decision_into(json::Value& response, const ReadDecision& rd,
+                        Envelope envelope);
 
 /// Execute one executable (non-immediate) request against `session` and
 /// fill `response`'s decision fields. `fast_reads` routes what_if through
 /// AdmissionSession::read_what_if (aggregate-only fast path; same bytes).
 /// Returns the response's ok flag. May throw -- callers isolate.
 bool execute_request(AdmissionSession& session, const ParsedRequest& req,
-                     json::Value& response, bool fast_reads);
+                     json::Value& response, bool fast_reads,
+                     Envelope envelope);
 
 }  // namespace rta::service::detail

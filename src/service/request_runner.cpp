@@ -15,6 +15,11 @@ namespace rta::service {
 
 RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
                                std::ostream& out) {
+  return run_request_stream(session, in, out, Envelope::kV2);
+}
+
+RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
+                               std::ostream& out, Envelope envelope) {
   RunnerStats stats;
   obs::Histogram latency;
   obs::MetricsRegistry* metrics = session.config().analysis.observer.metrics;
@@ -33,6 +38,7 @@ RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
     if (first == std::string::npos || line[first] == '#') continue;
 
     json::Value response;
+    if (envelope == Envelope::kV2) response.set("schema_version", 2);
     response.set("request", stats.requests + 1);
     response.set("line", line_no);
 
@@ -44,8 +50,8 @@ RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
                                      : req.trace_id;
     response.set("trace_id", trace_id);
     if (req.cls == detail::RequestClass::kImmediate) {
-      response.set("ok", false);
-      response.set("error", req.error);
+      detail::set_error(response, envelope, "bad_request", req.error,
+                        /*retryable=*/false);
       ++stats.errors;
     } else {
       obs::Tracer::Span req_span = obs::Tracer::span_if(
@@ -63,14 +69,16 @@ RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
                         ? "service.mutate"
                         : "service.read");
         ok = detail::execute_request(session, req, response,
-                                     /*fast_reads=*/false);
+                                     /*fast_reads=*/false, envelope);
       } catch (const std::exception& e) {
-        response.set("ok", false);
-        response.set("error", std::string("request failed: ") + e.what());
+        detail::set_error(response, envelope, "internal",
+                          std::string("request failed: ") + e.what(),
+                          /*retryable=*/false);
         ++stats.failures;
       } catch (...) {
-        response.set("ok", false);
-        response.set("error", "request failed: unknown exception");
+        detail::set_error(response, envelope, "internal",
+                          "request failed: unknown exception",
+                          /*retryable=*/false);
         ++stats.failures;
       }
       if (!ok) ++stats.errors;

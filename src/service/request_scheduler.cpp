@@ -70,6 +70,7 @@ void RequestScheduler::submit_line(const std::string& line) {
   p.raw = line;
   p.req = detail::parse_request(line);
   ++submitted_;
+  if (options_.envelope == Envelope::kV2) p.response.set("schema_version", 2);
   p.response.set("request", submitted_);
   p.response.set("line", line_no_);
   if (!p.req.op.empty()) p.response.set("op", p.req.op);
@@ -80,8 +81,8 @@ void RequestScheduler::submit_line(const std::string& line) {
   if (p.req.cls == detail::RequestClass::kImmediate) {
     // Parse-time errors never touch a session: buffered in place so the
     // response order matches arrival order, outside the batch depth.
-    p.response.set("ok", false);
-    p.response.set("error", p.req.error);
+    detail::set_error(p.response, options_.envelope, "bad_request",
+                      p.req.error, /*retryable=*/false);
     ++stats_.errors;
     complete_at_submit(p);
     return;
@@ -92,9 +93,9 @@ void RequestScheduler::submit_line(const std::string& line) {
   if (inflight_ > 0 && p.req.cls != batch_class_) flush();
 
   if (options_.max_inflight > 0 && inflight_ >= options_.max_inflight) {
-    p.response.set("ok", false);
-    p.response.set("error", "server busy: max_inflight exceeded");
-    p.response.set("retry", true);
+    detail::set_error(p.response, options_.envelope, "overloaded",
+                      "server busy: max_inflight exceeded",
+                      /*retryable=*/true);
     ++stats_.errors;
     ++stats_.rejected;
     rejected_counter_.inc();
@@ -124,9 +125,9 @@ void RequestScheduler::execute_one(AdmissionSession& session, Pending& p) {
   }
   if (options_.request_timeout_ms > 0.0 &&
       micros_since(p.arrival) > options_.request_timeout_ms * 1000.0) {
-    p.response.set("ok", false);
-    p.response.set("error", "request timed out before execution");
-    p.response.set("timeout", true);
+    detail::set_error(p.response, options_.envelope, "timeout",
+                      "request timed out before execution",
+                      /*retryable=*/true);
     p.timed_out = true;
     p.latency_us = micros_since(p.arrival);
     req_span.annotate("{\"timeout\": true}");
@@ -137,14 +138,16 @@ void RequestScheduler::execute_one(AdmissionSession& session, Pending& p) {
         tracer_, p.req.cls == detail::RequestClass::kMutate ? "service.mutate"
                                                             : "service.read");
     p.ok = detail::execute_request(session, p.req, p.response,
-                                   /*fast_reads=*/true);
+                                   /*fast_reads=*/true, options_.envelope);
   } catch (const std::exception& e) {
-    p.response.set("ok", false);
-    p.response.set("error", std::string("request failed: ") + e.what());
+    detail::set_error(p.response, options_.envelope, "internal",
+                      std::string("request failed: ") + e.what(),
+                      /*retryable=*/false);
     p.failed = true;
   } catch (...) {
-    p.response.set("ok", false);
-    p.response.set("error", "request failed: unknown exception");
+    detail::set_error(p.response, options_.envelope, "internal",
+                      "request failed: unknown exception",
+                      /*retryable=*/false);
     p.failed = true;
   }
   p.latency_us = micros_since(p.arrival);

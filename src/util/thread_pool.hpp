@@ -1,5 +1,5 @@
 // Fixed-size worker pool for embarrassingly-parallel work: Monte-Carlo
-// evaluation (eval/admission.cpp) and the parallel analysis engine
+// evaluation (eval/experiment.cpp) and the parallel analysis engine
 // (analysis/bounds.cpp, analysis/iterative.cpp).
 //
 // Determinism contract: parallel_for_index hands each index to exactly one

@@ -8,7 +8,6 @@
 #include "analysis/bounds.hpp"
 #include "analysis/iterative.hpp"
 #include "analysis/spp_exact.hpp"
-#include "eval/admission.hpp"  // deprecated re-export must keep compiling
 #include "model/priority.hpp"
 #include "util/rng.hpp"
 #include "workload/jobshop.hpp"

@@ -5,7 +5,7 @@
 
 #include <sstream>
 
-#include "eval/admission.hpp"
+#include "eval/experiment.hpp"
 #include "eval/validation.hpp"
 #include "util/csv.hpp"
 

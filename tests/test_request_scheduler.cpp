@@ -287,12 +287,26 @@ TEST(ServiceScheduler, ErrorStreamCompletesWithPerLineResponses) {
     ASSERT_TRUE(doc.ok) << line;
     const json::Value* ok = doc.value.find("ok");
     ASSERT_NE(ok, nullptr) << line;
+    // Every response carries the v2 schema stamp, error lines a structured
+    // error object (docs/api.md "Request schema v2").
+    const json::Value* schema = doc.value.find("schema_version");
+    ASSERT_NE(schema, nullptr) << line;
+    EXPECT_EQ(schema->as_number(), 2.0) << line;
     if (ok->as_bool()) {
       saw_ok = true;
     } else {
       const json::Value* error = doc.value.find("error");
       ASSERT_NE(error, nullptr) << line;
-      EXPECT_FALSE(error->as_string().empty()) << line;
+      ASSERT_TRUE(error->is_object()) << line;
+      const json::Value* code = error->find("code");
+      const json::Value* message = error->find("message");
+      const json::Value* retryable = error->find("retryable");
+      ASSERT_NE(code, nullptr) << line;
+      ASSERT_NE(message, nullptr) << line;
+      ASSERT_NE(retryable, nullptr) << line;
+      EXPECT_FALSE(code->as_string().empty()) << line;
+      EXPECT_FALSE(message->as_string().empty()) << line;
+      EXPECT_FALSE(retryable->as_bool()) << line;  // none of these retry
     }
     ASSERT_NE(doc.value.find("latency_us"), nullptr) << line;
     ++parsed;
@@ -342,8 +356,8 @@ TEST(ServiceScheduler, TraceIdsPropagateOrMintDeterministically) {
 }
 
 /// Backpressure is batch-depth based, hence deterministic: with
-/// max_inflight = 2, the third and later consecutive reads are shed with
-/// retry = true until a barrier drains the batch.
+/// max_inflight = 2, the third and later consecutive reads are shed with a
+/// retryable "overloaded" error until a barrier drains the batch.
 TEST(ServiceScheduler, BackpressureShedsDeterministically) {
   const System base = make_base(11);
   Rng rng(23);
@@ -369,12 +383,14 @@ TEST(ServiceScheduler, BackpressureShedsDeterministically) {
   while (std::getline(lines, line)) {
     const json::ParseResult doc = json::parse(line);
     ASSERT_TRUE(doc.ok) << line;
-    if (const json::Value* retry = doc.value.find("retry"); retry != nullptr) {
-      EXPECT_TRUE(retry->as_bool());
-      ASSERT_NE(doc.value.find("ok"), nullptr);
-      EXPECT_FALSE(doc.value.find("ok")->as_bool());
-      ++retries;
-    }
+    const json::Value* error = doc.value.find("error");
+    if (error == nullptr) continue;
+    ASSERT_TRUE(error->is_object()) << line;
+    if (error->find("code")->as_string() != "overloaded") continue;
+    EXPECT_TRUE(error->find("retryable")->as_bool()) << line;
+    ASSERT_NE(doc.value.find("ok"), nullptr);
+    EXPECT_FALSE(doc.value.find("ok")->as_bool());
+    ++retries;
   }
   EXPECT_EQ(retries, 4);
 
@@ -391,8 +407,8 @@ TEST(ServiceScheduler, BackpressureShedsDeterministically) {
   EXPECT_EQ(paced_stats.rejected, 0);
 }
 
-/// Requests older than the timeout at execution start are answered
-/// {"ok":false,...,"timeout":true} without running.
+/// Requests older than the timeout at execution start are answered with a
+/// retryable "timeout" error without running.
 TEST(ServiceScheduler, TimeoutExpiresStaleRequests) {
   const System base = make_base(13);
   AdmissionSession session(base, make_session_config(base));
@@ -412,9 +428,129 @@ TEST(ServiceScheduler, TimeoutExpiresStaleRequests) {
   EXPECT_EQ(scheduler.stats().errors, 1);
   const json::ParseResult doc = json::parse(out.str());
   ASSERT_TRUE(doc.ok) << out.str();
-  ASSERT_NE(doc.value.find("timeout"), nullptr) << out.str();
-  EXPECT_TRUE(doc.value.find("timeout")->as_bool());
+  const json::Value* error = doc.value.find("error");
+  ASSERT_NE(error, nullptr) << out.str();
+  ASSERT_TRUE(error->is_object()) << out.str();
+  EXPECT_EQ(error->find("code")->as_string(), "timeout");
+  EXPECT_TRUE(error->find("retryable")->as_bool());
   EXPECT_FALSE(doc.value.find("ok")->as_bool());
+}
+
+/// The legacy envelope behind `serve --compat-v1`: no schema_version stamp,
+/// string errors, and the ad-hoc retry/timeout markers -- and the two
+/// drivers stay byte-identical under it too.
+TEST(ServiceScheduler, CompatV1EnvelopePreservesLegacyShapes) {
+  const System base = make_base(19);
+  Rng rng(0xE5CA9E);
+  const std::string stream =
+      build_stream(rng, base, /*n=*/40, /*read_fraction=*/0.7);
+
+  std::string expected;
+  {
+    AdmissionSession session(base, make_session_config(base));
+    std::istringstream in(stream);
+    std::ostringstream out;
+    service::run_request_stream(session, in, out, service::Envelope::kV1);
+    expected = out.str();
+  }
+  StreamOptions options;
+  options.parallel_reads = 2;
+  options.envelope = service::Envelope::kV1;
+  std::string got;
+  run_scheduled(base, stream, options, got);
+  EXPECT_EQ(strip_latency(got), strip_latency(expected));
+
+  int errors = 0;
+  std::istringstream lines(expected);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const json::ParseResult doc = json::parse(line);
+    ASSERT_TRUE(doc.ok) << line;
+    EXPECT_EQ(doc.value.find("schema_version"), nullptr) << line;
+    const json::Value* ok = doc.value.find("ok");
+    ASSERT_NE(ok, nullptr) << line;
+    if (const json::Value* error = doc.value.find("error");
+        error != nullptr) {
+      EXPECT_TRUE(error->is_string()) << line;  // v1 errors are strings
+      EXPECT_FALSE(error->as_string().empty()) << line;
+      ++errors;
+    }
+  }
+  EXPECT_GT(errors, 0);  // the stream salt guarantees error lines
+
+  // The v1 backpressure marker: {"ok":false,...,"retry":true}.
+  std::ostringstream burst;
+  for (int i = 0; i < 4; ++i) {
+    burst << job_request("what_if", random_candidate(rng, base, 50 + i), false)
+          << "\n";
+  }
+  options.max_inflight = 2;
+  run_scheduled(base, burst.str(), options, got);
+  int retries = 0;
+  std::istringstream burst_lines(got);
+  while (std::getline(burst_lines, line)) {
+    const json::ParseResult doc = json::parse(line);
+    ASSERT_TRUE(doc.ok) << line;
+    if (const json::Value* retry = doc.value.find("retry"); retry != nullptr) {
+      EXPECT_TRUE(retry->as_bool());
+      EXPECT_TRUE(doc.value.find("error")->is_string()) << line;
+      ++retries;
+    }
+  }
+  EXPECT_EQ(retries, 2);
+}
+
+/// what_if_region flows through the read path of both drivers and stays
+/// inside the byte-identity contract at every fan-out width; probing never
+/// consumes job ids, so surrounding what_ifs are unaffected.
+TEST(ServiceScheduler, RegionRequestsAreByteIdenticalAcrossDrivers) {
+  const System base = make_base(31);
+  Rng rng(0x9E6107);
+  std::ostringstream s;
+  s << "{\"op\": \"what_if_region\", \"target\": \"" << base.job(0).name
+    << "\", \"axes\": [{\"param\": \"exec_scale\"}]}\n";
+  s << job_request("what_if", random_candidate(rng, base, 0), false) << "\n";
+  s << "{\"op\": \"what_if_region\", \"target\": \"" << base.job(1).name
+    << "\", \"axes\": [{\"param\": \"exec_scale\", \"hi\": 4}, "
+      "{\"param\": \"burst\"}], \"columns\": 3}\n";
+  s << "{\"op\": \"what_if_region\", \"target\": \"ghost\", "
+      "\"axes\": [{\"param\": \"burst\"}]}\n";
+  s << "{\"op\": \"what_if_region\", \"axes\": []}\n";
+  s << job_request("what_if", random_candidate(rng, base, 1), false) << "\n";
+  s << "{\"op\": \"query\"}\n";
+  const std::string stream = s.str();
+
+  std::string expected;
+  const RunnerStats ref = run_sequential(base, stream, expected);
+  EXPECT_EQ(ref.requests, 7);
+  EXPECT_EQ(ref.errors, 2);  // unknown target + empty axes
+  const std::string expected_stripped = strip_latency(expected);
+
+  bool saw_region = false;
+  std::istringstream lines(expected);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const json::ParseResult doc = json::parse(line);
+    ASSERT_TRUE(doc.ok) << line;
+    const json::Value* region = doc.value.find("region");
+    if (region == nullptr) continue;
+    saw_region = true;
+    EXPECT_NE(region->find("probes"), nullptr) << line;
+    EXPECT_TRUE(region->find("boundary") != nullptr ||
+                region->find("columns") != nullptr)
+        << line;
+  }
+  EXPECT_TRUE(saw_region);
+
+  for (const int width : {1, 2, 0}) {
+    StreamOptions options;
+    options.parallel_reads = width;
+    std::string got;
+    const RunnerStats stats = run_scheduled(base, stream, options, got);
+    EXPECT_EQ(strip_latency(got), expected_stripped)
+        << "parallel_reads " << width;
+    EXPECT_EQ(stats.errors, ref.errors) << "parallel_reads " << width;
+  }
 }
 
 /// Reads always observe the committed state as of the last preceding

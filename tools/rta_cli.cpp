@@ -1,36 +1,40 @@
 // rta_cli -- command-line front end to the bursty-rta analyzers.
 //
-// Subcommands:
-//   analyze  <system.rts> [--method auto|spp-exact|bounds|iterative|holistic]
-//            [--priorities keep|pdm|dm|rm] [--verbose]
-//   simulate <system.rts> [--horizon H] [--priorities ...]
-//   validate <system.rts> [--method ...]       analysis vs simulation
-//   curves   <system.rts> --out DIR            per-subjob service-bound CSVs
-//   serve    <system.rts> --requests FILE      incremental admission service
-//            [--out FILE] [--horizon H] [--threshold F]
-//   generate [--stages N --procs N --jobs N --util U --seed S --aperiodic]
-//            [--out FILE]                       emit a random job shop
+// Subcommands (run `rta_cli <cmd> --help` for the full flag reference):
+//   analyze   response-time bounds for a system
+//   simulate  discrete-event simulation of the same system
+//   validate  analysis vs simulation soundness check
+//   curves    per-subjob service-bound CSVs
+//   trace     simulation Gantt / instance CSVs
+//   region    parametric schedulability region (feasibility boundary)
+//   serve     incremental admission service over a JSONL request stream
+//   generate  emit a random job shop
+//
+// Every subcommand's synopsis, flag list, defaults, and unknown-flag
+// rejection are generated from one command table (command_table() below),
+// so the help text and the parser can never drift apart.
 //
 // System files ending in ".json" load through the versioned JSON format
 // (io/system_json.hpp); everything else through the text format.
 //
-// The analysis subcommands (analyze, validate, curves, serve) share one flag
-// table: --threads, --no-cache, --stats, --metrics-json, --trace-json,
-// --trace-jsonl (see docs/observability.md). Unknown flags are rejected with
-// the valid set.
-//
-// Exit status: 0 = ok / schedulable, 1 = not schedulable (serve: some
-// request failed), 2 = usage or input error.
+// Exit status: 0 = ok / schedulable (region: non-empty), 1 = not
+// schedulable (serve: some request failed; region: empty region),
+// 2 = usage or input error.
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/region.hpp"
 #include "io/curve_csv.hpp"
 #include "io/trace_csv.hpp"
 #include "io/system_text.hpp"
@@ -44,61 +48,226 @@ namespace {
 
 using namespace rta;
 
+/// One flag row of the command table: the parser default and the help line
+/// come from the same place.
+struct FlagSpec {
+  const char* name;  ///< without the leading "--"
+  const char* arg;   ///< metavar ("N", "FILE", ...); nullptr = boolean flag
+  const char* def;   ///< default printed in --help; nullptr = none/required
+  const char* help;  ///< one-line description
+};
+
+struct CommandSpec {
+  const char* name;
+  const char* args;     ///< positional synopsis ("FILE" or "")
+  const char* summary;  ///< one-line summary for the top-level usage
+  bool with_shared;     ///< accepts the shared analysis/observability flags
+  std::vector<FlagSpec> flags;
+};
+
+/// The observability/engine flags shared by every analysis subcommand
+/// (docs/observability.md).
+const std::vector<FlagSpec>& shared_analysis_flags() {
+  static const std::vector<FlagSpec> kFlags = {
+      {"threads", "N", "1",
+       "bounds-engine worker threads (0 = all hardware threads); results "
+       "are identical for every N"},
+      {"no-cache", nullptr, nullptr,
+       "disable curve-operation memoization (same results, slower)"},
+      {"stats", nullptr, nullptr,
+       "print cache/kernel/pool statistics; never changes computed bounds"},
+      {"metrics-json", "FILE", nullptr,
+       "write aggregated engine metrics as JSON"},
+      {"trace-json", "FILE", nullptr,
+       "write a Chrome trace_event JSON timeline (chrome://tracing, "
+       "Perfetto)"},
+      {"trace-jsonl", "FILE", nullptr,
+       "write the same span timeline as structured JSONL events"},
+  };
+  return kFlags;
+}
+
+/// The single source of truth for subcommands: usage(), per-command --help,
+/// check_flags(), and the cmd_* parsing defaults all read from here.
+const std::vector<CommandSpec>& command_table() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"analyze", "FILE", "response-time bounds for a system", true,
+       {
+           {"method", "M", "auto",
+            "auto|spp-exact|bounds|iterative|holistic"},
+           {"priorities", "P", "keep", "keep|pdm|dm|rm"},
+           {"verbose", nullptr, nullptr, "print per-hop local bounds"},
+       }},
+      {"simulate", "FILE", "discrete-event simulation", false,
+       {
+           {"horizon", "H", "auto", "simulation horizon"},
+           {"priorities", "P", "keep", "keep|pdm|dm|rm"},
+       }},
+      {"validate", "FILE", "analysis vs simulation soundness check", true,
+       {
+           {"method", "M", "auto",
+            "auto|spp-exact|bounds|iterative|holistic"},
+           {"priorities", "P", "keep", "keep|pdm|dm|rm"},
+       }},
+      {"curves", "FILE", "per-subjob service-bound CSVs", true,
+       {
+           {"out", "DIR", nullptr, "output directory (required)"},
+           {"method", "M", "auto",
+            "auto|spp-exact|bounds|iterative|holistic"},
+           {"priorities", "P", "keep", "keep|pdm|dm|rm"},
+       }},
+      {"trace", "FILE", "simulation Gantt / instance CSVs", false,
+       {
+           {"out", "PREFIX", nullptr, "output file prefix (required)"},
+           {"horizon", "H", "auto", "simulation horizon"},
+           {"priorities", "P", "keep", "keep|pdm|dm|rm"},
+       }},
+      {"region", "FILE",
+       "parametric schedulability region (feasibility boundary)", true,
+       {
+           {"param", "K", nullptr,
+            "exec_scale|burst|rate_scale -- axis-1 parameter (required)"},
+           {"target", "JOB", nullptr,
+            "job the job-scoped axes transform (required for scope=job)"},
+           {"scope", "S", "job", "job|processor|global"},
+           {"processor", "N", nullptr, "processor index for scope=processor"},
+           {"min", "V", "auto",
+            "axis-1 bracket low (exec/rate: 1, burst: 0)"},
+           {"max", "V", "auto",
+            "axis-1 bracket high (exec/rate: 8, burst: 32)"},
+           {"param2", "K", nullptr,
+            "axis-2 parameter: makes the query 2-D (axis 1 becomes the "
+            "swept grid)"},
+           {"scope2", "S", "job", "axis-2 scope"},
+           {"processor2", "N", nullptr, "axis-2 processor index"},
+           {"min2", "V", "auto", "axis-2 bracket low"},
+           {"max2", "V", "auto", "axis-2 bracket high"},
+           {"tolerance", "T", "0.001",
+            "bisection tolerance (burst snaps to integers)"},
+           {"columns", "N", "9", "2-D only: grid points on axis 1"},
+           {"format", "F", "table", "table|csv|json"},
+           {"out", "FILE", nullptr, "write the report here instead of stdout"},
+           {"horizon", "H", "auto", "pinned analysis horizon"},
+           {"threshold", "F", "auto",
+            "full-analysis fallback threshold (admission_session.hpp)"},
+           {"priorities", "P", "keep", "keep|pdm|dm|rm"},
+       }},
+      {"serve", "FILE", "incremental admission service (JSONL)", true,
+       {
+           {"requests", "FILE", nullptr, "JSONL request stream (required)"},
+           {"out", "FILE", nullptr, "responses here instead of stdout"},
+           {"horizon", "H", "auto", "pinned analysis horizon"},
+           {"threshold", "F", "auto",
+            "full-analysis fallback threshold (admission_session.hpp)"},
+           {"priorities", "P", "keep", "keep|pdm|dm|rm"},
+           {"parallel-reads", "N", "1",
+            "read-batch workers (0 = all hardware threads)"},
+           {"max-inflight", "N", "0",
+            "shed requests beyond this batch depth (0 = unbounded)"},
+           {"request-timeout-ms", "MS", "0",
+            "expire requests older than this before execution (0 = never)"},
+           {"metrics-prom", "FILE", nullptr,
+            "periodic Prometheus text-format metric snapshots"},
+           {"prom-interval-ms", "MS", "1000", "snapshot period"},
+           {"compat-v1", nullptr, nullptr,
+            "emit the legacy v1 response envelope (docs/api.md)"},
+       }},
+      {"generate", "", "emit a random job shop", false,
+       {
+           {"stages", "N", "4", "pipeline stages"},
+           {"procs", "N", "2", "processors per stage"},
+           {"jobs", "N", "6", "job count"},
+           {"util", "U", "0.6", "target utilization"},
+           {"seed", "S", "1", "RNG seed"},
+           {"aperiodic", nullptr, nullptr,
+            "aperiodic arrival pattern (default periodic)"},
+           {"scheduler", "S", "SPP", "SPP|SPNP|FCFS"},
+           {"out", "FILE", nullptr, "write here instead of stdout"},
+       }},
+  };
+  return kCommands;
+}
+
+const CommandSpec* find_command(const std::string& name) {
+  for (const CommandSpec& spec : command_table()) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+/// Table-driven default lookup: the cmd_* parsers read literal defaults
+/// from the same rows --help prints, so the two cannot drift. Aborts (in
+/// debug) on a flag the table doesn't declare a literal default for.
+const char* table_default(const char* cmd, const char* flag) {
+  const CommandSpec* spec = find_command(cmd);
+  assert(spec != nullptr);
+  for (const FlagSpec& f : spec->flags) {
+    if (std::strcmp(f.name, flag) == 0) {
+      assert(f.def != nullptr);
+      return f.def;
+    }
+  }
+  assert(false && "flag missing from command table");
+  return "";
+}
+
+double table_default_double(const char* cmd, const char* flag) {
+  return std::atof(table_default(cmd, flag));
+}
+
+long long table_default_int(const char* cmd, const char* flag) {
+  return std::atoll(table_default(cmd, flag));
+}
+
+void print_flag(std::FILE* f, const FlagSpec& flag) {
+  std::string head = std::string("--") + flag.name;
+  if (flag.arg != nullptr) head += std::string(" ") + flag.arg;
+  std::fprintf(f, "  %-24s %s", head.c_str(), flag.help);
+  if (flag.def != nullptr) std::fprintf(f, " (default: %s)", flag.def);
+  std::fprintf(f, "\n");
+}
+
+/// `rta_cli <cmd> --help`: synopsis + every accepted flag, generated from
+/// the command table.
+int print_command_help(const CommandSpec& spec) {
+  std::fprintf(stdout, "usage: rta_cli %s%s%s [flags]\n\n%s\n\nflags:\n",
+               spec.name, spec.args[0] != '\0' ? " " : "", spec.args,
+               spec.summary);
+  for (const FlagSpec& flag : spec.flags) print_flag(stdout, flag);
+  if (spec.with_shared) {
+    std::fprintf(stdout, "\nshared analysis flags (docs/observability.md):\n");
+    for (const FlagSpec& flag : shared_analysis_flags()) {
+      print_flag(stdout, flag);
+    }
+  }
+  return 0;
+}
+
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: rta_cli <analyze|simulate|validate|curves|trace|serve|generate>"
-      " ...\n"
-      "  analyze  FILE [--method auto|spp-exact|bounds|iterative|holistic]\n"
-      "                [--priorities keep|pdm|dm|rm] [--verbose]\n"
-      "  simulate FILE [--horizon H] [--priorities ...]\n"
-      "  validate FILE [--method ...] [--priorities ...]\n"
-      "  curves   FILE --out DIR [--method ...] [--priorities ...]\n"
-      "  trace    FILE --out PREFIX [--horizon H] [--priorities ...]\n"
-      "  serve    FILE --requests FILE [--out FILE] [--priorities ...]\n"
-      "           [--horizon H] [--threshold F] [--parallel-reads N]\n"
-      "           [--max-inflight N] [--request-timeout-ms MS]\n"
-      "           [--metrics-prom FILE [--prom-interval-ms MS]]\n"
-      "           JSONL admit/remove/what_if/query/stats stream against an\n"
-      "           incremental session; reads fan out over snapshots\n"
-      "           (docs/api.md); every response echoes a trace_id\n"
-      "  generate [--stages N --procs N --jobs N --util U --seed S\n"
-      "            --aperiodic --scheduler SPP|SPNP|FCFS] [--out FILE]\n"
-      "  FILEs ending in .json use the JSON system format (docs/api.md).\n"
-      "  analyze/validate/curves/serve share these flags:\n"
-      "  --threads N: bounds-engine worker threads (1 = serial, 0 = all\n"
-      "               hardware threads); results are identical for every N.\n"
-      "  --no-cache:  disable curve-operation memoization (same results,\n"
-      "               slower fixed-point rounds).\n"
-      "  --metrics-json FILE: write aggregated engine metrics as JSON.\n"
-      "  --trace-json FILE:   write a Chrome trace_event JSON timeline\n"
-      "                       (open in chrome://tracing or Perfetto).\n"
-      "  --trace-jsonl FILE:  write the same span timeline as structured\n"
-      "                       JSONL events (one object per line).\n"
-      "  --stats:             print cache/kernel/pool statistics; never\n"
-      "                       changes the computed bounds.\n"
-      "  serve only: --metrics-prom FILE writes a Prometheus text-format\n"
-      "  snapshot every --prom-interval-ms (default 1000), plus a final\n"
-      "  flush on every exit path.\n");
+  std::fprintf(stderr, "usage: rta_cli <command> [FILE] [flags]\n\n");
+  for (const CommandSpec& spec : command_table()) {
+    std::fprintf(stderr, "  %-9s %-5s %s\n", spec.name, spec.args,
+                 spec.summary);
+  }
+  std::fprintf(stderr,
+               "\nrun 'rta_cli <command> --help' for the flag reference.\n"
+               "FILEs ending in .json use the JSON system format "
+               "(docs/api.md).\n");
   return 2;
 }
 
-/// The flag table shared by every analysis subcommand.
-constexpr const char* kSharedAnalysisFlags[] = {
-    "threads", "no-cache", "stats", "metrics-json", "trace-json",
-    "trace-jsonl",
-};
-
-/// Reject flags outside `specific` (+ the shared table when `with_shared`).
-/// Prints every offender and the valid set; true when all flags are known.
-bool check_flags(const char* cmd, const Options& opts,
-                 std::vector<const char*> specific, bool with_shared = true) {
-  std::vector<std::string> allowed;
-  if (with_shared) {
-    allowed.insert(allowed.end(), std::begin(kSharedAnalysisFlags),
-                   std::end(kSharedAnalysisFlags));
+/// Reject flags the command table doesn't declare. Prints every offender
+/// and the valid set; true when all flags are known.
+bool check_flags(const char* cmd, const Options& opts) {
+  const CommandSpec* spec = find_command(cmd);
+  assert(spec != nullptr);
+  std::vector<std::string> allowed = {"help"};
+  for (const FlagSpec& flag : spec->flags) allowed.push_back(flag.name);
+  if (spec->with_shared) {
+    for (const FlagSpec& flag : shared_analysis_flags()) {
+      allowed.push_back(flag.name);
+    }
   }
-  allowed.insert(allowed.end(), specific.begin(), specific.end());
   std::sort(allowed.begin(), allowed.end());
   bool ok = true;
   for (const std::string& key : opts.keys()) {
@@ -206,6 +375,9 @@ struct ObsSession {
           c("service.incremental"), c("service.dirty_subjobs"),
           c("service.full"));
     }
+    if (c("service.region_probes") > 0) {
+      std::fprintf(f, "region: %llu probes\n", c("service.region_probes"));
+    }
     std::fprintf(
         f,
         "analysis time by scheduler: spp %llu us, spnp %llu us, fcfs %llu "
@@ -243,7 +415,7 @@ struct ObsSession {
   }
 };
 
-/// Analysis knobs shared by the analyze/validate/curves subcommands.
+/// Analysis knobs shared by the analyze/validate/curves/region subcommands.
 AnalysisConfig analysis_config(const Options& opts) {
   AnalysisConfig cfg;
   cfg.threads = static_cast<int>(opts.get_int("threads", 1));
@@ -283,10 +455,10 @@ AnalysisResult run_method(const std::string& method, const System& system,
 }
 
 int cmd_analyze(const Options& opts, System system) {
-  if (!check_flags("analyze", opts, {"method", "priorities", "verbose"})) {
+  if (!check_flags("analyze", opts)) return 2;
+  if (!apply_priorities(
+          system, opts.get("priorities", table_default("analyze", "priorities"))))
     return 2;
-  }
-  if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   ObsSession session = ObsSession::from_options(opts);
   AnalysisConfig cfg = analysis_config(opts);
   cfg.observer = session.observer();
@@ -295,7 +467,8 @@ int cmd_analyze(const Options& opts, System system) {
   {
     obs::Tracer::Span span =
         obs::Tracer::span_if(session.tracer.get(), "cli.analyze");
-    r = run_method(opts.get("method", "auto"), system, cfg, &used);
+    r = run_method(opts.get("method", table_default("analyze", "method")),
+                   system, cfg, &used);
   }
   if (!r.ok) {
     std::fprintf(stderr, "analysis failed: %s\n", r.error.c_str());
@@ -321,10 +494,7 @@ int cmd_analyze(const Options& opts, System system) {
 }
 
 int cmd_simulate(const Options& opts, System system) {
-  if (!check_flags("simulate", opts, {"horizon", "priorities"},
-                   /*with_shared=*/false)) {
-    return 2;
-  }
+  if (!check_flags("simulate", opts)) return 2;
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   const Time horizon = opts.get_double(
       "horizon", default_horizon(system, AnalysisConfig{}));
@@ -345,7 +515,7 @@ int cmd_simulate(const Options& opts, System system) {
 }
 
 int cmd_validate(const Options& opts, System system) {
-  if (!check_flags("validate", opts, {"method", "priorities"})) return 2;
+  if (!check_flags("validate", opts)) return 2;
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   ObsSession session = ObsSession::from_options(opts);
   AnalysisConfig cfg = analysis_config(opts);
@@ -357,7 +527,8 @@ int cmd_validate(const Options& opts, System system) {
   {
     obs::Tracer::Span span =
         obs::Tracer::span_if(session.tracer.get(), "cli.analyze");
-    r = run_method(opts.get("method", "auto"), system, cfg, &used);
+    r = run_method(opts.get("method", table_default("validate", "method")),
+                   system, cfg, &used);
   }
   const Clock::time_point t1 = Clock::now();
   if (!r.ok) {
@@ -394,7 +565,7 @@ int cmd_validate(const Options& opts, System system) {
 }
 
 int cmd_curves(const Options& opts, System system) {
-  if (!check_flags("curves", opts, {"out", "method", "priorities"})) return 2;
+  if (!check_flags("curves", opts)) return 2;
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   const std::string dir = opts.get("out", "");
   if (dir.empty()) {
@@ -410,7 +581,8 @@ int cmd_curves(const Options& opts, System system) {
   {
     obs::Tracer::Span span =
         obs::Tracer::span_if(session.tracer.get(), "cli.analyze");
-    r = run_method(opts.get("method", "auto"), system, cfg, &used);
+    r = run_method(opts.get("method", table_default("curves", "method")),
+                   system, cfg, &used);
   }
   if (!r.ok) {
     std::fprintf(stderr, "analysis failed: %s\n", r.error.c_str());
@@ -442,10 +614,7 @@ int cmd_curves(const Options& opts, System system) {
 }
 
 int cmd_trace(const Options& opts, System system) {
-  if (!check_flags("trace", opts, {"out", "horizon", "priorities"},
-                   /*with_shared=*/false)) {
-    return 2;
-  }
+  if (!check_flags("trace", opts)) return 2;
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   const std::string prefix = opts.get("out", "");
   if (prefix.empty()) {
@@ -464,13 +633,189 @@ int cmd_trace(const Options& opts, System system) {
   return 0;
 }
 
-int cmd_serve(const Options& opts, System system) {
-  if (!check_flags("serve", opts,
-                   {"requests", "out", "horizon", "threshold", "priorities",
-                    "parallel-reads", "max-inflight", "request-timeout-ms",
-                    "metrics-prom", "prom-interval-ms"})) {
+/// One line of the human-readable region report.
+std::string format_boundary(const RegionBoundary& b) {
+  char buf[160];
+  if (b.empty) {
+    std::snprintf(buf, sizeof(buf), "empty (infeasible at %.6g; %d probes)",
+                  b.infeasible, b.probes);
+  } else if (b.open) {
+    std::snprintf(buf, sizeof(buf),
+                  "open (feasible through %.6g; %d probes)", b.feasible,
+                  b.probes);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "feasible <= %.6g < infeasible <= %.6g (%d probes)",
+                  b.feasible, b.infeasible, b.probes);
+  }
+  return buf;
+}
+
+/// One CSV row: empty,open,feasible,infeasible,probes -- feasible /
+/// infeasible cells blank when the region is empty / open respectively.
+std::string csv_boundary(const RegionBoundary& b) {
+  std::ostringstream row;
+  row << (b.empty ? 1 : 0) << "," << (b.open ? 1 : 0) << ",";
+  char num[40];
+  if (!b.empty) {
+    std::snprintf(num, sizeof(num), "%.17g", b.feasible);
+    row << num;
+  }
+  row << ",";
+  if (!b.open) {
+    std::snprintf(num, sizeof(num), "%.17g", b.infeasible);
+    row << num;
+  }
+  row << "," << b.probes;
+  return row.str();
+}
+
+std::string axis_synopsis(const RegionAxis& axis) {
+  std::ostringstream line;
+  line << region_param_name(axis.param) << " scope="
+       << region_scope_name(axis.scope);
+  if (axis.scope == RegionScope::kProcessor) {
+    line << " processor=" << axis.processor;
+  }
+  char range[64];
+  std::snprintf(range, sizeof(range), " [%.6g, %.6g]", axis.lo, axis.hi);
+  line << range;
+  return line.str();
+}
+
+int cmd_region(const Options& opts, System system) {
+  if (!check_flags("region", opts)) return 2;
+  if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
+
+  RegionQuery query;
+  query.target = opts.get("target", "");
+  query.tolerance =
+      opts.get_double("tolerance", table_default_double("region", "tolerance"));
+  query.columns = static_cast<int>(
+      opts.get_int("columns", table_default_int("region", "columns")));
+
+  // Axis flags come in two suffixed families: --param/--scope/... and
+  // --param2/--scope2/... for the optional second dimension.
+  auto parse_axis = [&](const char* suffix, bool required) -> int {
+    const std::string param = opts.get(std::string("param") + suffix, "");
+    if (param.empty()) {
+      if (!required) return 0;
+      std::fprintf(stderr, "region: --param is required\n");
+      return -1;
+    }
+    RegionAxis axis;
+    const std::optional<RegionParam> p = parse_region_param(param);
+    if (!p) {
+      std::fprintf(stderr,
+                   "region: unknown param '%s' (exec_scale, burst, "
+                   "rate_scale)\n",
+                   param.c_str());
+      return -1;
+    }
+    axis.param = *p;
+    const std::string scope = opts.get(std::string("scope") + suffix, "job");
+    const std::optional<RegionScope> s = parse_region_scope(scope);
+    if (!s) {
+      std::fprintf(stderr,
+                   "region: unknown scope '%s' (job, processor, global)\n",
+                   scope.c_str());
+      return -1;
+    }
+    axis.scope = *s;
+    axis.processor = static_cast<int>(
+        opts.get_int(std::string("processor") + suffix, -1));
+    region_default_bracket(axis.param, axis.lo, axis.hi);
+    axis.lo = opts.get_double(std::string("min") + suffix, axis.lo);
+    axis.hi = opts.get_double(std::string("max") + suffix, axis.hi);
+    query.axes.push_back(axis);
+    return 1;
+  };
+  if (parse_axis("", /*required=*/true) < 0) return 2;
+  if (parse_axis("2", /*required=*/false) < 0) return 2;
+
+  ObsSession session = ObsSession::from_options(opts);
+  service::SessionConfig cfg;
+  cfg.analysis = analysis_config(opts);
+  cfg.analysis.observer = session.observer();
+  // Pinned like serve: every probe evaluates on the same horizon, so the
+  // incremental path is always eligible.
+  cfg.analysis.horizon =
+      opts.get_double("horizon", default_horizon(system, cfg.analysis));
+  cfg.full_analysis_threshold =
+      opts.get_double("threshold", cfg.full_analysis_threshold);
+
+  RegionAnalyzer analyzer(std::move(system), cfg);
+  const RegionResult r = analyzer.run(query);
+  if (!r.ok) {
+    std::fprintf(stderr, "region: %s\n", r.error.c_str());
     return 2;
   }
+
+  const std::string format =
+      opts.get("format", table_default("region", "format"));
+  std::ostringstream report;
+  bool all_empty = true;
+  if (format == "json") {
+    report << region_result_value(r).dump() << "\n";
+  } else if (format == "csv") {
+    if (r.query.axes.size() == 1) {
+      report << "empty,open,feasible,infeasible,probes\n"
+             << csv_boundary(r.boundary) << "\n";
+    } else {
+      report << "value,empty,open,feasible,infeasible,probes\n";
+      for (const RegionColumn& col : r.columns) {
+        char num[40];
+        std::snprintf(num, sizeof(num), "%.17g", col.value);
+        report << num << "," << csv_boundary(col.boundary) << "\n";
+      }
+    }
+  } else if (format == "table") {
+    if (!r.query.target.empty()) report << "target: " << r.query.target << "\n";
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "horizon: %.6g; probes: %d (%d incremental)\n", r.horizon,
+                  r.probes, r.incremental_probes);
+    report << head;
+    for (std::size_t i = 0; i < r.query.axes.size(); ++i) {
+      report << "axis " << (i + 1) << ": " << axis_synopsis(r.query.axes[i])
+             << "\n";
+    }
+    if (r.query.axes.size() == 1) {
+      report << "boundary: " << format_boundary(r.boundary) << "\n";
+    } else {
+      for (const RegionColumn& col : r.columns) {
+        char val[48];
+        std::snprintf(val, sizeof(val), "%12.6g  ", col.value);
+        report << val << format_boundary(col.boundary) << "\n";
+      }
+    }
+  } else {
+    std::fprintf(stderr, "region: unknown format '%s' (table, csv, json)\n",
+                 format.c_str());
+    return 2;
+  }
+  if (r.query.axes.size() == 1) {
+    all_empty = r.boundary.empty;
+  } else {
+    for (const RegionColumn& col : r.columns) {
+      if (!col.boundary.empty) all_empty = false;
+    }
+  }
+
+  const std::string out_path = opts.get("out", "");
+  if (out_path.empty()) {
+    std::fputs(report.str().c_str(), stdout);
+  } else if (!write_text_file(out_path, report.str())) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return 2;
+  }
+  session.print_stats(stderr);
+  if (!session.write_exports()) return 2;
+  return all_empty ? 1 : 0;
+}
+
+int cmd_serve(const Options& opts, System system) {
+  if (!check_flags("serve", opts)) return 2;
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
   const std::string requests_path = opts.get("requests", "");
   if (requests_path.empty()) {
@@ -506,7 +851,8 @@ int cmd_serve(const Options& opts, System system) {
   if (!prom_path.empty()) {
     prom = std::make_unique<service::PromFlusher>(
         *session.metrics, prom_path,
-        opts.get_double("prom-interval-ms", 1000.0));
+        opts.get_double("prom-interval-ms",
+                        table_default_double("serve", "prom-interval-ms")));
   }
 
   // Everything past this point funnels through one exit so the observability
@@ -527,6 +873,9 @@ int cmd_serve(const Options& opts, System system) {
         static_cast<int>(opts.get_int("max-inflight", stream.max_inflight));
     stream.request_timeout_ms =
         opts.get_double("request-timeout-ms", stream.request_timeout_ms);
+    stream.envelope = opts.get_bool("compat-v1", false)
+                          ? service::Envelope::kV1
+                          : service::Envelope::kV2;
 
     const std::string out_path = opts.get("out", "");
     service::RunnerStats stats;
@@ -579,28 +928,26 @@ bool json_path(const std::string& path) {
 }
 
 int cmd_generate(const Options& opts) {
-  if (!check_flags("generate", opts,
-                   {"stages", "procs", "jobs", "util", "seed", "aperiodic",
-                    "scheduler", "out"},
-                   /*with_shared=*/false)) {
-    return 2;
-  }
+  if (!check_flags("generate", opts)) return 2;
   JobShopConfig cfg;
-  cfg.stages = opts.get_int("stages", 4);
-  cfg.processors_per_stage = opts.get_int("procs", 2);
-  cfg.jobs = opts.get_int("jobs", 6);
-  cfg.utilization = opts.get_double("util", 0.6);
+  cfg.stages = opts.get_int("stages", table_default_int("generate", "stages"));
+  cfg.processors_per_stage =
+      opts.get_int("procs", table_default_int("generate", "procs"));
+  cfg.jobs = opts.get_int("jobs", table_default_int("generate", "jobs"));
+  cfg.utilization =
+      opts.get_double("util", table_default_double("generate", "util"));
   cfg.pattern = opts.get_bool("aperiodic", false)
                     ? ArrivalPattern::kAperiodic
                     : ArrivalPattern::kPeriodic;
-  const std::string sched = opts.get("scheduler", "SPP");
+  const std::string sched =
+      opts.get("scheduler", table_default("generate", "scheduler"));
   if (sched == "SPNP") cfg.scheduler = SchedulerKind::kSpnp;
   else if (sched == "FCFS") cfg.scheduler = SchedulerKind::kFcfs;
   else if (sched != "SPP") {
     std::fprintf(stderr, "unknown scheduler '%s'\n", sched.c_str());
     return 2;
   }
-  Rng rng(opts.get_int("seed", 1));
+  Rng rng(opts.get_int("seed", table_default_int("generate", "seed")));
   System system = generate_jobshop(cfg, rng);
   assign_proportional_deadline_monotonic(system);
 
@@ -628,7 +975,11 @@ ParsedSystem load_any_system(const std::string& path) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  const CommandSpec* spec = find_command(cmd);
+  if (spec == nullptr) return usage();
   const Options opts = Options::parse(argc - 1, argv + 1);
+  // `rta_cli <cmd> --help` works without a FILE argument.
+  if (opts.get_bool("help", false)) return print_command_help(*spec);
 
   if (cmd == "generate") return cmd_generate(opts);
 
@@ -644,6 +995,7 @@ int main(int argc, char** argv) {
   if (cmd == "validate") return cmd_validate(opts, parsed.system);
   if (cmd == "curves") return cmd_curves(opts, parsed.system);
   if (cmd == "trace") return cmd_trace(opts, parsed.system);
+  if (cmd == "region") return cmd_region(opts, parsed.system);
   if (cmd == "serve") return cmd_serve(opts, parsed.system);
   return usage();
 }
