@@ -3,7 +3,8 @@
 
 Usage:
     check_service.py --responses out.jsonl [--requests in.jsonl]
-                     [--expect-schema {1,2}]
+                     [--expect-schema {1,2}] [--multi-tenant]
+                     [--tenant NAME=REFERENCE.jsonl ...]
 
 The service speaks two envelopes (docs/api.md "Request schema v2"):
 
@@ -46,11 +47,24 @@ With --requests, additionally checks that the number of responses equals
 the number of request lines (blank and '#' lines skipped) and that the ops
 match line by line.
 
+Multi-tenant mode (`rta_cli serve --tenants-from`, docs/api.md):
+
+  * --multi-tenant: the 'request'/'line' indices count within each
+    response's 'tenant' bucket (responses without a tenant echo form the
+    "untenanted" bucket), each bucket 1-based and consecutive, while the
+    global op order still matches the request file line by line.
+  * --tenant NAME=REFERENCE.jsonl (repeatable): the NAME bucket's
+    responses must be byte-identical -- modulo the latency_us field --
+    to REFERENCE.jsonl, a plain single-tenant serve of just that
+    tenant's request lines.  This is the determinism contract of the
+    sharded front end, checked end to end.
+
 Exit status: 0 when everything validates, 1 otherwise.
 """
 
 import argparse
 import json
+import re
 import sys
 
 KNOWN_OPS = {"admit", "what_if", "what_if_region", "remove", "query", "stats"}
@@ -270,9 +284,10 @@ def check_stats_fields(resp, where, errors):
                     f"but p99 <= 0")
 
 
-def check_responses(path, expected_ops, expect_schema):
+def check_responses(path, expected_ops, expect_schema, multi_tenant=False):
     errors = []
     seen = 0
+    bucket_seen = {}  # tenant name (or "" = untenanted) -> responses so far
     for n, resp, raw in load_jsonl(path):
         where = f"{path}:{n}"
         if resp is None:
@@ -282,10 +297,20 @@ def check_responses(path, expected_ops, expect_schema):
             errors.append(f"{where}: response is not an object")
             continue
         seen += 1
-        if resp.get("request") != seen:
+        if multi_tenant:
+            tenant = resp.get("tenant")
+            if tenant is not None and not isinstance(tenant, str):
+                errors.append(f"{where}: non-string 'tenant' echo")
+                tenant = None
+            bucket = tenant or ""
+            bucket_seen[bucket] = bucket_seen.get(bucket, 0) + 1
+            expected_index = bucket_seen[bucket]
+        else:
+            expected_index = seen
+        if resp.get("request") != expected_index:
             errors.append(
                 f"{where}: request index {resp.get('request')!r}, "
-                f"expected {seen}")
+                f"expected {expected_index}")
         if not isinstance(resp.get("line"), int):
             errors.append(f"{where}: missing integer 'line'")
         trace_id = resp.get("trace_id")
@@ -337,6 +362,33 @@ def check_responses(path, expected_ops, expect_schema):
     return errors
 
 
+LATENCY_RE = re.compile(r',"latency_us":[^,}]+')
+
+
+def check_tenant_identity(responses_path, name, reference_path):
+    """Byte-compare one tenant's responses against its solo reference run,
+    with the (wall-clock) latency_us field stripped from both sides."""
+    errors = []
+    got = []
+    for n, resp, raw in load_jsonl(responses_path):
+        if isinstance(resp, dict) and resp.get("tenant") == name:
+            got.append((n, LATENCY_RE.sub("", raw)))
+    want = [(n, LATENCY_RE.sub("", raw))
+            for n, _, raw in load_jsonl(reference_path)]
+    if len(got) != len(want):
+        errors.append(
+            f"tenant {name!r}: {len(got)} responses in {responses_path}, "
+            f"reference {reference_path} has {len(want)}")
+    for (gn, g), (wn, w) in zip(got, want):
+        if g != w:
+            errors.append(
+                f"tenant {name!r}: {responses_path}:{gn} differs from "
+                f"{reference_path}:{wn}\n      got:  {g[:120]}\n"
+                f"      want: {w[:120]}")
+            break  # one divergence pins the bug; later diffs are cascade
+    return errors
+
+
 def request_ops(path):
     ops = []
     for n, req, raw in load_jsonl(path):
@@ -356,11 +408,30 @@ def main():
     parser.add_argument("--expect-schema", type=int, choices=(1, 2),
                         help="require every response to use this envelope "
                              "(default: classify per line)")
+    parser.add_argument("--multi-tenant", action="store_true",
+                        help="responses come from `serve --tenants-from`: "
+                             "request/line indices count per tenant bucket")
+    parser.add_argument("--tenant", action="append", default=[],
+                        metavar="NAME=REFERENCE.jsonl",
+                        help="check the NAME bucket byte-identical (modulo "
+                             "latency_us) to this single-tenant reference "
+                             "run; implies --multi-tenant")
     args = parser.parse_args()
+    if args.tenant:
+        args.multi_tenant = True
 
     expected = request_ops(args.requests) if args.requests else None
     try:
-        errors = check_responses(args.responses, expected, args.expect_schema)
+        errors = check_responses(args.responses, expected, args.expect_schema,
+                                 multi_tenant=args.multi_tenant)
+        for spec in args.tenant:
+            name, sep, reference = spec.partition("=")
+            if not sep or not name or not reference:
+                errors.append(f"bad --tenant spec {spec!r}, "
+                              f"want NAME=REFERENCE.jsonl")
+                continue
+            errors.extend(
+                check_tenant_identity(args.responses, name, reference))
     except OSError as exc:
         errors = [str(exc)]
     if errors:

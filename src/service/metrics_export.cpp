@@ -129,7 +129,15 @@ bool PromFlusher::write_once() {
     std::remove(tmp.c_str());
     return false;
   }
-  return std::rename(tmp.c_str(), path_.c_str()) == 0;
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    // Rename can fail long after the write succeeded (target replaced by a
+    // directory, target dir gone mid-run). The exposition at `path_` is
+    // either the previous complete scrape or absent -- never torn -- but the
+    // orphaned tmp file must not outlive the attempt.
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 void PromFlusher::run() {

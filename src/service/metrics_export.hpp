@@ -38,7 +38,10 @@ namespace rta::service {
 /// `path` every `interval_ms` (atomically: temp file + rename), for as long
 /// as the flusher is alive. stop_and_flush() -- also run by the destructor
 /// -- joins the thread and writes one final snapshot, so the file is always
-/// left complete and current no matter how `serve` exits.
+/// left complete and current no matter how `serve` exits. A failed write
+/// never leaves debris: the `.tmp` staging file is removed on every failure
+/// path (including a failed rename), and `path` itself only ever holds a
+/// complete exposition.
 class PromFlusher {
  public:
   PromFlusher(obs::MetricsRegistry& registry, std::string path,

@@ -124,6 +124,13 @@ ParsedRequest parse_request(const std::string& line) {
   if (!doc.ok) return immediate("bad request json: " + doc.error);
   const json::Value* trace = doc.value.find("trace_id");
   if (trace != nullptr && trace->is_string()) req.trace_id = trace->as_string();
+  if (const json::Value* tenant = doc.value.find("tenant"); tenant != nullptr) {
+    if (!tenant->is_string() || tenant->as_string().empty()) {
+      return immediate("field 'tenant' must be a non-empty string");
+    }
+    req.tenant = tenant->as_string();
+    req.has_tenant = true;
+  }
   const json::Value* op = doc.value.find("op");
   if (op == nullptr || !op->is_string()) {
     return immediate("missing string 'op'");

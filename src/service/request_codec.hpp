@@ -41,6 +41,15 @@ struct ParsedRequest {
   /// sequential runner and the scheduler.
   std::string trace_id;
 
+  /// Optional routing annotation: a non-empty string "tenant" field on the
+  /// request, echoed verbatim into the response by every driver. The
+  /// single-session drivers treat it as an annotation only; the sharded
+  /// front end (sharded_scheduler.hpp) routes on it. A present-but-invalid
+  /// tenant (non-string or empty) is a parse-time error, so both drivers
+  /// reject it identically.
+  std::string tenant;
+  bool has_tenant = false;
+
   // admit / what_if payload.
   Job job;
   bool saw_priority = false;

@@ -45,6 +45,7 @@ RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,
     const auto start = std::chrono::steady_clock::now();
     const detail::ParsedRequest req = detail::parse_request(line);
     if (!req.op.empty()) response.set("op", req.op);
+    if (req.has_tenant) response.set("tenant", req.tenant);
     const std::string trace_id = req.trace_id.empty()
                                      ? obs::mint_trace_id(line_no, line)
                                      : req.trace_id;

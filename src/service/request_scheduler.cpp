@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -45,11 +46,12 @@ RequestScheduler::RequestScheduler(AdmissionSession& session,
     request_us_ = metrics->histogram("service.request_us", buckets);
     read_us_ = metrics->histogram("service.read_us", buckets);
     mutate_us_ = metrics->histogram("service.mutate_us", buckets);
-    queue_depth_ = metrics->gauge("service.queue_depth");
+    queue_depth_ = metrics->gauge("service.queue_depth_max");
     rejected_counter_ = metrics->counter("service.rejected");
     timeout_counter_ = metrics->counter("service.timeouts");
     failure_counter_ = metrics->counter("service.failures");
     coalesced_counter_ = metrics->counter("service.coalesced");
+    replica_refresh_counter_ = metrics->counter("service.replica_refresh");
   }
 }
 
@@ -60,23 +62,43 @@ void RequestScheduler::complete_at_submit(Pending& p) {
   pending_.push_back(std::move(p));
 }
 
-void RequestScheduler::submit_line(const std::string& line) {
+RequestScheduler::Pending RequestScheduler::make_pending(
+    const std::string& line, detail::ParsedRequest req) {
   ++line_no_;
-  const std::size_t first = line.find_first_not_of(" \t\r");
-  if (first == std::string::npos || line[first] == '#') return;
-
   Pending p;
   p.arrival = std::chrono::steady_clock::now();
   p.raw = line;
-  p.req = detail::parse_request(line);
+  p.req = std::move(req);
   ++submitted_;
   if (options_.envelope == Envelope::kV2) p.response.set("schema_version", 2);
   p.response.set("request", submitted_);
   p.response.set("line", line_no_);
   if (!p.req.op.empty()) p.response.set("op", p.req.op);
+  if (p.req.has_tenant) p.response.set("tenant", p.req.tenant);
   p.trace_id = p.req.trace_id.empty() ? obs::mint_trace_id(line_no_, line)
                                       : p.req.trace_id;
   p.response.set("trace_id", p.trace_id);
+  return p;
+}
+
+void RequestScheduler::submit_line(const std::string& line) {
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] == '#') {
+    if (finished_) {
+      throw std::logic_error("RequestScheduler: submit_line after finish()");
+    }
+    ++line_no_;
+    return;
+  }
+  submit_parsed(line, detail::parse_request(line));
+}
+
+void RequestScheduler::submit_parsed(const std::string& line,
+                                     detail::ParsedRequest req) {
+  if (finished_) {
+    throw std::logic_error("RequestScheduler: submit_line after finish()");
+  }
+  Pending p = make_pending(line, std::move(req));
 
   if (p.req.cls == detail::RequestClass::kImmediate) {
     // Parse-time errors never touch a session: buffered in place so the
@@ -110,29 +132,61 @@ void RequestScheduler::submit_line(const std::string& line) {
   queue_depth_.record_max(static_cast<double>(inflight_));
 }
 
-void RequestScheduler::execute_one(AdmissionSession& session, Pending& p) {
+void RequestScheduler::reject_parsed(const std::string& line,
+                                     detail::ParsedRequest req,
+                                     const std::string& message) {
+  if (finished_) {
+    throw std::logic_error("RequestScheduler: submit_line after finish()");
+  }
+  Pending p = make_pending(line, std::move(req));
+  if (p.req.cls == detail::RequestClass::kImmediate) {
+    // A line the reference run would reject at parse time answers its parse
+    // error no matter what the front end's queues looked like.
+    detail::set_error(p.response, options_.envelope, "bad_request",
+                      p.req.error, /*retryable=*/false);
+  } else {
+    detail::set_error(p.response, options_.envelope, "overloaded", message,
+                      /*retryable=*/true);
+    ++stats_.rejected;
+    rejected_counter_.inc();
+  }
+  ++stats_.errors;
+  complete_at_submit(p);
+}
+
+obs::Tracer::Span RequestScheduler::request_span(const Pending& p) {
   // The span tree correlation point: the per-request span carries the
   // trace_id the response echoes, and the queue wait (arrival -> execution
   // start) rides along as args.
-  obs::Tracer::Span req_span;
-  if (tracer_ != nullptr) {
-    char queue_args[64];
-    std::snprintf(queue_args, sizeof(queue_args), ", \"queue_us\": %.3f}",
-                  micros_since(p.arrival));
-    req_span = tracer_->span("service.request",
-                             "{\"trace_id\": " + json::Value(p.trace_id).dump() +
-                                 ", \"op\": \"" + p.req.op + "\"" + queue_args);
+  if (tracer_ == nullptr) return {};
+  char queue_args[64];
+  std::snprintf(queue_args, sizeof(queue_args), ", \"queue_us\": %.3f}",
+                micros_since(p.arrival));
+  return tracer_->span("service.request",
+                       "{\"trace_id\": " + json::Value(p.trace_id).dump() +
+                           ", \"op\": \"" + p.req.op + "\"" + queue_args);
+}
+
+bool RequestScheduler::expire_if_stale(Pending& p) {
+  // Decided at batch-execution start, before any id simulation or
+  // execution: an expired request never runs in the sequential reference,
+  // so it must neither consume a pre-assigned job id nor touch the session.
+  if (options_.request_timeout_ms <= 0.0 ||
+      micros_since(p.arrival) <= options_.request_timeout_ms * 1000.0) {
+    return false;
   }
-  if (options_.request_timeout_ms > 0.0 &&
-      micros_since(p.arrival) > options_.request_timeout_ms * 1000.0) {
-    detail::set_error(p.response, options_.envelope, "timeout",
-                      "request timed out before execution",
-                      /*retryable=*/true);
-    p.timed_out = true;
-    p.latency_us = micros_since(p.arrival);
-    req_span.annotate("{\"timeout\": true}");
-    return;
-  }
+  obs::Tracer::Span req_span = request_span(p);
+  detail::set_error(p.response, options_.envelope, "timeout",
+                    "request timed out before execution",
+                    /*retryable=*/true);
+  p.timed_out = true;
+  p.latency_us = micros_since(p.arrival);
+  req_span.annotate("{\"timeout\": true}");
+  return true;
+}
+
+void RequestScheduler::execute_one(AdmissionSession& session, Pending& p) {
+  obs::Tracer::Span req_span = request_span(p);
   try {
     obs::Tracer::Span class_span = obs::Tracer::span_if(
         tracer_, p.req.cls == detail::RequestClass::kMutate ? "service.mutate"
@@ -155,10 +209,10 @@ void RequestScheduler::execute_one(AdmissionSession& session, Pending& p) {
 
 void RequestScheduler::execute_mutations() {
   for (Pending& p : pending_) {
-    if (p.executable) execute_one(session_, p);
+    if (p.executable && !expire_if_stale(p)) execute_one(session_, p);
   }
   // The committed state moved; snapshots answer from the past now.
-  replicas_fresh_ = false;
+  ++commit_epoch_;
 }
 
 void RequestScheduler::execute_reads() {
@@ -166,11 +220,14 @@ void RequestScheduler::execute_reads() {
   // sequential what_if consumes an id (System::add_job bumps the counter;
   // the rollback does not rewind it), so replicas must receive
   // pre-assigned ids and the primary must land on the same counter value.
+  // Expired entries are excluded first (expire_if_stale): they never
+  // execute, so they never consume an id.
   std::uint64_t cur = session_.peek_next_job_id();
   std::vector<std::size_t> exec;
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     Pending& p = pending_[i];
     if (!p.executable) continue;
+    if (expire_if_stale(p)) continue;
     exec.push_back(i);
     if (p.req.op != "what_if") continue;  // query consumes nothing
     Job& job = p.req.job;
@@ -210,7 +267,7 @@ void RequestScheduler::execute_reads() {
   const std::size_t chunks =
       std::min<std::size_t>(static_cast<std::size_t>(read_workers_), n);
   if (chunks > 1) {
-    if (!replicas_fresh_) {
+    if (replica_epoch_ != commit_epoch_) {
       obs::Tracer::Span clone_span = obs::Tracer::span_if(
           tracer_, "service.snapshot_clone",
           "{\"replicas\": " + std::to_string(read_workers_ - 1) + "}");
@@ -218,7 +275,8 @@ void RequestScheduler::execute_reads() {
       for (int r = 0; r + 1 < read_workers_; ++r) {
         replicas_.push_back(session_.clone_committed());
       }
-      replicas_fresh_ = true;
+      replica_epoch_ = commit_epoch_;
+      replica_refresh_counter_.inc();
     }
     if (pool_ == nullptr) {
       pool_ = std::make_unique<ThreadPool>(
@@ -307,8 +365,10 @@ void RequestScheduler::flush() {
 }
 
 void RequestScheduler::finish() {
+  if (finished_) return;
   flush();
   out_.flush();
+  finished_ = true;
 }
 
 RunnerStats run_request_stream(AdmissionSession& session, std::istream& in,

@@ -57,10 +57,25 @@
 // stream always continues. Backpressure (max_inflight) rejects with
 // {"ok":false,...,"retry":true}; per-request timeouts
 // (request_timeout_ms) answer {"ok":false,...,"timeout":true} without
-// executing. docs/api.md documents the full response schema.
+// executing. Expiry is decided once per batch, before the job-id counter
+// simulation, so a request that never executes (shed or timed out) never
+// consumes an id -- later job_ids match the sequential runner on the
+// surviving lines bit for bit. docs/api.md documents the full response
+// schema.
+//
+// Lifecycle: finish() drains and seals the scheduler; it is idempotent, and
+// submitting after it throws std::logic_error (the defined error for the
+// use-after-close programming bug -- silently emitting past the drained
+// stream end would interleave with whatever the caller did next).
+//
+// Snapshot replicas are epoch-based: every mutation batch advances
+// commit_epoch(), and a read fan-out re-clones its replicas only when their
+// epoch is stale -- once per mutation batch at most, never per request
+// (counter service.replica_refresh observes exactly that).
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -79,9 +94,10 @@ class RequestScheduler {
  public:
   /// Binds to `session` (primary) and `out`. When the session carries a
   /// MetricsRegistry, the scheduler records histograms service.request_us /
-  /// service.read_us / service.mutate_us, gauge service.queue_depth
-  /// (high-water batch depth), and counters service.rejected /
-  /// service.timeouts / service.failures / service.coalesced.
+  /// service.read_us / service.mutate_us, gauge service.queue_depth_max
+  /// (high-water batch depth since start; docs/observability.md), and
+  /// counters service.rejected / service.timeouts / service.failures /
+  /// service.coalesced / service.replica_refresh.
   RequestScheduler(AdmissionSession& session, std::ostream& out,
                    StreamOptions options = {});
   ~RequestScheduler();
@@ -90,16 +106,41 @@ class RequestScheduler {
   RequestScheduler& operator=(const RequestScheduler&) = delete;
 
   /// Feed one input line (blank and '#' lines are skipped). May trigger a
-  /// batch flush (class boundary) and emit buffered responses.
+  /// batch flush (class boundary) and emit buffered responses. Throws
+  /// std::logic_error after finish().
   void submit_line(const std::string& line);
 
-  /// Execute and emit whatever is buffered, then flush the output stream.
+  /// submit_line for a caller that already parsed the line (the sharded
+  /// front end routes on the parse result); `line` must not be blank or a
+  /// comment. Behavior is byte-identical to submit_line(line).
+  void submit_parsed(const std::string& line, detail::ParsedRequest req);
+
+  /// Buffer a deterministic `overloaded` rejection for `line` without
+  /// executing it: the sharded front end's cross-tenant backpressure, which
+  /// must consume this scheduler's request/line numbering exactly like an
+  /// accepted line would. A parse-error line degrades to its normal
+  /// bad_request response. Throws std::logic_error after finish().
+  void reject_parsed(const std::string& line, detail::ParsedRequest req,
+                     const std::string& message);
+
+  /// Execute and emit everything buffered; the stream stays open for more
+  /// submissions. Responses are batch-boundary independent, so callers may
+  /// force a flush at any point without changing a single byte.
+  void flush();
+
+  /// flush(), then flush the output stream and seal the scheduler.
+  /// Idempotent: later finish() calls are no-ops and later submissions
+  /// throw.
   void finish();
 
   [[nodiscard]] const RunnerStats& stats() const { return stats_; }
 
   /// Resolved read fan-out width (parallel_reads with 0 -> hardware).
   [[nodiscard]] int read_workers() const { return read_workers_; }
+
+  /// Committed-state epoch: bumped once per executed mutation batch. Read
+  /// replicas are re-cloned only when their epoch trails this one.
+  [[nodiscard]] std::uint64_t commit_epoch() const { return commit_epoch_; }
 
  private:
   struct Pending {
@@ -117,11 +158,14 @@ class RequestScheduler {
     double latency_us = 0.0;
   };
 
-  void flush();
   void execute_mutations();
   void execute_reads();
   void execute_one(AdmissionSession& session, Pending& p);
   void complete_at_submit(Pending& p);
+  [[nodiscard]] Pending make_pending(const std::string& line,
+                                     detail::ParsedRequest req);
+  [[nodiscard]] obs::Tracer::Span request_span(const Pending& p);
+  bool expire_if_stale(Pending& p);
 
   AdmissionSession& session_;
   std::ostream& out_;
@@ -130,9 +174,11 @@ class RequestScheduler {
 
   /// Fan-out helpers (read_workers_ - 1; the caller is chunk 0's worker).
   std::unique_ptr<ThreadPool> pool_;
-  /// Committed-state snapshots for chunks 1..; stale after any mutation.
+  /// Committed-state snapshots for chunks 1..; stale when their epoch
+  /// trails commit_epoch_ (replica_epoch_ 0 = never cloned).
   std::vector<std::unique_ptr<AdmissionSession>> replicas_;
-  bool replicas_fresh_ = false;
+  std::uint64_t commit_epoch_ = 1;
+  std::uint64_t replica_epoch_ = 0;
 
   std::vector<Pending> pending_;  ///< current batch + interleaved immediates
   int inflight_ = 0;              ///< executable entries in pending_
@@ -140,6 +186,7 @@ class RequestScheduler {
 
   int line_no_ = 0;
   int submitted_ = 0;  ///< responses owed (skipped lines excluded)
+  bool finished_ = false;
   RunnerStats stats_;
 
   obs::Tracer* tracer_ = nullptr;  ///< per-request span tree (may be null)
@@ -151,6 +198,7 @@ class RequestScheduler {
   obs::Counter timeout_counter_;
   obs::Counter failure_counter_;
   obs::Counter coalesced_counter_;
+  obs::Counter replica_refresh_counter_;
 };
 
 }  // namespace rta::service

@@ -1,0 +1,297 @@
+#include "service/sharded_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/trace_context.hpp"
+
+namespace rta::service {
+
+namespace {
+
+int resolve_shards(int shards) {
+  if (shards == 1) return 1;
+  if (shards <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return shards;
+}
+
+double micros_since(std::chrono::steady_clock::time_point since) {
+  const std::chrono::duration<double, std::micro> us =
+      std::chrono::steady_clock::now() - since;
+  return us.count();
+}
+
+void accumulate(RunnerStats& into, const RunnerStats& from) {
+  into.requests += from.requests;
+  into.errors += from.errors;
+  into.failures += from.failures;
+  into.timeouts += from.timeouts;
+  into.rejected += from.rejected;
+  into.coalesced += from.coalesced;
+}
+
+}  // namespace
+
+ShardedScheduler::ShardedScheduler(TenantRegistry& registry, std::ostream& out,
+                                   ShardedOptions options,
+                                   obs::Observer observer)
+    : registry_(registry),
+      out_(out),
+      options_(std::move(options)),
+      tracer_(observer.tracer) {
+  const int n = resolve_shards(options_.shards);
+  shards_.resize(static_cast<std::size_t>(n));
+  if (observer.metrics != nullptr) {
+    for (int k = 0; k < n; ++k) {
+      Shard& sh = shards_[static_cast<std::size_t>(k)];
+      const std::string prefix = "service.shard." + std::to_string(k);
+      sh.requests_counter = observer.metrics->counter(prefix + ".requests");
+      sh.shed_counter = observer.metrics->counter(prefix + ".shed");
+      sh.depth_gauge = observer.metrics->gauge(prefix + ".depth");
+    }
+  }
+  tenants_.resize(static_cast<std::size_t>(registry_.count()));
+  if (n > 1) pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(n - 1));
+}
+
+ShardedScheduler::~ShardedScheduler() = default;
+
+ShardedScheduler::Tenant& ShardedScheduler::tenant(int idx) {
+  std::unique_ptr<Tenant>& slot = tenants_[static_cast<std::size_t>(idx)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Tenant>();
+    slot->scheduler = std::make_unique<RequestScheduler>(
+        registry_.session(idx), slot->buf, options_.stream);
+    slot->shard = TenantRegistry::shard_of(registry_.name(idx), shards());
+  }
+  return *slot;
+}
+
+void ShardedScheduler::route_untenanted(const std::string& line,
+                                        detail::ParsedRequest req) {
+  // The bucket for lines no tenant owns. Same response shape and stamping
+  // order as the per-tenant drivers, numbered within this bucket.
+  const auto arrival = std::chrono::steady_clock::now();
+  ++untenanted_no_;
+  json::Value response;
+  if (options_.stream.envelope == Envelope::kV2) {
+    response.set("schema_version", 2);
+  }
+  response.set("request", untenanted_no_);
+  response.set("line", untenanted_no_);
+  if (!req.op.empty()) response.set("op", req.op);
+  if (req.has_tenant) response.set("tenant", req.tenant);
+  response.set("trace_id", req.trace_id.empty()
+                               ? obs::mint_trace_id(untenanted_no_, line)
+                               : req.trace_id);
+  if (req.cls == detail::RequestClass::kImmediate) {
+    detail::set_error(response, options_.stream.envelope, "bad_request",
+                      req.error, /*retryable=*/false);
+  } else if (!req.has_tenant) {
+    detail::set_error(response, options_.stream.envelope, "bad_request",
+                      "multi-tenant stream requires a 'tenant' field",
+                      /*retryable=*/false);
+  } else {
+    detail::set_error(response, options_.stream.envelope, "not_found",
+                      "no tenant named '" + req.tenant + "'",
+                      /*retryable=*/false);
+  }
+  response.set("latency_us", micros_since(arrival));
+  ++unrouted_;
+  order_.push_back(-1);
+  untenanted_ready_.push_back(response.dump());
+}
+
+void ShardedScheduler::submit_line(const std::string& line) {
+  if (finished_) {
+    throw std::logic_error("ShardedScheduler: submit_line after finish()");
+  }
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] == '#') return;
+
+  detail::ParsedRequest req = detail::parse_request(line);
+  const int idx = req.has_tenant ? registry_.find(req.tenant) : -1;
+  if (idx < 0) {
+    route_untenanted(line, std::move(req));
+    emit_ready();
+    return;
+  }
+
+  Tenant& tn = tenant(idx);
+  Shard& sh = shards_[static_cast<std::size_t>(tn.shard)];
+  const bool executable = req.cls != detail::RequestClass::kImmediate;
+
+  // Backpressure, decided deterministically from window depths alone. The
+  // rejection still flows through the tenant's scheduler so it consumes the
+  // tenant's request/line numbering like any accepted line.
+  Entry e;
+  e.tenant = idx;
+  e.line = line;
+  if (executable) {
+    if (options_.tenant_max_inflight > 0 &&
+        tn.queued >= options_.tenant_max_inflight) {
+      e.shed = true;
+      e.message = "tenant overloaded: tenant_max_inflight exceeded";
+    } else if (options_.shard_max_inflight > 0 &&
+               sh.depth >= options_.shard_max_inflight) {
+      // Fair-share rule: a shard over its bound sheds only tenants at or
+      // above an equal split of the bound, so a quiet tenant keeps landing
+      // lines while its hot neighbor sheds.
+      const int share =
+          std::max(1, options_.shard_max_inflight / std::max(1, sh.active));
+      if (tn.queued >= share) {
+        e.shed = true;
+        e.message = "shard overloaded: run queue full";
+      }
+    }
+  }
+  e.req = std::move(req);
+
+  if (executable && !e.shed) {
+    if (tn.queued == 0) ++sh.active;
+    ++tn.queued;
+    ++sh.depth;
+  }
+  if (e.shed) {
+    ++sh.shed_total;
+    sh.shed_counter.inc();
+  }
+  if (!tn.touched) {
+    tn.touched = true;
+    sh.touched.push_back(idx);
+  }
+  ++sh.requests_total;
+  sh.requests_counter.inc();
+  order_.push_back(idx);
+  sh.queue.push_back(std::move(e));
+  ++pending_lines_;
+  if (pending_lines_ >= options_.pump_lines) pump();
+}
+
+void ShardedScheduler::pump() {
+  if (pending_lines_ == 0) return;
+  ++pumps_;
+
+  // Drain shards concurrently. The work is partitioned, not locked: a
+  // shard's worker touches only that shard's queue and its tenants'
+  // sessions/schedulers/buffers, and the pool barrier orders every write
+  // before the serial collection below.
+  auto run_shard = [&](std::size_t s) {
+    Shard& sh = shards_[s];
+    if (sh.queue.empty()) return;
+    obs::Tracer::Span span = obs::Tracer::span_if(
+        tracer_, "service.shard.pump",
+        tracer_ != nullptr
+            ? "{\"shard\": " + std::to_string(s) +
+                  ", \"lines\": " + std::to_string(sh.queue.size()) + "}"
+            : std::string());
+    for (Entry& e : sh.queue) {
+      Tenant& tn = *tenants_[static_cast<std::size_t>(e.tenant)];
+      if (e.shed) {
+        tn.scheduler->reject_parsed(e.line, std::move(e.req), e.message);
+      } else {
+        tn.scheduler->submit_parsed(e.line, std::move(e.req));
+      }
+    }
+    for (const int idx : sh.touched) {
+      tenants_[static_cast<std::size_t>(idx)]->scheduler->flush();
+    }
+  };
+  if (shards_.size() == 1) {
+    run_shard(0);
+  } else {
+    for_each_index(pool_.get(), shards_.size(), run_shard);
+  }
+
+  // Serial epilogue: move flushed responses into the per-tenant ready
+  // queues, reset the window accounting, and emit the completed prefix.
+  for (Shard& sh : shards_) {
+    if (!sh.queue.empty()) sh.depth_gauge.set(static_cast<double>(sh.depth));
+    for (const int idx : sh.touched) {
+      Tenant& tn = *tenants_[static_cast<std::size_t>(idx)];
+      std::string produced = tn.buf.str();
+      tn.buf.str(std::string());
+      std::size_t begin = 0;
+      while (begin < produced.size()) {
+        const std::size_t nl = produced.find('\n', begin);
+        const std::size_t end = nl == std::string::npos ? produced.size() : nl;
+        tn.ready.push_back(produced.substr(begin, end - begin));
+        begin = end + 1;
+      }
+      tn.queued = 0;
+      tn.touched = false;
+    }
+    sh.queue.clear();
+    sh.touched.clear();
+    sh.depth = 0;
+    sh.active = 0;
+  }
+  pending_lines_ = 0;
+  emit_ready();
+}
+
+void ShardedScheduler::emit_ready() {
+  while (cursor_ < order_.size()) {
+    const int bucket = order_[cursor_];
+    std::deque<std::string>& ready =
+        bucket < 0 ? untenanted_ready_
+                   : tenants_[static_cast<std::size_t>(bucket)]->ready;
+    if (ready.empty()) return;  // that bucket's batch has not flushed yet
+    out_ << ready.front() << "\n";
+    ready.pop_front();
+    ++cursor_;
+  }
+}
+
+void ShardedScheduler::finish() {
+  if (finished_) return;
+  pump();
+  for (const std::unique_ptr<Tenant>& tn : tenants_) {
+    if (tn != nullptr) tn->scheduler->finish();
+  }
+  emit_ready();
+  out_.flush();
+  finished_ = true;
+}
+
+ShardedStats ShardedScheduler::stats() const {
+  ShardedStats s;
+  for (const std::unique_ptr<Tenant>& tn : tenants_) {
+    if (tn != nullptr) accumulate(s.stream, tn->scheduler->stats());
+  }
+  // Every untenanted line answers exactly one error response.
+  s.routed = static_cast<std::uint64_t>(s.stream.requests);
+  s.stream.requests += static_cast<int>(unrouted_);
+  s.stream.errors += static_cast<int>(unrouted_);
+  s.unrouted = unrouted_;
+  for (const Shard& sh : shards_) s.shed += sh.shed_total;
+  s.pumps = pumps_;
+  return s;
+}
+
+RunnerStats ShardedScheduler::tenant_stats(int idx) const {
+  const std::unique_ptr<Tenant>& tn = tenants_[static_cast<std::size_t>(idx)];
+  return tn == nullptr ? RunnerStats{} : tn->scheduler->stats();
+}
+
+ShardedStats run_sharded_stream(TenantRegistry& registry, std::istream& in,
+                                std::ostream& out,
+                                const ShardedOptions& options,
+                                obs::Observer observer) {
+  ShardedScheduler scheduler(registry, out, options, observer);
+  std::string line;
+  while (std::getline(in, line)) scheduler.submit_line(line);
+  scheduler.finish();
+  return scheduler.stats();
+}
+
+}  // namespace rta::service

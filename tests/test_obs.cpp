@@ -8,6 +8,8 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -26,6 +28,9 @@
 #include "obs/observer.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_context.hpp"
+#include "service/admission_session.hpp"
+#include "service/metrics_export.hpp"
+#include "service/request_scheduler.hpp"
 #include "util/rng.hpp"
 #include "workload/jobshop.hpp"
 
@@ -550,6 +555,90 @@ TEST(ObservedAnalysis, TraceCoversWavefrontAndRounds) {
   EXPECT_TRUE(names.count("iterative.pass_phase"));
   EXPECT_TRUE(names.count("iterative.propagate"));
   EXPECT_TRUE(names.count("iterative.final_pass"));
+}
+
+// ---------------------------------------------------------------------------
+// Service metrics surface (src/service/metrics_export.*, request_scheduler)
+
+/// Regression: the queue-depth gauge uses record_max, which never resets --
+/// it is a high-water mark, not a live depth. It must therefore be named
+/// service.queue_depth_max; the old name service.queue_depth (implying a
+/// resettable level) must be gone from the snapshot.
+TEST(ServiceObs, QueueDepthGaugeIsNamedAsHighWaterMark) {
+  const System sys = make_system(SchedulerKind::kSpp);
+  obs::MetricsRegistry registry;
+  service::SessionConfig cfg;
+  cfg.analysis.observer.metrics = &registry;
+  service::AdmissionSession session(sys, cfg);
+  std::ostringstream out;
+  service::StreamOptions options;
+  options.parallel_reads = 2;
+  service::RequestScheduler scheduler(session, out, options);
+  for (int i = 0; i < 3; ++i) scheduler.submit_line("{\"op\": \"query\"}");
+  scheduler.finish();
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_TRUE(snap.gauges.count("service.queue_depth_max"));
+  EXPECT_GE(snap.gauges.at("service.queue_depth_max"), 1.0);
+  EXPECT_EQ(snap.gauges.count("service.queue_depth"), 0u);
+  // Both exports render the renamed gauge verbatim.
+  const json::Value payload = service::stats_payload(snap);
+  ASSERT_NE(payload.find("gauges"), nullptr);
+  EXPECT_NE(payload.find("gauges")->find("service.queue_depth_max"), nullptr);
+  const std::string prom = service::to_prometheus_text(snap);
+  EXPECT_NE(prom.find("rta_service_queue_depth_max"), std::string::npos);
+  EXPECT_EQ(prom.find("rta_service_queue_depth "), std::string::npos);
+}
+
+/// Regression: destroying a PromFlusher must leave a complete exposition at
+/// the target path even when the flush interval never elapsed -- the final
+/// write belongs to stop_and_flush()/the destructor, not the timer.
+TEST(ServiceObs, PromFlusherWritesFinalSnapshotOnDestruction) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::path("obs_prom_final_test.prom");
+  std::error_code ec;
+  fs::remove(path, ec);
+  obs::MetricsRegistry registry;
+  registry.counter("final.count").add(42);
+  {
+    // An interval far beyond the test's lifetime: the background thread
+    // never fires, so any bytes at `path` came from the final flush.
+    service::PromFlusher flusher(registry, path.string(),
+                                 /*interval_ms=*/60 * 60 * 1000.0);
+    EXPECT_FALSE(fs::exists(path));
+  }
+  ASSERT_TRUE(fs::exists(path));
+  std::ifstream in(path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("rta_final_count 42"), std::string::npos);
+  EXPECT_NE(text.find("rta_scrape_time_seconds"), std::string::npos);
+  fs::remove(path, ec);
+}
+
+/// Regression: when the atomic rename fails (here: the target path is a
+/// directory), the staged `.tmp` file must be cleaned up, and the failure
+/// must surface through stop_and_flush().
+TEST(ServiceObs, PromFlusherCleansUpTmpWhenRenameFails) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path("obs_prom_rename_fail.prom");
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  ASSERT_TRUE(fs::create_directory(dir));
+  const fs::path tmp = fs::path(dir.string() + ".tmp");
+
+  obs::MetricsRegistry registry;
+  registry.counter("doomed.count").inc();
+  bool clean = true;
+  {
+    service::PromFlusher flusher(registry, dir.string(),
+                                 /*interval_ms=*/60 * 60 * 1000.0);
+    clean = flusher.stop_and_flush();
+  }
+  EXPECT_FALSE(clean);            // the failed write is reported...
+  EXPECT_FALSE(fs::exists(tmp));  // ...and the staging file is gone
+  EXPECT_TRUE(fs::is_directory(dir));
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -9,8 +9,10 @@
 // Suites are named Service* so the CI thread-sanitizer job picks them up
 // (.github/workflows/ci.yml filters on the Service prefix).
 #include <chrono>
+#include <cstdint>
 #include <regex>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -434,6 +436,145 @@ TEST(ServiceScheduler, TimeoutExpiresStaleRequests) {
   EXPECT_EQ(error->find("code")->as_string(), "timeout");
   EXPECT_TRUE(error->find("retryable")->as_bool());
   EXPECT_FALSE(doc.value.find("ok")->as_bool());
+}
+
+/// Regression (scheduler-lifecycle sweep): requests that expire before
+/// execution must not consume auto-assigned job ids. Pre-fix, the read pass
+/// advanced the simulated counter for every pending what_if before checking
+/// staleness, so a timed-out probe still burned an id and every later
+/// admit/what_if in the session shifted.
+TEST(ServiceScheduler, JobIdCounterSkipsTimedOutRequests) {
+  const System base = make_base(13);
+  AdmissionSession session(base, make_session_config(base));
+  std::ostringstream out;
+  StreamOptions options;
+  options.request_timeout_ms = 1.0;
+  RequestScheduler scheduler(session, out, options);
+
+  Rng rng(31);
+  for (int i = 0; i < 3; ++i) {
+    scheduler.submit_line(
+        job_request("what_if", random_candidate(rng, base, i), false));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // The mutation forces a class barrier: the stale what_ifs expire, then the
+  // admit executes. Its auto id must be the one the FIRST what_if would have
+  // taken -- the expired probes consumed nothing.
+  scheduler.submit_line(
+      job_request("admit", random_candidate(rng, base, 100), false));
+  scheduler.finish();
+
+  EXPECT_EQ(scheduler.stats().timeouts, 3);
+  std::uint64_t admit_id = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const json::ParseResult doc = json::parse(line);
+    ASSERT_TRUE(doc.ok) << line;
+    if (doc.value.find("op")->as_string() != "admit") continue;
+    ASSERT_NE(doc.value.find("job_id"), nullptr) << line;
+    admit_id = static_cast<std::uint64_t>(
+        doc.value.find("job_id")->as_number());
+  }
+  // The base system owns ids 1..job_count(); the first free id is next.
+  EXPECT_EQ(admit_id, static_cast<std::uint64_t>(base.job_count()) + 1);
+}
+
+/// Regression companion, randomized: with backpressure AND the timeout
+/// machinery armed (a timeout so large it never fires), shed requests must
+/// not consume job ids either -- the surviving responses carry exactly the
+/// job_id sequence of a sequential run over the surviving lines.
+TEST(ServiceScheduler, ShedRequestsDoNotConsumeJobIds) {
+  const RngFactory factory(0x5EDD1FF);
+  for (int trial = 0; trial < 2; ++trial) {
+    const System base = make_base(200 + static_cast<std::uint64_t>(trial));
+    Rng rng = factory.stream(static_cast<std::uint64_t>(trial));
+    const std::string stream =
+        build_stream(rng, base, /*n=*/50, /*read_fraction=*/0.85);
+    std::vector<std::string> input_lines;
+    {
+      std::istringstream in(stream);
+      std::string line;
+      while (std::getline(in, line)) input_lines.push_back(line);
+    }
+
+    StreamOptions options;
+    options.parallel_reads = 2;
+    options.max_inflight = 2;             // dense read runs overflow and shed
+    options.request_timeout_ms = 1.0e7;   // armed, never fires
+    std::string responses;
+    const RunnerStats stats = run_scheduled(base, stream, options, responses);
+    ASSERT_GT(stats.rejected, 0) << "trial " << trial
+                                 << ": stream never tripped backpressure";
+    EXPECT_EQ(stats.timeouts, 0);
+    EXPECT_EQ(stats.coalesced, 0);  // timeouts armed => coalescing off
+
+    // Map each shed response back to its input line via the "line" echo,
+    // then replay only the surviving lines sequentially.
+    std::vector<bool> shed(input_lines.size() + 1, false);
+    std::vector<std::uint64_t> scheduled_ids;
+    std::istringstream lines(responses);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const json::ParseResult doc = json::parse(line);
+      ASSERT_TRUE(doc.ok) << line;
+      const json::Value* error = doc.value.find("error");
+      if (error != nullptr && error->is_object() &&
+          error->find("code")->as_string() == "overloaded") {
+        shed[static_cast<std::size_t>(
+            doc.value.find("line")->as_number())] = true;
+        continue;
+      }
+      if (const json::Value* id = doc.value.find("job_id"); id != nullptr) {
+        scheduled_ids.push_back(
+            static_cast<std::uint64_t>(id->as_number()));
+      }
+    }
+    std::ostringstream filtered;
+    for (std::size_t i = 0; i < input_lines.size(); ++i) {
+      if (!shed[i + 1]) filtered << input_lines[i] << "\n";
+    }
+    std::string expected;
+    run_sequential(base, filtered.str(), expected);
+    std::vector<std::uint64_t> sequential_ids;
+    std::istringstream expected_lines(expected);
+    while (std::getline(expected_lines, line)) {
+      const json::ParseResult doc = json::parse(line);
+      ASSERT_TRUE(doc.ok) << line;
+      if (const json::Value* id = doc.value.find("job_id"); id != nullptr) {
+        sequential_ids.push_back(
+            static_cast<std::uint64_t>(id->as_number()));
+      }
+    }
+    ASSERT_FALSE(scheduled_ids.empty());
+    EXPECT_EQ(scheduled_ids, sequential_ids) << "trial " << trial;
+  }
+}
+
+/// Regression (scheduler-lifecycle sweep): finish() is idempotent, and
+/// submitting after finish() is a programming error with a defined failure
+/// -- pre-fix the line was silently accepted and its response lost or
+/// emitted after the "final" flush.
+TEST(ServiceScheduler, FinishIsIdempotentAndSubmitAfterFinishThrows) {
+  const System base = make_base(17);
+  AdmissionSession session(base, make_session_config(base));
+  std::ostringstream out;
+  RequestScheduler scheduler(session, out, StreamOptions{});
+
+  scheduler.submit_line("{\"op\": \"query\"}");
+  scheduler.finish();
+  const std::string first = out.str();
+  EXPECT_FALSE(first.empty());
+
+  scheduler.finish();  // idempotent: no duplicate flush, no throw
+  EXPECT_EQ(out.str(), first);
+
+  EXPECT_THROW(scheduler.submit_line("{\"op\": \"query\"}"),
+               std::logic_error);
+  EXPECT_THROW(scheduler.submit_line("# even comments are rejected"),
+               std::logic_error);
+  EXPECT_EQ(out.str(), first);  // nothing leaked past the final flush
+  EXPECT_EQ(scheduler.stats().requests, 1);
 }
 
 /// The legacy envelope behind `serve --compat-v1`: no schema_version stamp,

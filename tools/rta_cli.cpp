@@ -29,6 +29,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -42,6 +43,8 @@
 #include "obs/trace.hpp"
 #include "rta/rta.hpp"
 #include "service/metrics_export.hpp"
+#include "service/sharded_scheduler.hpp"
+#include "service/tenant_registry.hpp"
 #include "util/options.hpp"
 
 namespace {
@@ -171,6 +174,11 @@ const std::vector<CommandSpec>& command_table() {
            {"prom-interval-ms", "MS", "1000", "snapshot period"},
            {"compat-v1", nullptr, nullptr,
             "emit the legacy v1 response envelope (docs/api.md)"},
+           {"tenants-from", "FILE", nullptr,
+            "multi-tenant mode: manifest of 'name [system-file]' lines, one "
+            "tenant each (docs/api.md)"},
+           {"shards", "N", "1",
+            "multi-tenant worker shards (0 = hardware; needs --tenants-from)"},
        }},
       {"generate", "", "emit a random job shop", false,
        {
@@ -814,6 +822,81 @@ int cmd_region(const Options& opts, System system) {
   return all_empty ? 1 : 0;
 }
 
+bool json_path(const std::string& path);  // defined with the loaders below
+
+/// Parse a tenant manifest ("name [system-file]" per line; '#' comments) and
+/// fill `registry`. The base analysis runs once per distinct system source
+/// (the positional FILE when the path column is omitted); tenants receive
+/// clone_committed() copies, which share the prototype's CurveCache --
+/// thread-safe and bit-identical, so 1000 tenants cost one analysis, not
+/// 1000. Reports and returns false on any error.
+bool build_tenant_registry(const std::string& manifest_path,
+                           const Options& opts, const System& base,
+                           const service::SessionConfig& base_cfg,
+                           service::TenantRegistry& registry) {
+  std::ifstream mf(manifest_path);
+  if (!mf) {
+    std::fprintf(stderr, "cannot read '%s'\n", manifest_path.c_str());
+    return false;
+  }
+  std::map<std::string, std::unique_ptr<service::AdmissionSession>> protos;
+  auto proto_for = [&](const std::string& path) -> service::AdmissionSession* {
+    const auto it = protos.find(path);
+    if (it != protos.end()) return it->second.get();
+    System sys;
+    service::SessionConfig cfg = base_cfg;
+    if (path.empty()) {
+      sys = base;
+    } else {
+      ParsedSystem parsed = json_path(path) ? load_system_json_file(path)
+                                            : load_system_file(path);
+      if (!parsed.ok) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), parsed.error.c_str());
+        return nullptr;
+      }
+      sys = std::move(parsed.system);
+      if (!apply_priorities(sys, opts.get("priorities", "keep"))) {
+        return nullptr;
+      }
+      // Per-source pinned horizon, same rule as the base system's.
+      cfg.analysis.horizon =
+          opts.get_double("horizon", default_horizon(sys, cfg.analysis));
+    }
+    auto proto =
+        std::make_unique<service::AdmissionSession>(std::move(sys), cfg);
+    if (!proto->last().ok) {
+      std::fprintf(stderr, "tenant system '%s': base analysis failed: %s\n",
+                   path.empty() ? "(base)" : path.c_str(),
+                   proto->last().error.c_str());
+      return nullptr;
+    }
+    return protos.emplace(path, std::move(proto)).first->second.get();
+  };
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(mf, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string name;
+    std::string path;
+    if (!(fields >> name) || name[0] == '#') continue;
+    fields >> path;
+    service::AdmissionSession* proto = proto_for(path);
+    if (proto == nullptr) return false;
+    if (registry.add(name, proto->clone_committed()) < 0) {
+      std::fprintf(stderr, "%s:%d: duplicate tenant '%s'\n",
+                   manifest_path.c_str(), line_no, name.c_str());
+      return false;
+    }
+  }
+  if (registry.count() == 0) {
+    std::fprintf(stderr, "%s: no tenants\n", manifest_path.c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmd_serve(const Options& opts, System system) {
   if (!check_flags("serve", opts)) return 2;
   if (!apply_priorities(system, opts.get("priorities", "keep"))) return 2;
@@ -845,7 +928,21 @@ int cmd_serve(const Options& opts, System system) {
   cfg.full_analysis_threshold =
       opts.get_double("threshold", cfg.full_analysis_threshold);
 
-  service::AdmissionSession admission(std::move(system), cfg);
+  const std::string tenants_path = opts.get("tenants-from", "");
+  if (tenants_path.empty() && !opts.get("shards", "").empty()) {
+    std::fprintf(stderr, "serve: --shards requires --tenants-from\n");
+    return 2;
+  }
+
+  std::unique_ptr<service::AdmissionSession> admission;
+  service::TenantRegistry registry;
+  if (tenants_path.empty()) {
+    admission =
+        std::make_unique<service::AdmissionSession>(std::move(system), cfg);
+  } else if (!build_tenant_registry(tenants_path, opts, system, cfg,
+                                    registry)) {
+    return 2;
+  }
 
   std::unique_ptr<service::PromFlusher> prom;
   if (!prom_path.empty()) {
@@ -860,9 +957,9 @@ int cmd_serve(const Options& opts, System system) {
   // flushed on EVERY path out -- stream write failures and timeout-heavy
   // error runs included, not just the happy path.
   const int stream_rc = [&]() -> int {
-    if (!admission.last().ok) {
+    if (admission != nullptr && !admission->last().ok) {
       std::fprintf(stderr, "base system analysis failed: %s\n",
-                   admission.last().error.c_str());
+                   admission->last().error.c_str());
       return 2;
     }
 
@@ -877,37 +974,69 @@ int cmd_serve(const Options& opts, System system) {
                           ? service::Envelope::kV1
                           : service::Envelope::kV2;
 
+    // Responses own stdout (JSONL); the human-facing summary goes to stderr.
+    auto run = [&](std::ostream& os) -> int {
+      if (admission != nullptr) {
+        const service::RunnerStats stats =
+            service::run_request_stream(*admission, in, os, stream);
+        std::fprintf(stderr,
+                     "served %d requests (%d failed, %d threw, %d timed out, "
+                     "%d rejected, %d coalesced); %d jobs admitted\n",
+                     stats.requests, stats.errors, stats.failures,
+                     stats.timeouts, stats.rejected, stats.coalesced,
+                     admission->system().job_count());
+        return stats.errors == 0 ? 0 : 1;
+      }
+      // Multi-tenant: read fan-out runs across shards, so each tenant's
+      // scheduler stays serial, and --max-inflight becomes the per-tenant
+      // routing bound (docs/api.md, sharded_scheduler.hpp).
+      service::ShardedOptions sharded;
+      sharded.shards = static_cast<int>(opts.get_int("shards", 1));
+      sharded.stream = stream;
+      sharded.stream.parallel_reads = 1;
+      sharded.stream.max_inflight = 0;
+      sharded.tenant_max_inflight = stream.max_inflight;
+      service::ShardedScheduler sched(registry, os, sharded,
+                                      session.observer());
+      std::string line;
+      while (std::getline(in, line)) sched.submit_line(line);
+      sched.finish();
+      const service::ShardedStats stats = sched.stats();
+      std::fprintf(stderr,
+                   "served %d requests for %d tenants on %d shards "
+                   "(%d failed, %d threw, %d timed out, %d shed, "
+                   "%d coalesced, %llu unrouted, %llu pumps)\n",
+                   stats.stream.requests, registry.count(), sched.shards(),
+                   stats.stream.errors, stats.stream.failures,
+                   stats.stream.timeouts, stats.stream.rejected,
+                   stats.stream.coalesced,
+                   static_cast<unsigned long long>(stats.unrouted),
+                   static_cast<unsigned long long>(stats.pumps));
+      return stats.stream.errors == 0 ? 0 : 1;
+    };
+
     const std::string out_path = opts.get("out", "");
-    service::RunnerStats stats;
     if (out_path.empty()) {
-      stats = service::run_request_stream(admission, in, std::cout, stream);
+      const int rc = run(std::cout);
       std::cout.flush();
       if (!std::cout) {
         std::fprintf(stderr, "write to stdout failed\n");
         return 2;
       }
-    } else {
-      std::ofstream out(out_path);
-      if (!out) {
-        std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
-        return 2;
-      }
-      stats = service::run_request_stream(admission, in, out, stream);
-      out.flush();
-      if (!out) {
-        std::fprintf(stderr, "write to '%s' failed\n", out_path.c_str());
-        return 2;
-      }
+      return rc;
     }
-
-    // Responses own stdout (JSONL); the human-facing summary goes to stderr.
-    std::fprintf(stderr,
-                 "served %d requests (%d failed, %d threw, %d timed out, %d "
-                 "rejected, %d coalesced); %d jobs admitted\n",
-                 stats.requests, stats.errors, stats.failures, stats.timeouts,
-                 stats.rejected, stats.coalesced,
-                 admission.system().job_count());
-    return stats.errors == 0 ? 0 : 1;
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+      return 2;
+    }
+    const int rc = run(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "write to '%s' failed\n", out_path.c_str());
+      return 2;
+    }
+    return rc;
   }();
 
   session.print_stats(stderr);
