@@ -50,7 +50,7 @@
 #include <vector>
 
 #include "analysis/bounds.hpp"
-#include "analysis/region.hpp"
+#include "service/region.hpp"
 #include "model/priority.hpp"
 #include "service/admission_session.hpp"
 #include "util/options.hpp"

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Validate an rta_lint JSON report (stdlib only).
+"""Validate an rta_lint / rta_archcheck JSON report (stdlib only).
 
 Usage:
-    check_lint_report.py report.json [--max-new N]
+    check_lint_report.py report.json [--max-new N] [--tool NAME]
 
 Report JSON (as written by `rta_lint.py --json`):
-  * top level names the tool ("rta-lint"), an integer version, the scan
+  * top level names the tool (--tool, default "rta-lint"), an integer
+    version, the scan
     root, and a non-negative files_scanned;
   * "rules" is a non-empty list of {name, description} objects with
     unique names;
@@ -30,7 +31,7 @@ FINDING_KEYS = ("file", "line", "rule", "message", "snippet",
                 "suppressed", "baselined")
 
 
-def check_report(path, max_new):
+def check_report(path, max_new, tool):
     errors = []
 
     def fail(message):
@@ -45,8 +46,8 @@ def check_report(path, max_new):
     if not isinstance(data, dict):
         return ["top level must be an object"]
 
-    if data.get("tool") != "rta-lint":
-        fail(f"'tool' must be 'rta-lint', got {data.get('tool')!r}")
+    if data.get("tool") != tool:
+        fail(f"'tool' must be {tool!r}, got {data.get('tool')!r}")
     if not isinstance(data.get("version"), int):
         fail("'version' must be an integer")
     if not isinstance(data.get("root"), str):
@@ -123,9 +124,12 @@ def main():
     parser.add_argument("report", help="rta_lint JSON report to validate")
     parser.add_argument("--max-new", type=int, default=0,
                         help="maximum allowed new findings (default 0)")
+    parser.add_argument("--tool", default="rta-lint",
+                        help="expected 'tool' name in the report "
+                             "(default rta-lint)")
     args = parser.parse_args()
 
-    errors = check_report(args.report, args.max_new)
+    errors = check_report(args.report, args.max_new, args.tool)
     if errors:
         for e in errors:
             print(f"check_lint_report: {args.report}: {e}", file=sys.stderr)

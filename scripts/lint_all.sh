@@ -1,0 +1,33 @@
+#!/bin/sh
+# Run every lint layer the static-analysis CI job runs, in the same
+# order: fixture goldens first (the linters' own tests), then src/
+# against the committed baselines, then the report-shape gates.
+#
+# Usage: scripts/lint_all.sh [report-dir]
+# Reports land in report-dir (default: a lint-reports/ next to the
+# build tree is NOT assumed -- plain ./lint-reports). Exit nonzero on
+# the first failing layer.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+out=${1:-"$root/lint-reports"}
+mkdir -p "$out"
+
+echo "== rta-lint fixture goldens =="
+python3 "$root/tools/lint/test_rta_lint.py"
+
+echo "== rta-archcheck fixture goldens =="
+python3 "$root/tools/lint/test_rta_archcheck.py"
+
+echo "== rta-lint src =="
+python3 "$root/tools/lint/rta_lint.py" \
+  --json "$out/lint_report.json" "$root/src"
+python3 "$root/scripts/check_lint_report.py" "$out/lint_report.json"
+
+echo "== rta-archcheck src =="
+python3 "$root/tools/lint/rta_archcheck.py" \
+  --json "$out/archcheck_report.json" "$root/src"
+python3 "$root/scripts/check_lint_report.py" "$out/archcheck_report.json" \
+  --tool rta-archcheck --max-new 0
+
+echo "lint_all: all layers clean (reports in $out)"

@@ -8,6 +8,7 @@
 
 #include "analysis/order.hpp"
 #include "curve/algebra.hpp"
+#include "curve/kernel_hooks.hpp"
 #include "curve/transforms.hpp"
 
 namespace rta {
@@ -454,9 +455,9 @@ void run_bounds_wavefront(const System& system, Time horizon,
         run_unit(unit);
         return;
       }
-      // Worker threads inherit no sink; install this analyzer's for the
-      // duration of the unit so the curve kernels it calls report here.
-      obs::KernelSinkScope sink_scope(eo->kernel_sink());
+      // Worker threads inherit no hooks; install this analyzer's sink for
+      // the duration of the unit so the curve kernels it calls report here.
+      curve::KernelHooksScope sink_scope(eo->kernel_sink());
       obs::Tracer::Span unit_span = obs::Tracer::span_if(
           tracer, unit_label(unit));
       const auto start = std::chrono::steady_clock::now();

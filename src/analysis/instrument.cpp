@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/time.hpp"
+
 namespace rta::detail {
 
 EngineObs::EngineObs(const obs::Observer& observer, std::string engine)
@@ -77,7 +79,7 @@ EngineObs::AnalyzeScope::~AnalyzeScope() {
                                        : 0;
       busy_ns += now.worker_busy_ns[i] - before;
     }
-    eobs_->pool_busy_us_.add(busy_ns / 1000);
+    eobs_->pool_busy_us_.add(ns_to_us(busy_ns));
     eobs_->pool_queue_high_water_.record_max(
         static_cast<double>(now.queue_high_water));
   }

@@ -8,6 +8,7 @@
 
 #include "analysis/bounds.hpp"
 #include "curve/algebra.hpp"
+#include "curve/kernel_hooks.hpp"
 
 namespace rta {
 
@@ -157,7 +158,7 @@ AnalysisResult IterativeBoundsAnalyzer::analyze_at(const System& system,
         run_processor_pass(p);
         return;
       }
-      obs::KernelSinkScope sink_scope(eo->kernel_sink());
+      curve::KernelHooksScope sink_scope(eo->kernel_sink());
       obs::Tracer::Span pass_span = obs::Tracer::span_if(
           tracer, "iterative.pass P" + std::to_string(p));
       const Clock::time_point unit_start = Clock::now();
@@ -198,8 +199,8 @@ AnalysisResult IterativeBoundsAnalyzer::analyze_at(const System& system,
         obs::Tracer::span_if(tracer, "iterative.propagate");
     const Clock::time_point prop_start = Clock::now();
     for_each_index(pool_.get(), job_count, [&](std::size_t k) {
-      obs::KernelSinkScope sink_scope(eo != nullptr ? eo->kernel_sink()
-                                                    : nullptr);
+      curve::KernelHooksScope sink_scope(eo != nullptr ? eo->kernel_sink()
+                                                       : nullptr);
       const Job& job = system.job(static_cast<int>(k));
       bool job_changed = false;
       for (int h = 1; h < static_cast<int>(job.chain.size()); ++h) {

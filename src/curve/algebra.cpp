@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "curve/curve_arena.hpp"
-#include "obs/kernel_sink.hpp"
+#include "curve/kernel_hooks.hpp"
 
 namespace rta {
 
@@ -88,10 +88,8 @@ PwlCurve combine(const PwlCurve& a, const PwlCurve& b, Op op,
     arena.push(t, left, right);
   }
   PwlCurve result(arena.finalize());
-  if (obs::KernelSink* sink = obs::kernel_sink()) {
-    sink->pointwise_ops.inc();
-    sink->pointwise_result_knots.observe(
-        static_cast<double>(result.knot_count()));
+  if (curve::KernelHooks* hooks = curve::kernel_hooks()) {
+    hooks->on_pointwise(result.knot_count());
   }
   return result;
 }

@@ -1,0 +1,9 @@
+#include "curve/kernel_hooks.hpp"
+
+namespace rta::curve {
+
+namespace detail {
+thread_local KernelHooks* tl_kernel_hooks = nullptr;
+}  // namespace detail
+
+}  // namespace rta::curve

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "curve/curve_arena.hpp"
-#include "obs/kernel_sink.hpp"
+#include "curve/kernel_hooks.hpp"
 
 namespace rta {
 
@@ -119,12 +119,8 @@ void build_result_grid(const CurveView& f, const CurveView& g, bool sums,
 
 PwlCurve min_plus_convolution(const PwlCurve& f, const PwlCurve& g) {
   assert(time_eq(f.horizon(), g.horizon()));
-  obs::KernelSink* sink = obs::kernel_sink();
-  if (sink != nullptr) {
-    sink->conv_ops.inc();
-    sink->conv_operand_knots.observe(
-        static_cast<double>(f.knot_count() + g.knot_count()));
-  }
+  curve::KernelHooks* hooks = curve::kernel_hooks();
+  if (hooks != nullptr) hooks->on_conv(f.knot_count() + g.knot_count());
   const CurveView fv = f.view();
   const CurveView gv = g.view();
   std::vector<Time>& grid = tls_grid_scratch();
@@ -140,20 +136,14 @@ PwlCurve min_plus_convolution(const PwlCurve& f, const PwlCurve& g) {
   // follows one linear regime, so linear interpolation is exact too. Jumps
   // in operands can create jumps in the result; re-probe the left limits.
   PwlCurve result(arena.finalize());
-  if (sink != nullptr) {
-    sink->conv_result_knots.observe(static_cast<double>(result.knot_count()));
-  }
+  if (hooks != nullptr) hooks->on_conv_result(result.knot_count());
   return result;
 }
 
 PwlCurve min_plus_deconvolution(const PwlCurve& f, const PwlCurve& g) {
   assert(time_eq(f.horizon(), g.horizon()));
-  obs::KernelSink* sink = obs::kernel_sink();
-  if (sink != nullptr) {
-    sink->deconv_ops.inc();
-    sink->conv_operand_knots.observe(
-        static_cast<double>(f.knot_count() + g.knot_count()));
-  }
+  curve::KernelHooks* hooks = curve::kernel_hooks();
+  if (hooks != nullptr) hooks->on_deconv(f.knot_count() + g.knot_count());
   const CurveView fv = f.view();
   const CurveView gv = g.view();
   std::vector<Time>& grid = tls_grid_scratch();
@@ -166,9 +156,7 @@ PwlCurve min_plus_deconvolution(const PwlCurve& f, const PwlCurve& g) {
     arena.push(t, v, v);
   }
   PwlCurve result(arena.finalize());
-  if (sink != nullptr) {
-    sink->conv_result_knots.observe(static_cast<double>(result.knot_count()));
-  }
+  if (hooks != nullptr) hooks->on_conv_result(result.knot_count());
   return result;
 }
 

@@ -5,7 +5,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "obs/kernel_sink.hpp"
+#include "curve/kernel_hooks.hpp"
 
 namespace rta {
 
@@ -94,7 +94,7 @@ PwlCurve PwlCurve::truncate(Time h) const {
 
 Time PwlCurve::pseudo_inverse(double y) const {
   assert(is_nondecreasing());
-  if (obs::KernelSink* sink = obs::kernel_sink()) sink->pinv_ops.inc();
+  if (curve::KernelHooks* hooks = curve::kernel_hooks()) hooks->on_pinv();
   const CurveView v = view();
   if (y <= v.r[0] + kValueEps) return 0.0;
   if (y > v.r[v.n - 1] + kValueEps) return kTimeInfinity;

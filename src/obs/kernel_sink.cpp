@@ -2,10 +2,6 @@
 
 namespace rta::obs {
 
-namespace detail {
-thread_local KernelSink* tl_kernel_sink = nullptr;
-}  // namespace detail
-
 KernelSink::KernelSink(MetricsRegistry& registry)
     : conv_ops(registry.counter("kernel.conv_ops")),
       deconv_ops(registry.counter("kernel.deconv_ops")),

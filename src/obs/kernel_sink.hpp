@@ -1,30 +1,40 @@
-// Thread-local instrumentation hook for the curve kernels.
+// Metrics-backed implementation of the curve kernels' instrumentation hooks.
 //
-// The min-plus and pointwise-algebra kernels are the innermost hot paths of
-// the analysis; threading an Observer through their free-function signatures
-// would be invasive, and unconditional counters would tax the (default)
-// unobserved runs. Instead the kernels consult one thread-local pointer:
-//
-//   if (obs::KernelSink* s = obs::kernel_sink()) s->conv_ops.inc();
-//
-// The analyzers install the sink around each unit of work (the bodies they
-// hand to for_each_index) via KernelSinkScope, so pool workers and the
-// calling thread are all covered. With no observer configured the pointer
-// stays null and the kernels pay one thread-local load and branch -- no
-// atomics (the "zero-cost when disabled" contract; the <= 2% ceiling is
-// checked against bench/micro_analysis).
+// The hook mechanism itself (thread-local pointer, RAII install scope) lives
+// in curve/kernel_hooks.hpp so the kernels never depend upward on obs. This
+// file supplies the one production implementation: pre-resolved counter and
+// histogram handles that the analyzers install around each unit of work via
+// curve::KernelHooksScope.
 //
 // The counters land in per-thread registry shards (obs/metrics.hpp), so
-// enabling them adds no contention either.
+// enabling them adds no contention.
 #pragma once
 
+#include "curve/kernel_hooks.hpp"
 #include "obs/metrics.hpp"
 
 namespace rta::obs {
 
 /// Pre-resolved handles for everything the kernels record.
-struct KernelSink {
+struct KernelSink : curve::KernelHooks {
   explicit KernelSink(MetricsRegistry& registry);
+
+  void on_conv(std::size_t operand_knots) override {
+    conv_ops.inc();
+    conv_operand_knots.observe(static_cast<double>(operand_knots));
+  }
+  void on_deconv(std::size_t operand_knots) override {
+    deconv_ops.inc();
+    conv_operand_knots.observe(static_cast<double>(operand_knots));
+  }
+  void on_conv_result(std::size_t result_knots) override {
+    conv_result_knots.observe(static_cast<double>(result_knots));
+  }
+  void on_pointwise(std::size_t result_knots) override {
+    pointwise_ops.inc();
+    pointwise_result_knots.observe(static_cast<double>(result_knots));
+  }
+  void on_pinv() override { pinv_ops.inc(); }
 
   Counter conv_ops;        ///< min-plus convolutions computed
   Counter deconv_ops;      ///< min-plus deconvolutions computed
@@ -33,31 +43,6 @@ struct KernelSink {
   Histogram conv_operand_knots;   ///< |f| + |g| entering a (de)convolution
   Histogram conv_result_knots;    ///< knots of a (de)convolution result
   Histogram pointwise_result_knots;  ///< knots of a pointwise-merge result
-};
-
-namespace detail {
-extern thread_local KernelSink* tl_kernel_sink;
-}  // namespace detail
-
-/// The calling thread's sink, or null when kernel instrumentation is off.
-[[nodiscard]] inline KernelSink* kernel_sink() {
-  return detail::tl_kernel_sink;
-}
-
-/// Installs `sink` (may be null) for the scope's lifetime, restoring the
-/// previous sink on exit; nests correctly with inline/recursive execution.
-class KernelSinkScope {
- public:
-  explicit KernelSinkScope(KernelSink* sink) : prev_(detail::tl_kernel_sink) {
-    detail::tl_kernel_sink = sink;
-  }
-  ~KernelSinkScope() { detail::tl_kernel_sink = prev_; }
-
-  KernelSinkScope(const KernelSinkScope&) = delete;
-  KernelSinkScope& operator=(const KernelSinkScope&) = delete;
-
- private:
-  KernelSink* prev_;
 };
 
 }  // namespace rta::obs

@@ -43,7 +43,7 @@
 // Incremental admission service (docs/api.md): long-lived sessions answering
 // admit / remove / what-if by dirty-set propagation over retained curves,
 // plus parametric schedulability regions over the same sessions.
-#include "analysis/region.hpp"
+#include "service/region.hpp"
 #include "service/admission_session.hpp"
 #include "service/request_runner.hpp"
 

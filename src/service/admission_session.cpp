@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "analysis/order.hpp"
+#include "curve/kernel_hooks.hpp"
 #include "obs/kernel_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -364,8 +365,8 @@ bool AdmissionSession::try_fast_what_if(const Job& job, ReadDecision& rd) {
   {
     detail::EngineObs::AnalyzeScope scope(eobs_.get(), pool_.get(),
                                           cache_.get());
-    obs::KernelSinkScope sink_scope(eobs_ != nullptr ? eobs_->kernel_sink()
-                                                     : nullptr);
+    curve::KernelHooksScope sink_scope(
+        eobs_ != nullptr ? eobs_->kernel_sink() : nullptr);
     obs::Tracer::Span fast_span = obs::Tracer::span_if(
         eobs_ != nullptr ? eobs_->tracer() : nullptr, "service.fast_what_if",
         "{\"hops\": " + std::to_string(hops) + "}");

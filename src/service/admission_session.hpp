@@ -166,7 +166,7 @@ class AdmissionSession {
   /// (threads = 1) but SHARE the parent's CurveCache -- it is thread-safe,
   /// and every hit is verified bitwise against the operands, so sharing is
   /// a pure go-faster knob: answers stay bit-identical while replicas (and
-  /// region probes, analysis/region.hpp) reuse each other's curve work.
+  /// region probes, service/region.hpp) reuse each other's curve work.
   [[nodiscard]] std::unique_ptr<AdmissionSession> clone_committed() const;
 
   /// Stable-id counter passthrough, so a scheduler fanning reads over

@@ -1,4 +1,4 @@
-#include "analysis/region.hpp"
+#include "service/region.hpp"
 
 #include <algorithm>
 #include <cmath>

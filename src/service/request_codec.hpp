@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <string>
 
-#include "analysis/region.hpp"
+#include "service/region.hpp"
 #include "io/json.hpp"
 #include "service/admission_session.hpp"
 #include "service/request_runner.hpp"
@@ -60,7 +60,7 @@ struct ParsedRequest {
   std::uint64_t remove_id = 0;
   std::string remove_name;
 
-  // what_if_region payload (analysis/region.hpp); range/target validation
+  // what_if_region payload (service/region.hpp); range/target validation
   // happens at execution time against the committed system.
   RegionQuery region;
 };

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "obs/trace_context.hpp"
+#include "util/time.hpp"
 
 namespace rta::service {
 
@@ -172,7 +173,7 @@ bool RequestScheduler::expire_if_stale(Pending& p) {
   // execution: an expired request never runs in the sequential reference,
   // so it must neither consume a pre-assigned job id nor touch the session.
   if (options_.request_timeout_ms <= 0.0 ||
-      micros_since(p.arrival) <= options_.request_timeout_ms * 1000.0) {
+      micros_since(p.arrival) <= ms_to_us(options_.request_timeout_ms)) {
     return false;
   }
   obs::Tracer::Span req_span = request_span(p);

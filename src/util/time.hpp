@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 namespace rta {
@@ -66,6 +67,27 @@ inline constexpr double kTimeEpsRel = 1e-12;
 /// Clamp tiny negative values (arithmetic noise) to exact zero.
 [[nodiscard]] inline Time clamp_nonnegative(Time t) {
   return (t < 0.0 && t > -kTimeEpsAbs) ? 0.0 : t;
+}
+
+// Wall-clock unit conversions. Identifiers carrying a unit suffix (_ns, _us,
+// _ms, _s) must cross unit boundaries through these helpers rather than bare
+// power-of-1000 factors; rta-archcheck's unit pass enforces this.
+
+/// Milliseconds to microseconds.
+[[nodiscard]] inline double ms_to_us(double ms) { return ms * 1000.0; }
+
+/// Microseconds to milliseconds.
+[[nodiscard]] inline double us_to_ms(double us) { return us / 1000.0; }
+
+/// Seconds to microseconds.
+[[nodiscard]] inline double s_to_us(double s) { return s * 1e6; }
+
+/// Microseconds to seconds.
+[[nodiscard]] inline double us_to_s(double us) { return us / 1e6; }
+
+/// Nanoseconds to whole microseconds (truncating).
+[[nodiscard]] inline std::uint64_t ns_to_us(std::uint64_t ns) {
+  return ns / 1000;
 }
 
 }  // namespace rta

@@ -383,17 +383,17 @@ TEST(KernelSink, ScopeInstallsAndRestores) {
   obs::MetricsRegistry registry;
   obs::KernelSink outer_sink(registry);
   obs::KernelSink inner_sink(registry);
-  EXPECT_EQ(obs::kernel_sink(), nullptr);
+  EXPECT_EQ(curve::kernel_hooks(), nullptr);
   {
-    obs::KernelSinkScope outer(&outer_sink);
-    EXPECT_EQ(obs::kernel_sink(), &outer_sink);
+    curve::KernelHooksScope outer(&outer_sink);
+    EXPECT_EQ(curve::kernel_hooks(), &outer_sink);
     {
-      obs::KernelSinkScope inner(&inner_sink);
-      EXPECT_EQ(obs::kernel_sink(), &inner_sink);
+      curve::KernelHooksScope inner(&inner_sink);
+      EXPECT_EQ(curve::kernel_hooks(), &inner_sink);
     }
-    EXPECT_EQ(obs::kernel_sink(), &outer_sink);
+    EXPECT_EQ(curve::kernel_hooks(), &outer_sink);
   }
-  EXPECT_EQ(obs::kernel_sink(), nullptr);
+  EXPECT_EQ(curve::kernel_hooks(), nullptr);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,4 +1,4 @@
-// Parametric schedulability regions (analysis/region.hpp).
+// Parametric schedulability regions (service/region.hpp).
 //
 // The load-bearing property: every boundary the analyzer reports is
 // *certified* -- re-running a fresh, from-scratch BoundsAnalyzer on the
@@ -14,7 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/bounds.hpp"
-#include "analysis/region.hpp"
+#include "service/region.hpp"
 #include "analysis/result.hpp"
 #include "model/priority.hpp"
 #include "util/rng.hpp"

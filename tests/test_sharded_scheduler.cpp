@@ -8,6 +8,7 @@
 //
 // Suites are named Service* so the CI thread-sanitizer job picks them up
 // (.github/workflows/ci.yml filters on the Service prefix).
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -484,6 +485,94 @@ TEST(ServiceSharded, RunShardedStreamDrivesAnIstream) {
   int count = 0;
   while (std::getline(lines, line)) ++count;
   EXPECT_EQ(count, 3);
+}
+
+/// shard_of spreads tenants evenly: a chi-square-style bound over 10k
+/// generated names at widths 2, 3, and 8. With a uniform placement the
+/// statistic follows chi-square with at most 7 degrees of freedom, so 40
+/// is astronomically generous -- a systematic bias (e.g. folding only the
+/// low hash bits badly) blows through it immediately.
+TEST(ServiceSharded, ShardOfSpreadsTenantsEvenly) {
+  constexpr int kTenants = 10000;
+  std::vector<std::string> names;
+  names.reserve(kTenants);
+  for (int i = 0; i < kTenants; ++i) {
+    names.push_back("tenant-" + std::to_string(i));
+  }
+  for (int shards : {2, 3, 8}) {
+    std::vector<int> counts(static_cast<std::size_t>(shards), 0);
+    for (const std::string& n : names) {
+      const int s = TenantRegistry::shard_of(n, shards);
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, shards);
+      ++counts[static_cast<std::size_t>(s)];
+    }
+    const double expected =
+        static_cast<double>(kTenants) / static_cast<double>(shards);
+    double chi2 = 0.0;
+    for (int c : counts) {
+      const double d = static_cast<double>(c) - expected;
+      chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 40.0) << "shards=" << shards << " chi2=" << chi2;
+    for (int c : counts) EXPECT_GT(c, 0) << "empty shard at width " << shards;
+  }
+}
+
+/// Placement is width-independent and a pure function of the name: width 1
+/// collapses to shard 0, and the shard at any width never depends on what
+/// else has been hashed before or since.
+TEST(ServiceSharded, ShardOfIsPureAndWidthIndependent) {
+  const std::vector<std::string> names = {
+      "alpha", "beta", "gamma", "tenant-42", "a", "", "long-tenant-name-x"};
+  std::vector<int> first;
+  for (const std::string& n : names) {
+    EXPECT_EQ(TenantRegistry::shard_of(n, 1), 0);
+    first.push_back(TenantRegistry::shard_of(n, 8));
+  }
+  // Interleave unrelated hashing, then recompute in reverse order.
+  for (int i = 0; i < 1000; ++i) {
+    (void)TenantRegistry::hash("noise-" + std::to_string(i));
+  }
+  for (std::size_t i = names.size(); i-- > 0;) {
+    EXPECT_EQ(TenantRegistry::shard_of(names[i], 8), first[i]) << names[i];
+  }
+}
+
+/// Rebuilding the registry in a different insertion order may move dense
+/// indices but never moves a tenant's shard, and name resolution stays
+/// consistent -- the property that keeps per-tenant byte-identity
+/// width-independent across restarts.
+TEST(ServiceSharded, ShardPlacementStableAcrossRegistryRebuilds) {
+  const System base = make_base(7);
+  const SessionConfig cfg = make_session_config(base);
+  std::vector<std::string> names;
+  for (int i = 0; i < 12; ++i) names.push_back("t" + std::to_string(i));
+
+  constexpr int kShards = 3;
+  std::map<std::string, int> shard_by_name;
+  for (const std::string& n : names) {
+    shard_by_name[n] = TenantRegistry::shard_of(n, kShards);
+  }
+
+  for (int rebuild = 0; rebuild < 3; ++rebuild) {
+    std::vector<std::string> order = names;
+    // Rotate the insertion order differently each rebuild.
+    std::rotate(order.begin(),
+                order.begin() + rebuild * 4, order.end());
+    if (rebuild == 2) std::reverse(order.begin(), order.end());
+    TenantRegistry registry;
+    for (const std::string& n : order) {
+      registry.add(n, std::make_unique<AdmissionSession>(base, cfg));
+    }
+    ASSERT_EQ(registry.count(), static_cast<int>(names.size()));
+    for (const std::string& n : names) {
+      const int idx = registry.find(n);
+      ASSERT_GE(idx, 0) << n;
+      EXPECT_EQ(registry.name(idx), n);
+      EXPECT_EQ(TenantRegistry::shard_of(n, kShards), shard_by_name[n]) << n;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,14 @@
+// Fixture: band-2 analysis header including band-3 service -- an upward edge
+// AND one half of an include cycle (service/api.hpp includes this file back).
+#pragma once
+
+#include "service/api.hpp"
+#include "util/base.hpp"
+
+namespace fix {
+
+struct Engine {
+  int analyze() { return identity(1); }
+};
+
+}  // namespace fix

@@ -1,0 +1,14 @@
+// Fixture: band-1 curve header that reaches up into band-2 obs -- the exact
+// shape of the curve -> obs kernel-sink dependency this rule exists to stop.
+#pragma once
+
+#include "obs/sink.hpp"
+#include "util/base.hpp"
+
+namespace fix {
+
+struct Shape {
+  Sink* sink = nullptr;
+};
+
+}  // namespace fix

@@ -1,0 +1,13 @@
+// Fixture: band-2 observability header, target of curve/shape.hpp's illegal
+// upward include.
+#pragma once
+
+#include "util/base.hpp"
+
+namespace fix {
+
+struct Sink {
+  int events = 0;
+};
+
+}  // namespace fix

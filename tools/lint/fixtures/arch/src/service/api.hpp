@@ -1,0 +1,14 @@
+// Fixture: band-3 service header. Including analysis from service is a legal
+// downward edge, but analysis/engine.hpp includes this file right back, so
+// the pair forms a file-level include cycle.
+#pragma once
+
+#include "analysis/engine.hpp"
+
+namespace fix {
+
+struct Api {
+  int serve() { return 2; }
+};
+
+}  // namespace fix

@@ -1,0 +1,14 @@
+// Fixture: schema pass seeds. `ok` is documented in docs/api.md's field
+// reference; `mystery` is emitted here but undocumented
+// (schema-undocumented); the doc also lists `phantom_field`, which nothing
+// emits (schema-phantom, reported against the doc).
+#include "util/base.hpp"
+
+namespace fix {
+
+void emit(Response& response) {
+  response.set("ok", true);
+  response.set("mystery", 1);
+}
+
+}  // namespace fix

@@ -1,0 +1,39 @@
+// Fixture: lock-order pass seeds. `forward` and `backward` acquire the two
+// mutexes in opposite orders (a classic AB/BA deadlock); `sloppy` writes a
+// guarded field with no lock held; `proper` and `annotated` show the two
+// compliant shapes.
+#include "util/base.hpp"
+
+namespace fix {
+
+struct State {
+  rta::Mutex a_mutex;
+  rta::Mutex b_mutex;
+  int hits RTA_GUARDED_BY(a_mutex) = 0;
+};
+
+void forward(State& s) {
+  rta::MutexLock lock_a(s.a_mutex);
+  rta::MutexLock lock_b(s.b_mutex);
+  ++s.hits;
+}
+
+void backward(State& s) {
+  rta::MutexLock lock_b(s.b_mutex);
+  rta::MutexLock lock_a(s.a_mutex);
+}
+
+void sloppy(State& s) {
+  s.hits = 7;
+}
+
+void proper(State& s) {
+  rta::MutexLock lock_a(s.a_mutex);
+  s.hits += 1;
+}
+
+void annotated(State& s) RTA_REQUIRES(s.a_mutex) {
+  s.hits -= 1;
+}
+
+}  // namespace fix

@@ -1,0 +1,30 @@
+// Fixture: unit pass seeds. `mixed` combines _ms with _us bare; `scaled`
+// multiplies a _ms value by a naked 1000.0; `converted` shows the compliant
+// helper shape; `tolerated` carries a reasoned suppression; `unreasoned`
+// carries a suppression with no reason (bad-suppression) that therefore does
+// not suppress its unit-factor hit.
+#include "util/base.hpp"
+
+namespace fix {
+
+double mixed(double budget_ms, double elapsed_us) {
+  return budget_ms - elapsed_us;
+}
+
+double scaled(double interval_ms) {
+  return interval_ms * 1000.0;
+}
+
+double converted(double interval_ms, double elapsed_us) {
+  return rta::ms_to_us(interval_ms) - elapsed_us;
+}
+
+double tolerated(double budget_ms, double elapsed_us) {
+  // rta-archcheck: allow(unit-mix) fixture: demonstrates the suppression flow
+  return budget_ms + elapsed_us;
+}
+
+// rta-archcheck: allow(unit-factor)
+double unreasoned(double interval_ms) { return interval_ms / 1000.0; }
+
+}  // namespace fix

@@ -1,0 +1,9 @@
+// Fixture: band-0 utility header. Nothing here violates anything; the other
+// fixture files include it to exercise downward (allowed) edges.
+#pragma once
+
+namespace fix {
+
+inline int identity(int x) { return x; }
+
+}  // namespace fix

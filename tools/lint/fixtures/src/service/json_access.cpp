@@ -1,0 +1,24 @@
+// Fixture: unchecked-json-field seeds. Subscripting the raw containers
+// behind as_object()/as_array() bypasses the checked accessors; the
+// suppressed site and the find() shape show the two compliant outs. A
+// mirror of this file under src/io/ would be exempt wholesale.
+#include <string>
+
+namespace fix {
+
+void read(Value& v) {
+  auto& first = v.as_array()[0];
+  auto& pair = v.as_object()[2];
+  (void)first;
+  (void)pair;
+}
+
+void read_suppressed(Value& v) {
+  // rta-lint: allow(unchecked-json-field) index proven in bounds by caller
+  auto& first = v.as_array()[0];
+  (void)first;
+}
+
+const Value* read_checked(const Value& v) { return v.find("key"); }
+
+}  // namespace fix

@@ -22,6 +22,9 @@ Rules (see docs/static-analysis.md for the catalog with rationale):
   raw-mutex       std::mutex / std::lock_guard / std::unique_lock /
                   std::condition_variable outside src/util/ (use the
                   annotated rta::Mutex vocabulary)
+  unchecked-json-field  as_object()[...] / as_array()[...] subscripting
+                  outside src/io/ (go through the checked find()/at()
+                  accessors)
   bad-suppression an `rta-lint: allow(...)` comment with no reason text
 
 Suppressions: `// rta-lint: allow(<rule>[, <rule>...]) <reason>` suppresses
@@ -31,7 +34,10 @@ comment stands alone. The reason is mandatory.
 Baseline: findings fingerprinted in the baseline file (default
 tools/lint/rta_lint_baseline.json) are reported but do not fail the run, so
 the rule set can tighten without blocking on legacy code. Regenerate with
---write-baseline after deliberate changes.
+--write-baseline after deliberate changes. Fingerprints are line-move
+tolerant: path + rule + normalized snippet content + an occurrence index,
+never a line number. The v2 baseline stores them as a list; the legacy v1
+format ({fingerprint: count}) is migrated transparently on load.
 
 Exit status: 0 when no new (non-baselined, non-suppressed) findings,
 1 when there are new findings, 2 on usage errors.
@@ -50,6 +56,8 @@ RULE_DOCS = {
     "float-eq": "== / != on floating-point operands (use util/time.hpp)",
     "naked-lock": "naked mutex .lock()/.unlock() (use rta::MutexLock)",
     "raw-mutex": "raw std mutex primitive (use util/thread_annotations.hpp)",
+    "unchecked-json-field": "unchecked JSON subscript access (use the "
+                            "checked find()/at() accessors)",
     "bad-suppression": "rta-lint: allow(...) comment without a reason",
 }
 
@@ -64,6 +72,7 @@ RULE_EXEMPT_PREFIXES = {
     "float-eq": ("src/util/time.hpp",),
     "naked-lock": ("src/util/",),
     "raw-mutex": ("src/util/",),
+    "unchecked-json-field": ("src/io/",),
 }
 
 WALLCLOCK_IDS = {
@@ -567,6 +576,27 @@ class FileLint:
                 "(util/thread_annotations.hpp)",
             )
 
+    def check_unchecked_json_field(self):
+        toks = self.tokens
+        for i, tok in enumerate(toks):
+            if tok.kind != "id" or tok.value not in ("as_object", "as_array"):
+                continue
+            prv = toks[i - 1] if i > 0 else None
+            if prv is None or prv.value not in (".", "->"):
+                continue
+            if i + 2 >= len(toks) or toks[i + 1].value != "(" \
+                    or toks[i + 2].value != ")":
+                continue
+            if i + 3 >= len(toks) or toks[i + 3].value != "[":
+                continue
+            self.report(
+                tok.line,
+                "unchecked-json-field",
+                f"subscripting '.{tok.value}()[...]' bypasses bounds/key "
+                "checking; use find()/at() so malformed input fails loudly "
+                "instead of corrupting the response",
+            )
+
     # --- suppression ----------------------------------------------------
 
     def apply_suppressions(self):
@@ -605,6 +635,7 @@ class FileLint:
         self.check_float_eq()
         self.check_naked_lock()
         self.check_raw_mutex()
+        self.check_unchecked_json_field()
         self.apply_suppressions()
         return self.findings
 
@@ -624,12 +655,52 @@ def iter_source_files(paths):
             raise FileNotFoundError(p)
 
 
+def indexed_fingerprints(findings):
+    """(fingerprint, finding) pairs with occurrence indices.
+
+    Findings sharing (path, rule, normalized snippet) get `#0`, `#1`, ... in
+    sorted (line) order, so identity survives line moves but duplicate
+    findings on distinct lines stay distinct.
+    """
+    counts = {}
+    out = []
+    for f in findings:
+        base = f.fingerprint()
+        k = counts.get(base, 0)
+        counts[base] = k + 1
+        out.append((f"{base}#{k}", f))
+    return out
+
+
 def load_baseline(path):
+    """Fingerprint set from a v1 (counts) or v2 (indexed list) baseline."""
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
     if not isinstance(data, dict) or "fingerprints" not in data:
         raise ValueError(f"{path}: not a baseline file")
-    return dict(data["fingerprints"])
+    fps = data["fingerprints"]
+    if isinstance(fps, dict):
+        # v1 stored {fingerprint: count}; expand each count to occurrence
+        # indices so old baselines keep working unchanged.
+        out = set()
+        for fp, count in fps.items():
+            for k in range(int(count)):
+                out.add(f"{fp}#{k}")
+        return out
+    if isinstance(fps, list):
+        return set(fps)
+    raise ValueError(f"{path}: 'fingerprints' must be an object or a list")
+
+
+def write_baseline(path, findings):
+    fps = sorted(fp for fp, f in indexed_fingerprints(findings)
+                 if not f.suppressed)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"version": 2, "fingerprints": fps}, fh, indent=2,
+                  sort_keys=True)
+        fh.write("\n")
+    return len(fps)
 
 
 def main(argv=None):
@@ -679,7 +750,7 @@ def main(argv=None):
 
     baseline_path = args.baseline or os.path.join(
         root, "tools", "lint", "rta_lint_baseline.json")
-    baseline = {}
+    baseline = set()
     if not args.no_baseline and not args.write_baseline:
         if os.path.exists(baseline_path):
             try:
@@ -708,26 +779,13 @@ def main(argv=None):
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
 
     if args.write_baseline:
-        fps = {}
-        for f in findings:
-            if not f.suppressed:
-                fps[f.fingerprint()] = fps.get(f.fingerprint(), 0) + 1
-        os.makedirs(os.path.dirname(baseline_path), exist_ok=True)
-        with open(baseline_path, "w", encoding="utf-8") as fh:
-            json.dump({"version": 1, "fingerprints": fps}, fh, indent=2,
-                      sort_keys=True)
-            fh.write("\n")
+        count = write_baseline(baseline_path, findings)
         print(f"rta-lint: baseline written: {baseline_path} "
-              f"({len(fps)} fingerprints)")
+              f"({count} fingerprints)")
         return 0
 
-    remaining = dict(baseline)
-    for f in findings:
-        if f.suppressed:
-            continue
-        fp = f.fingerprint()
-        if remaining.get(fp, 0) > 0:
-            remaining[fp] -= 1
+    for fp, f in indexed_fingerprints(findings):
+        if not f.suppressed and fp in baseline:
             f.baselined = True
 
     new = [f for f in findings if not f.suppressed and not f.baselined]

@@ -110,8 +110,12 @@ def main():
         print("baseline regression:")
         with open(baseline_path, "r", encoding="utf-8") as f:
             base = json.load(f)
+        check("baseline is v2 (occurrence-indexed list)",
+              base.get("version") == 2
+              and isinstance(base["fingerprints"], list)
+              and all("#" in fp for fp in base["fingerprints"]))
         dropped_fp = sorted(base["fingerprints"])[0]
-        dropped_count = base["fingerprints"].pop(dropped_fp)
+        base["fingerprints"].remove(dropped_fp)
         with open(baseline_path, "w", encoding="utf-8") as f:
             json.dump(base, f)
         proc = run_lint("--baseline", baseline_path, FIXTURE_SRC,
@@ -119,9 +123,23 @@ def main():
         check("exit code 1 after dropping a fingerprint",
               proc.returncode == 1, f"got {proc.returncode}")
         rep = load_report(report_path)
-        check("exactly the dropped finding(s) are new",
-              rep["counts"]["new"] == dropped_count,
-              f"dropped {dropped_count}, new {rep['counts']['new']}")
+        check("exactly the dropped finding is new",
+              rep["counts"]["new"] == 1,
+              f"new {rep['counts']['new']}")
+
+        # 4b. A legacy v1 baseline ({fingerprint: count}) still loads.
+        print("v1 baseline migration:")
+        counts = {}
+        for fp in base["fingerprints"] + [dropped_fp]:
+            root_fp = fp.rsplit("#", 1)[0]
+            counts[root_fp] = counts.get(root_fp, 0) + 1
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            json.dump({"version": 1, "fingerprints": counts}, f)
+        proc = run_lint("--baseline", baseline_path, FIXTURE_SRC,
+                        json_to=report_path)
+        check("v1 baseline still suppresses all findings",
+              proc.returncode == 0,
+              f"got {proc.returncode}: {proc.stderr}")
 
         # 5. Rule subset.
         print("rule subset:")

@@ -35,7 +35,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/region.hpp"
+#include "service/region.hpp"
 #include "io/curve_csv.hpp"
 #include "io/trace_csv.hpp"
 #include "io/system_text.hpp"
